@@ -1,0 +1,129 @@
+//! 3D chip composition (Table 6.2).
+//!
+//! A 3D Scale-Out Processor tiles 3D pods across the per-die footprint,
+//! shares six DDR4 interfaces on the bottom die, and runs under the 250W
+//! liquid-cooled budget of §6.5.1.
+
+use crate::stack::{Pod3d, Pod3dMetrics};
+use sop_tech::{ChipBudget, MemoryInterface, SocParams, TechnologyNode};
+
+/// A composed 3D chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chip3dSpec {
+    /// The replicated pod.
+    pub pod: Pod3dMetrics,
+    /// Pods on the chip.
+    pub pods: u32,
+    /// Stacked logic dies.
+    pub dies: u32,
+    /// Total cores.
+    pub cores: u32,
+    /// Total LLC in MB.
+    pub llc_mb: f64,
+    /// Memory channels (DDR4, on the bottom die).
+    pub memory_channels: u32,
+    /// Footprint of one die, mm².
+    pub die_mm2: f64,
+    /// Stack power, W.
+    pub power_w: f64,
+    /// Volume-normalised performance density.
+    pub performance_density_3d: f64,
+}
+
+/// Composes as many copies of `pod` as the 3D budgets admit.
+///
+/// # Panics
+///
+/// Panics if not even one pod fits.
+pub fn compose_3d(pod: &Pod3d) -> Chip3dSpec {
+    let budget = ChipBudget::stacked_3d();
+    let node = pod.node;
+    let mem = MemoryInterface::at(TechnologyNode::N20); // DDR4 per §6.5.1
+    let soc = SocParams::at(node);
+    let metrics = pod.metrics();
+    let mut best: Option<Chip3dSpec> = None;
+    for pods in 1..=64u32 {
+        let n = f64::from(pods);
+        let bw = metrics.bandwidth_gbps * n;
+        let channels = mem.channels_for(bw);
+        if channels > budget.max_memory_channels {
+            break;
+        }
+        // Memory interfaces and SoC glue live on the bottom die and count
+        // against its footprint.
+        let die = metrics.footprint_mm2 * n
+            + (f64::from(channels) * mem.area_mm2 + soc.area_mm2) / f64::from(pod.dies);
+        let power = metrics.power_w * n + f64::from(channels) * mem.power_w + soc.power_w;
+        if die > budget.max_die_mm2 || power > budget.max_power_w {
+            break;
+        }
+        best = Some(Chip3dSpec {
+            pod: metrics,
+            pods,
+            dies: pod.dies,
+            cores: pod.total_cores() * pods,
+            llc_mb: pod.total_llc_mb() * n,
+            memory_channels: channels,
+            die_mm2: die,
+            power_w: power,
+            performance_density_3d: metrics.aggregate_ipc * n
+                / (die * f64::from(pod.dies)),
+        });
+    }
+    best.expect("at least one pod must fit the 3D budget")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackStrategy;
+    use sop_tech::CoreKind;
+
+    #[test]
+    fn more_dies_admit_more_fixed_pods() {
+        // Fig 6.1 / §6.6.1: 1, 2, and 4 stacked dies afford one, two, and
+        // four OoO pods respectively... (subject to the same footprint).
+        let pods_at = |dies: u32| {
+            compose_3d(&Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, dies, StackStrategy::FixedPod))
+                .pods
+        };
+        let p1 = pods_at(1);
+        let p2 = pods_at(2);
+        let p4 = pods_at(4);
+        assert!(p2 >= 2 * p1, "{p1} {p2}");
+        assert!(p4 >= 2 * p2 || p4 >= 4 * p1, "{p2} {p4}");
+    }
+
+    #[test]
+    fn channels_never_exceed_six() {
+        for dies in [1, 2, 4] {
+            let chip = compose_3d(&Pod3d::new(
+                CoreKind::InOrder,
+                64,
+                2.0,
+                dies,
+                StackStrategy::FixedPod,
+            ));
+            assert!(chip.memory_channels <= 6);
+        }
+    }
+
+    #[test]
+    fn stacking_raises_chip_level_density() {
+        let flat =
+            compose_3d(&Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 1, StackStrategy::FixedPod));
+        let stacked =
+            compose_3d(&Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 4, StackStrategy::FixedPod));
+        assert!(stacked.performance_density_3d > flat.performance_density_3d);
+        assert!(stacked.cores > flat.cores);
+    }
+
+    #[test]
+    fn composition_is_internally_consistent() {
+        let chip =
+            compose_3d(&Pod3d::new(CoreKind::InOrder, 64, 2.0, 2, StackStrategy::FixedDistance));
+        assert_eq!(chip.cores, 128 * chip.pods);
+        assert!(chip.die_mm2 <= 280.0);
+        assert!(chip.power_w <= 250.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! 3D-stacked Scale-Out Processors (chapter 6).
+//!
+//! When transistor scaling ends, stacking logic dies with through-silicon
+//! vias keeps adding transistors *without* adding distance: the vertical
+//! hop is micrometres, the horizontal millimetres (§6.1). A 3D pod can
+//! therefore either keep its resources and shrink its planar span
+//! (**fixed-pod**), or grow resources with the die count at constant span
+//! (**fixed-distance**) — the two strategies of §6.2. The design metric
+//! becomes volume-normalised performance density: performance per mm² per
+//! die (§6.3).
+//!
+//! # Example
+//!
+//! ```
+//! use sop_3d::{Pod3d, StackStrategy};
+//! use sop_tech::CoreKind;
+//!
+//! let flat = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 1, StackStrategy::FixedPod);
+//! let stacked = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 4, StackStrategy::FixedPod);
+//! // Stacking the same pod over four dies shortens its wires and lifts
+//! // volume-normalized performance density (Fig 6.5).
+//! assert!(stacked.metrics().performance_density_3d > flat.metrics().performance_density_3d);
+//! ```
+
+pub mod chip;
+pub mod stack;
+pub mod thermal;
+
+pub use chip::{compose_3d, Chip3dSpec};
+pub use thermal::{CoolingTechnology, ThermalModel};
+pub use stack::{sweep_3d, Pod3d, Pod3dMetrics, StackStrategy, Sweep3dPoint};

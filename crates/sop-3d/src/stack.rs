@@ -1,0 +1,282 @@
+//! 3D pod organizations and the volume-normalised PD metric.
+//!
+//! A 3D pod spans every stacked die (§6.2): its LLC sits in the centre of
+//! each die with cores on both sides (Fig 6.3), and the per-die LLC rows
+//! are joined vertically by TSVs at negligible latency. For the analytic
+//! model this means one thing: the crossbar/fabric wire span is set by the
+//! *per-die footprint*, not the pod's total silicon.
+
+use sop_model::{DesignPoint, Interconnect};
+use sop_tech::{CoreKind, LlcParams, TechnologyNode};
+
+/// How a pod uses additional stacked dies (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackStrategy {
+    /// Keep the pod's cores and LLC constant; stacking shrinks the
+    /// footprint and with it the on-chip distance.
+    FixedPod,
+    /// Grow cores and LLC linearly with the die count; the footprint and
+    /// distance stay those of the single-die pod.
+    FixedDistance,
+}
+
+/// A pod stacked over `dies` logic dies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pod3d {
+    /// Core microarchitecture.
+    pub core_kind: CoreKind,
+    /// Cores of the *single-die* base pod.
+    pub base_cores: u32,
+    /// LLC MB of the single-die base pod.
+    pub base_llc_mb: f64,
+    /// Stacked logic dies.
+    pub dies: u32,
+    /// Stacking strategy.
+    pub strategy: StackStrategy,
+    /// Technology node (chapter 6 evaluates at 40nm with DDR4).
+    pub node: TechnologyNode,
+}
+
+impl Pod3d {
+    /// A 3D pod at the chapter-6 baseline node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies` or `base_cores` is zero.
+    pub fn new(
+        core_kind: CoreKind,
+        base_cores: u32,
+        base_llc_mb: f64,
+        dies: u32,
+        strategy: StackStrategy,
+    ) -> Self {
+        assert!(dies > 0, "need at least one die");
+        assert!(base_cores > 0, "need at least one core");
+        Pod3d { core_kind, base_cores, base_llc_mb, dies, strategy, node: TechnologyNode::N40 }
+    }
+
+    /// Total cores across all dies.
+    pub fn total_cores(&self) -> u32 {
+        match self.strategy {
+            StackStrategy::FixedPod => self.base_cores,
+            StackStrategy::FixedDistance => self.base_cores * self.dies,
+        }
+    }
+
+    /// Total LLC capacity across all dies.
+    pub fn total_llc_mb(&self) -> f64 {
+        match self.strategy {
+            StackStrategy::FixedPod => self.base_llc_mb,
+            StackStrategy::FixedDistance => self.base_llc_mb * f64::from(self.dies),
+        }
+    }
+
+    /// Total silicon area of the pod (summed over dies), mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.core_kind.area_mm2(self.node) * f64::from(self.total_cores())
+            + LlcParams::at(self.node).area_mm2(self.total_llc_mb())
+            + 0.2 * f64::from(self.dies) // TSV fields + fabric share per die
+    }
+
+    /// Planar footprint per die, mm². This is what the pod's wires span.
+    pub fn footprint_mm2(&self) -> f64 {
+        self.total_area_mm2() / f64::from(self.dies)
+    }
+
+    /// Peak pod power (cores + LLC), W.
+    pub fn power_w(&self) -> f64 {
+        self.core_kind.power_w(self.node) * f64::from(self.total_cores())
+            + LlcParams::at(self.node).power_w(self.total_llc_mb())
+    }
+
+    /// The analytic design point: a crossbar pod whose wires span one
+    /// die's footprint.
+    pub fn design_point(&self) -> DesignPoint {
+        DesignPoint::new(
+            self.core_kind,
+            self.total_cores(),
+            self.total_llc_mb(),
+            Interconnect::Crossbar,
+        )
+        .at_node(self.node)
+        .with_crossbar_span_area(self.footprint_mm2())
+    }
+
+    /// Evaluates the pod.
+    pub fn metrics(&self) -> Pod3dMetrics {
+        let dp = self.design_point();
+        let per_core_ipc = dp.mean_per_core_ipc();
+        let aggregate_ipc = per_core_ipc * f64::from(self.total_cores());
+        let footprint = self.footprint_mm2();
+        Pod3dMetrics {
+            pod: *self,
+            aggregate_ipc,
+            per_core_ipc,
+            footprint_mm2: footprint,
+            power_w: self.power_w(),
+            bandwidth_gbps: dp.worst_case_bandwidth_gbps(),
+            // §6.3: performance per unit volume ∝ perf / (area x dies).
+            performance_density_3d: aggregate_ipc / (footprint * f64::from(self.dies)),
+        }
+    }
+}
+
+/// Evaluated 3D pod.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pod3dMetrics {
+    /// The pod evaluated.
+    pub pod: Pod3d,
+    /// Aggregate application IPC.
+    pub aggregate_ipc: f64,
+    /// Per-core application IPC.
+    pub per_core_ipc: f64,
+    /// Per-die footprint, mm².
+    pub footprint_mm2: f64,
+    /// Pod power, W.
+    pub power_w: f64,
+    /// Worst-case off-chip demand, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Performance per mm² per die (§6.3).
+    pub performance_density_3d: f64,
+}
+
+/// One point of the Fig 6.4/6.6 sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sweep3dPoint {
+    /// Total cores of the configuration.
+    pub cores: u32,
+    /// Total LLC in MB.
+    pub llc_mb: f64,
+    /// Stacked dies.
+    pub dies: u32,
+    /// Volume-normalised PD.
+    pub pd3d: f64,
+}
+
+/// Sweeps total core count and LLC capacity for a given die count,
+/// spreading each configuration evenly across the dies (the homogeneous
+/// organization of §6.4). Non-divisible configurations are skipped.
+pub fn sweep_3d(
+    kind: CoreKind,
+    dies: u32,
+    core_counts: &[u32],
+    llc_capacities_mb: &[f64],
+) -> Vec<Sweep3dPoint> {
+    let mut out = Vec::new();
+    for &cores in core_counts {
+        if cores % dies != 0 {
+            continue;
+        }
+        for &mb in llc_capacities_mb {
+            let pod = Pod3d::new(
+                kind,
+                cores / dies,
+                mb / f64::from(dies),
+                dies,
+                StackStrategy::FixedDistance,
+            );
+            out.push(Sweep3dPoint {
+                cores,
+                llc_mb: mb,
+                dies,
+                pd3d: pod.metrics().performance_density_3d,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_die_pod_matches_2d_semantics() {
+        let p = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 1, StackStrategy::FixedPod);
+        let m = p.metrics();
+        assert_eq!(p.total_cores(), 32);
+        assert!((m.footprint_mm2 - p.total_area_mm2()).abs() < 1e-9);
+        // PD3D at one die equals plain perf/area.
+        assert!((m.performance_density_3d - m.aggregate_ipc / m.footprint_mm2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategies_agree_at_one_die() {
+        let a = Pod3d::new(CoreKind::InOrder, 64, 2.0, 1, StackStrategy::FixedPod).metrics();
+        let b =
+            Pod3d::new(CoreKind::InOrder, 64, 2.0, 1, StackStrategy::FixedDistance).metrics();
+        assert!((a.performance_density_3d - b.performance_density_3d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_pod_gains_from_stacking() {
+        // Fig 6.5: 5% at two dies, ~8% at four (OoO). Accept the band.
+        let d1 = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 1, StackStrategy::FixedPod)
+            .metrics()
+            .performance_density_3d;
+        let d2 = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 2, StackStrategy::FixedPod)
+            .metrics()
+            .performance_density_3d;
+        let d4 = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 4, StackStrategy::FixedPod)
+            .metrics()
+            .performance_density_3d;
+        assert!(d2 > d1 && d4 > d2);
+        let gain4 = d4 / d1;
+        assert!((1.01..1.25).contains(&gain4), "gain {gain4}");
+    }
+
+    #[test]
+    fn fixed_distance_keeps_footprint_constant() {
+        let d1 = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 1, StackStrategy::FixedDistance);
+        let d4 = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 4, StackStrategy::FixedDistance);
+        let rel = d4.footprint_mm2() / d1.footprint_mm2();
+        assert!((0.95..1.1).contains(&rel), "footprints {rel}");
+        assert_eq!(d4.total_cores(), 128);
+        assert_eq!(d4.total_llc_mb(), 8.0);
+    }
+
+    #[test]
+    fn fixed_distance_beats_its_own_2d_expansion() {
+        // A 128-core/8MB pod built flat pays the full planar distance; the
+        // same resources over four dies pay a quarter the span.
+        let flat = Pod3d::new(CoreKind::OutOfOrder, 128, 8.0, 1, StackStrategy::FixedPod)
+            .metrics()
+            .per_core_ipc;
+        let stacked =
+            Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 4, StackStrategy::FixedDistance)
+                .metrics()
+                .per_core_ipc;
+        assert!(stacked > flat);
+    }
+
+    #[test]
+    fn sweep_skips_non_divisible_configs() {
+        let pts = sweep_3d(CoreKind::OutOfOrder, 4, &[2, 8, 16], &[4.0]);
+        assert!(pts.iter().all(|p| p.cores % 4 == 0));
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn sweep_peak_moves_right_with_dies() {
+        // Fig 6.4: with more dies, bigger configurations become optimal
+        // (distance no longer punishes them).
+        let cores: Vec<u32> = vec![4, 8, 16, 32, 64, 128, 256];
+        let caps = [2.0, 4.0, 8.0, 16.0];
+        let peak = |dies: u32| {
+            sweep_3d(CoreKind::OutOfOrder, dies, &cores, &caps)
+                .into_iter()
+                .max_by(|a, b| a.pd3d.total_cmp(&b.pd3d))
+                .expect("non-empty sweep")
+        };
+        let p1 = peak(1);
+        let p4 = peak(4);
+        assert!(p4.cores >= p1.cores, "{} vs {}", p4.cores, p1.cores);
+        assert!(p4.pd3d >= p1.pd3d * 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn zero_dies_panics() {
+        Pod3d::new(CoreKind::InOrder, 8, 1.0, 0, StackStrategy::FixedPod);
+    }
+}

@@ -1,0 +1,158 @@
+//! Thermal feasibility of stacked logic dies (§6.1).
+//!
+//! The main challenge of logic-on-logic stacking is heat: every die adds
+//! power over the same footprint, and the dies far from the heat sink see
+//! the accumulated thermal resistance of everything between them and the
+//! sink. The thesis assumes the problem solved by (expensive) liquid
+//! cooling and budgets 250W; this module makes that assumption checkable
+//! with a standard one-dimensional resistance model:
+//!
+//! ```text
+//! T_hot = T_ambient + P_total x R_sink + R_inter x sum over levels of
+//!         (power that must cross that inter-die interface)
+//! ```
+//!
+//! For a homogeneous stack of `L` dies the crossing sum is
+//! `P_total x (L-1) / 2`.
+
+/// Cooling solutions considered by the thesis (§6.1 cites both air-cooled
+/// prototypes and the liquid cooling its 250W budget needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoolingTechnology {
+    /// Conventional heat-sink-and-fan cooling.
+    AirCooled,
+    /// Interlayer/coldplate liquid cooling.
+    LiquidCooled,
+}
+
+impl CoolingTechnology {
+    /// Sink-to-ambient thermal resistance in K/W.
+    pub fn sink_resistance_k_per_w(self) -> f64 {
+        match self {
+            // ~95W at a ~33K rise: the 2D server-chip operating point.
+            CoolingTechnology::AirCooled => 0.35,
+            // ~250W four-die stacks within a 40K budget (§6.5.1).
+            CoolingTechnology::LiquidCooled => 0.08,
+        }
+    }
+}
+
+/// One-dimensional stack thermal model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Cooling solution.
+    pub cooling: CoolingTechnology,
+    /// Ambient (inlet) temperature in °C.
+    pub ambient_c: f64,
+    /// Maximum junction temperature in °C.
+    pub t_max_c: f64,
+    /// Inter-die thermal resistance in K/W per interface.
+    pub inter_die_k_per_w: f64,
+}
+
+impl ThermalModel {
+    /// The model at datacenter conditions (45°C inlet, 85°C junction).
+    pub fn datacenter(cooling: CoolingTechnology) -> Self {
+        ThermalModel {
+            cooling,
+            ambient_c: 45.0,
+            t_max_c: 85.0,
+            inter_die_k_per_w: 0.03,
+        }
+    }
+
+    /// Hottest-die junction temperature for a homogeneous stack burning
+    /// `power_w` over `dies` dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies` is zero or power is negative.
+    pub fn junction_c(&self, power_w: f64, dies: u32) -> f64 {
+        assert!(dies > 0, "need at least one die");
+        assert!(power_w >= 0.0, "power must be non-negative");
+        // Power crossing interface i (counted from the sink) is
+        // P x (L-i)/L; summing over the L-1 interfaces gives P(L-1)/2.
+        let crossing = power_w * f64::from(dies - 1) / 2.0;
+        self.ambient_c
+            + power_w * self.cooling.sink_resistance_k_per_w()
+            + crossing * self.inter_die_k_per_w
+    }
+
+    /// Maximum stack power before the hottest die exceeds `t_max_c`.
+    pub fn max_power_w(&self, dies: u32) -> f64 {
+        assert!(dies > 0, "need at least one die");
+        let budget_k = self.t_max_c - self.ambient_c;
+        let r = self.cooling.sink_resistance_k_per_w()
+            + self.inter_die_k_per_w * f64::from(dies - 1) / 2.0;
+        budget_k / r
+    }
+
+    /// Whether a stack of `dies` dies at `power_w` is thermally feasible.
+    pub fn admits(&self, power_w: f64, dies: u32) -> bool {
+        power_w <= self.max_power_w(dies)
+    }
+
+    /// The largest stack that can carry `power_per_die_w` on every die.
+    pub fn max_dies(&self, power_per_die_w: f64) -> u32 {
+        assert!(power_per_die_w > 0.0, "per-die power must be positive");
+        let mut dies = 1;
+        while dies < 64 && self.admits(power_per_die_w * f64::from(dies + 1), dies + 1) {
+            dies += 1;
+        }
+        dies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn air_cooling_carries_a_2d_server_chip() {
+        let m = ThermalModel::datacenter(CoolingTechnology::AirCooled);
+        assert!(m.admits(95.0, 1), "max {:.0}W", m.max_power_w(1));
+    }
+
+    #[test]
+    fn air_cooling_cannot_carry_the_250w_stack() {
+        // §6.1: stacked logic needs liquid cooling at the thesis' budget.
+        let air = ThermalModel::datacenter(CoolingTechnology::AirCooled);
+        assert!(!air.admits(250.0, 4));
+        let liquid = ThermalModel::datacenter(CoolingTechnology::LiquidCooled);
+        assert!(liquid.admits(250.0, 4), "max {:.0}W", liquid.max_power_w(4));
+    }
+
+    #[test]
+    fn more_dies_lower_the_power_ceiling() {
+        let m = ThermalModel::datacenter(CoolingTechnology::LiquidCooled);
+        let mut prev = f64::INFINITY;
+        for dies in 1..=8 {
+            let p = m.max_power_w(dies);
+            assert!(p < prev, "ceiling must fall with stacking");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn max_dies_matches_admits() {
+        let m = ThermalModel::datacenter(CoolingTechnology::LiquidCooled);
+        let per_die = 60.0;
+        let dies = m.max_dies(per_die);
+        assert!(m.admits(per_die * f64::from(dies), dies));
+        assert!(!m.admits(per_die * f64::from(dies + 1), dies + 1));
+    }
+
+    #[test]
+    fn liquid_supports_deeper_stacks_than_air() {
+        let air = ThermalModel::datacenter(CoolingTechnology::AirCooled);
+        let liquid = ThermalModel::datacenter(CoolingTechnology::LiquidCooled);
+        let per_die = 40.0;
+        assert!(liquid.max_dies(per_die) > air.max_dies(per_die));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn zero_dies_panics() {
+        ThermalModel::datacenter(CoolingTechnology::AirCooled).max_power_w(0);
+    }
+}

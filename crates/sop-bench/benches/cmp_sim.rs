@@ -1,0 +1,35 @@
+//! Benchmarks the cycle-level CMP simulator: the engine behind Figs 3.3,
+//! 4.3, 4.6, and 4.8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sop_noc::TopologyKind;
+use sop_sim::{Machine, SimConfig};
+use sop_workloads::Workload;
+
+fn pod_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/pod_64_4k_cycles");
+    group.sample_size(10);
+    for kind in [TopologyKind::Mesh, TopologyKind::NocOut] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                Machine::new(SimConfig::pod_64(Workload::MapReduceW, kind)).run(1_000, 3_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn validation_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/validation_16_cores");
+    group.sample_size(10);
+    group.bench_function("crossbar", |b| {
+        b.iter(|| {
+            Machine::new(SimConfig::validation(Workload::WebSearch, 16, TopologyKind::Crossbar))
+                .run(1_000, 3_000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pod_sim, validation_sim);
+criterion_main!(benches);

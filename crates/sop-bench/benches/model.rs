@@ -1,0 +1,35 @@
+//! Benchmarks the analytic model and the pod/chip composition machinery:
+//! the engines behind every chapter 2/3 table and figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sop_core::designs::{reference_chip, DesignKind};
+use sop_core::pod::{optimal_pod, PodSearchSpace};
+use sop_model::{DesignPoint, Interconnect};
+use sop_tech::{CoreKind, TechnologyNode};
+
+fn analytic_point(c: &mut Criterion) {
+    c.bench_function("model/design_point_all_workloads", |b| {
+        b.iter(|| {
+            DesignPoint::new(CoreKind::OutOfOrder, 32, 4.0, Interconnect::Crossbar)
+                .mean_per_core_ipc()
+        })
+    });
+}
+
+fn pd_surface(c: &mut Criterion) {
+    c.bench_function("model/pod_search_space_108_points", |b| {
+        b.iter(|| {
+            let space = PodSearchSpace::thesis_chapter3(CoreKind::OutOfOrder, TechnologyNode::N40);
+            optimal_pod(&space)
+        })
+    });
+}
+
+fn chip_composition(c: &mut Criterion) {
+    c.bench_function("core/compose_table_3_2_row", |b| {
+        b.iter(|| reference_chip(DesignKind::ScaleOut(CoreKind::InOrder), TechnologyNode::N40))
+    });
+}
+
+criterion_group!(benches, analytic_point, pd_surface, chip_composition);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks the chapter 5 TCO analysis and the chapter 6 3D sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sop_3d::{compose_3d, sweep_3d, Pod3d, StackStrategy};
+use sop_core::designs::DesignKind;
+use sop_tco::{Datacenter, TcoParams};
+use sop_tech::CoreKind;
+
+fn datacenter_build(c: &mut Criterion) {
+    c.bench_function("tco/datacenter_for_scale_out", |b| {
+        let params = TcoParams::thesis();
+        b.iter(|| {
+            Datacenter::for_design(DesignKind::ScaleOut(CoreKind::InOrder), &params, 64)
+        })
+    });
+}
+
+fn pd3d_sweep(c: &mut Criterion) {
+    c.bench_function("3d/sweep_4_dies", |b| {
+        b.iter(|| {
+            sweep_3d(
+                CoreKind::OutOfOrder,
+                4,
+                &[4, 8, 16, 32, 64, 128, 256, 512, 1024],
+                &[2.0, 4.0, 8.0, 16.0, 32.0],
+            )
+        })
+    });
+    c.bench_function("3d/compose_chip", |b| {
+        b.iter(|| {
+            compose_3d(&Pod3d::new(CoreKind::InOrder, 64, 2.0, 3, StackStrategy::FixedDistance))
+        })
+    });
+}
+
+criterion_group!(benches, datacenter_build, pd3d_sweep);
+criterion_main!(benches);

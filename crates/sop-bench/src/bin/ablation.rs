@@ -1,0 +1,118 @@
+//! Ablations over the design choices the thesis motivates but does not
+//! sweep explicitly:
+//!
+//! * pod granularity — what happens to chip-level PD if pods are half or
+//!   double the chosen size (the cost of deviating from PD-optimality);
+//! * NOC-Out LLC-row width — fewer/more LLC tiles trade bank contention
+//!   against spine cost (§4.2.2's "four cores per bank" observation);
+//! * link width — the area/performance frontier behind Fig 4.8;
+//! * instruction replication — what IR buys a mesh at each LLC size.
+//!
+//! ```text
+//! cargo run --release -p sop-bench --bin ablation [pods|llcrow|links|ir]
+//! ```
+
+use sop_core::chip::try_compose_pods;
+use sop_core::PodConfig;
+use sop_model::{DesignPoint, Interconnect};
+use sop_noc::{NocAreaBreakdown, TopologyKind};
+use sop_sim::{Machine, SimConfig};
+use sop_tech::{ChipBudget, CoreKind, TechnologyNode};
+use sop_workloads::Workload;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    if matches!(which.as_str(), "pods" | "all") {
+        pods();
+    }
+    if matches!(which.as_str(), "llcrow" | "all") {
+        llc_row();
+    }
+    if matches!(which.as_str(), "links" | "all") {
+        links();
+    }
+    if matches!(which.as_str(), "ir" | "all") {
+        instruction_replication();
+    }
+}
+
+/// Chip-level PD when the pod deviates from the chosen 16-core/4MB point.
+fn pods() {
+    println!("== Ablation: pod granularity (OoO, 40nm chip composition) ==");
+    println!(
+        "  {:>6} {:>6} {:>6} {:>6} {:>9} {:>8}",
+        "cores", "LLC", "pods", "chip-c", "die mm2", "chip PD"
+    );
+    let node = TechnologyNode::N40;
+    let budget = ChipBudget::server_2d(node);
+    for (cores, mb) in [(8u32, 2.0), (16, 4.0), (32, 4.0), (32, 8.0), (64, 8.0)] {
+        let pod = PodConfig::new(CoreKind::OutOfOrder, cores, mb, Interconnect::Crossbar)
+            .metrics();
+        match try_compose_pods("ablation", &pod, node, &budget) {
+            Some(chip) => println!(
+                "  {:>6} {:>6.1} {:>6} {:>6} {:>9.1} {:>8.4}",
+                cores,
+                mb,
+                chip.cores / cores,
+                chip.cores,
+                chip.die_mm2,
+                chip.performance_density
+            ),
+            None => println!("  {cores:>6} {mb:>6.1}   does not fit the die"),
+        }
+    }
+    println!("  -> the 16c/4MB pod maximizes chip PD; bigger pods lose to");
+    println!("     distance, smaller ones to cache fragmentation.");
+}
+
+/// NOC-Out with a narrower or wider LLC row.
+fn llc_row() {
+    println!("== Ablation: NOC-Out LLC-row width (64-core pod, Web Search) ==");
+    println!("  {:>9} {:>8} {:>9} {:>9}", "LLC tiles", "agg IPC", "pkt lat", "NOC mm2");
+    for tiles in [4u32, 8, 16] {
+        let mut cfg = SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut);
+        cfg.noc.llc_tiles = tiles;
+        let area = NocAreaBreakdown::of(&cfg.noc.build_topology(), cfg.noc.link_bits);
+        let r = Machine::new(cfg).run(4_000, 10_000);
+        println!(
+            "  {:>9} {:>8.2} {:>9.1} {:>9.2}",
+            tiles,
+            r.aggregate_ipc(),
+            r.mean_packet_latency,
+            area.total_mm2()
+        );
+    }
+    println!("  -> 8 tiles (2 banks each) balance bank contention against");
+    println!("     spine area, as §4.3.1 chooses.");
+}
+
+/// The latency/area frontier as links narrow (Fig 4.8's mechanism).
+fn links() {
+    println!("== Ablation: link width (mesh pod, MapReduce-W) ==");
+    println!("  {:>6} {:>9} {:>8}", "bits", "NOC mm2", "agg IPC");
+    for bits in [128u32, 64, 32, 16] {
+        let mut cfg = SimConfig::pod_64(Workload::MapReduceW, TopologyKind::Mesh);
+        cfg.noc = cfg.noc.with_link_bits(bits);
+        let area = NocAreaBreakdown::of(&cfg.noc.build_topology(), bits);
+        let r = Machine::new(cfg).run(3_000, 8_000);
+        println!("  {:>6} {:>9.2} {:>8.2}", bits, area.total_mm2(), r.aggregate_ipc());
+    }
+    println!("  -> serialization latency eats narrow-linked fabrics, which is");
+    println!("     why the equal-area butterfly of Fig 4.8 collapses.");
+}
+
+/// What R-NUCA-style instruction replication buys a mesh per LLC size.
+fn instruction_replication() {
+    println!("== Ablation: instruction replication on the 32-core mesh ==");
+    println!("  {:>6} {:>10} {:>10} {:>7}", "LLC MB", "base IPC", "+IR IPC", "gain");
+    for mb in [4.0, 8.0, 16.0, 32.0] {
+        let base = DesignPoint::new(CoreKind::OutOfOrder, 32, mb, Interconnect::Mesh)
+            .mean_aggregate_ipc();
+        let ir = DesignPoint::new(CoreKind::OutOfOrder, 32, mb, Interconnect::Mesh)
+            .with_instruction_replication()
+            .mean_aggregate_ipc();
+        println!("  {:>6.0} {:>10.2} {:>10.2} {:>6.1}%", mb, base, ir, (ir / base - 1.0) * 100.0);
+    }
+    println!("  -> replication helps more as capacity grows (§2.2.3: in small");
+    println!("     LLCs the replicas' capacity pressure eats the latency win).");
+}

@@ -1,0 +1,143 @@
+//! Calibration dashboard: prints the model's values for every headline
+//! target so profile constants can be tuned against the thesis.
+
+use sop_core::designs::{reference_chip, DesignKind};
+use sop_core::pod::{optimal_pod, preferred_pod, PodSearchSpace};
+use sop_core::PodConfig;
+use sop_model::{DesignPoint, Interconnect};
+use sop_tech::{CoreKind, TechnologyNode};
+use sop_workloads::Workload;
+
+fn main() {
+    fig2_1();
+    fig2_2();
+    fig2_3();
+    pod_surfaces();
+    pods();
+    chips(TechnologyNode::N40);
+    chips(TechnologyNode::N20);
+}
+
+fn fig2_1() {
+    println!("== Fig 2.1: app IPC, aggressive OoO core (targets: MS<1, DS/MRC~1, rest 1-2) ==");
+    for w in Workload::ALL {
+        let ipc = DesignPoint::new(CoreKind::Conventional, 4, 8.0, Interconnect::Ideal)
+            .evaluate(w)
+            .per_core_ipc;
+        println!("  {:16} {:.2}", w.label(), ipc);
+    }
+}
+
+fn fig2_2() {
+    println!("== Fig 2.2: perf vs LLC (4 cores), normalized to 1MB ==");
+    println!("  target: knee 2-8MB, MRC/SAT +12-24% at 16MB, 32MB <= 16MB");
+    let caps = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+    for w in Workload::ALL {
+        let base = DesignPoint::new(CoreKind::Conventional, 4, 1.0, Interconnect::Crossbar)
+            .evaluate(w)
+            .per_core_ipc;
+        let row: Vec<String> = caps
+            .iter()
+            .map(|&c| {
+                let u = DesignPoint::new(CoreKind::Conventional, 4, c, Interconnect::Crossbar)
+                    .evaluate(w)
+                    .per_core_ipc;
+                format!("{:.3}", u / base)
+            })
+            .collect();
+        println!("  {:16} {}", w.label(), row.join(" "));
+    }
+}
+
+fn fig2_3() {
+    println!("== Fig 2.3: per-core perf vs cores, 4MB LLC (norm to 1 core) ==");
+    println!("  target: ideal 256c ~ -16% vs 2c; mesh 256c ~ -28% vs ideal 256c agg");
+    for ic in [Interconnect::Ideal, Interconnect::Mesh] {
+        let u1 = DesignPoint::new(CoreKind::OutOfOrder, 1, 4.0, ic).mean_per_core_ipc();
+        let row: Vec<String> = [2u32, 16, 64, 128, 256]
+            .iter()
+            .map(|&n| {
+                let u = DesignPoint::new(CoreKind::OutOfOrder, n, 4.0, ic).mean_per_core_ipc();
+                format!("{}:{:.3}", n, u / u1)
+            })
+            .collect();
+        println!("  {:6} {}", ic.label(), row.join(" "));
+    }
+    let i = DesignPoint::new(CoreKind::OutOfOrder, 256, 4.0, Interconnect::Ideal)
+        .mean_aggregate_ipc();
+    let m = DesignPoint::new(CoreKind::OutOfOrder, 256, 4.0, Interconnect::Mesh)
+        .mean_aggregate_ipc();
+    println!("  mesh-vs-ideal aggregate at 256 cores: {:.3} (target ~0.72)", m / i);
+}
+
+fn pod_surfaces() {
+    for kind in [CoreKind::OutOfOrder, CoreKind::InOrder] {
+        println!("== PD surface ({kind:?}, crossbar, 40nm) ==");
+        for &mb in &[1.0, 2.0, 4.0, 8.0] {
+            let row: Vec<String> = [4u32, 8, 16, 32, 64, 128]
+                .iter()
+                .map(|&n| {
+                    let m = PodConfig::new(kind, n, mb, Interconnect::Crossbar).metrics();
+                    format!("{}c:{:.4}", n, m.performance_density)
+                })
+                .collect();
+            println!("  {mb}MB  {}", row.join(" "));
+        }
+    }
+}
+
+fn pods() {
+    println!("== Pods (targets: OoO peak 32c/4MB, pick 16c/4MB 92mm2 20W 9.4GB/s;");
+    println!("          IO pick 32c/2MB 52mm2 17W 15GB/s) ==");
+    for kind in [CoreKind::OutOfOrder, CoreKind::InOrder] {
+        let space = PodSearchSpace::thesis_chapter3(kind, TechnologyNode::N40);
+        let opt = optimal_pod(&space);
+        let pick = preferred_pod(&space, 0.05);
+        println!(
+            "  {kind:?}: peak {}c/{}MB pd {:.4}; pick {}c/{}MB pd {:.4} area {:.1} power {:.1} bw {:.1}",
+            opt.config.cores,
+            opt.config.llc_mb,
+            opt.performance_density,
+            pick.config.cores,
+            pick.config.llc_mb,
+            pick.performance_density,
+            pick.area_mm2,
+            pick.power_w,
+            pick.bandwidth_gbps
+        );
+    }
+}
+
+fn chips(node: TechnologyNode) {
+    println!("== Reference chips at {node} ==");
+    println!(
+        "  {:34} {:>6} {:>5} {:>5} {:>3} {:>6} {:>6} {:>6} {:>7}",
+        "design", "PD", "cores", "LLC", "MC", "die", "power", "P/W", "bw"
+    );
+    let mut designs = vec![DesignKind::Conventional];
+    for k in [CoreKind::OutOfOrder, CoreKind::InOrder] {
+        designs.extend([
+            DesignKind::Tiled(k),
+            DesignKind::LlcOptimalTiled(k),
+            DesignKind::LlcOptimalTiledIr(k),
+            DesignKind::Ideal(k),
+            DesignKind::OnePod(k),
+            DesignKind::ScaleOut(k),
+        ]);
+    }
+    for d in designs {
+        let c = reference_chip(d, node);
+        println!(
+            "  {:34} {:>6.3} {:>5} {:>5.1} {:>3} {:>6.1} {:>6.1} {:>6.2} {:>7.1}",
+            c.label,
+            c.performance_density,
+            c.cores,
+            c.llc_mb,
+            c.memory_channels,
+            c.die_mm2,
+            c.power_w,
+            c.perf_per_watt,
+            c.bandwidth_gbps
+        );
+    }
+}

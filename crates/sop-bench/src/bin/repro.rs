@@ -1,0 +1,77 @@
+//! Regenerates the thesis' tables and figures.
+//!
+//! ```text
+//! repro <id>...        one or more of: fig2.1 fig2.2 fig2.3 tab2.1 tab2.3
+//!                      tab2.4 fig3.1 fig3.3 fig3.4 fig3.5 fig3.6 tab3.2
+//!                      fig4.3 tab4.1 fig4.6 fig4.7 fig4.8 fig4.9 tab5.1
+//!                      tab5.2 fig5.1 fig5.2 fig5.3 fig5.4 fig5.5 fig6.4
+//!                      fig6.5 fig6.6 fig6.7 tab6.2
+//! repro all            everything (simulation-backed figures take minutes)
+//! repro all --quick    everything with shortened simulation windows
+//! ```
+
+use sop_bench::{ch2, ch3, ch4, ch5, ch6};
+use sop_tech::{CoreKind, TechnologyNode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    if ids.is_empty() {
+        eprintln!("usage: repro <experiment id>... | all [--quick]");
+        eprintln!("see DESIGN.md for the experiment index");
+        std::process::exit(2);
+    }
+    let all = [
+        "fig2.1", "fig2.2", "fig2.3", "tab2.1", "tab2.3", "tab2.4", "fig3.1", "fig3.3",
+        "fig3.4", "fig3.5", "fig3.6", "tab3.2", "sec3.4.5", "fig4.3", "tab4.1", "fig4.6", "fig4.7",
+        "fig4.8", "fig4.9", "sec4.5", "tab5.1", "tab5.2", "fig5.1", "fig5.2", "fig5.3",
+        "fig5.5", "fig6.4", "fig6.5", "fig6.6", "fig6.7", "tab6.2",
+    ];
+    let run: Vec<&str> = if ids.contains(&"all") { all.to_vec() } else { ids };
+    for id in run {
+        dispatch(id, quick);
+        println!();
+    }
+}
+
+fn dispatch(id: &str, quick: bool) {
+    match id {
+        "fig2.1" => ch2::print_fig2_1(),
+        "fig2.2" => ch2::print_fig2_2(),
+        "fig2.3" => ch2::print_fig2_3(),
+        "tab2.1" | "tab2.2" => ch2::print_tab2_1(),
+        "tab2.3" => ch2::print_tab2_3(TechnologyNode::N40),
+        "tab2.4" => ch2::print_tab2_3(TechnologyNode::N20),
+        "fig3.1" => ch3::print_fig3_1(),
+        "fig3.3" => ch3::print_fig3_3(quick),
+        "fig3.4" => ch3::print_pd_sweep(CoreKind::OutOfOrder),
+        "fig3.5" => ch3::print_fig3_5(),
+        "fig3.6" => ch3::print_pd_sweep(CoreKind::InOrder),
+        "tab3.2" => ch3::print_tab3_2(),
+        "sec3.4.5" => ch3::print_sec3_4_5(),
+        "fig4.3" => ch4::print_fig4_3(quick),
+        "tab4.1" => ch4::print_tab4_1(),
+        "fig4.6" => ch4::print_fig4_6(quick),
+        "fig4.7" => ch4::print_fig4_7(),
+        "fig4.8" => ch4::print_fig4_8(quick),
+        "fig4.9" => ch4::print_fig4_9_power(quick),
+        "sec4.5" => ch4::print_sec4_5(),
+        "tab5.1" => ch5::print_tab5_1(),
+        "tab5.2" => ch5::print_tab5_2(),
+        "fig5.1" => ch5::print_fig5_1(),
+        "fig5.2" => ch5::print_fig5_2(),
+        "fig5.3" | "fig5.4" => ch5::print_fig5_3_and_5_4(),
+        "fig5.5" => ch5::print_fig5_5(),
+        "fig6.4" => ch6::print_pd3d_sweep(CoreKind::OutOfOrder),
+        "fig6.5" => ch6::print_strategy_comparison(CoreKind::OutOfOrder),
+        "fig6.6" => ch6::print_pd3d_sweep(CoreKind::InOrder),
+        "fig6.7" => ch6::print_strategy_comparison(CoreKind::InOrder),
+        "tab6.1" => ch2::print_tab2_1(),
+        "tab6.2" => ch6::print_tab6_2(),
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Chapter 2: the case for Scale-Out Processors (Figs 2.1–2.3, Tables
+//! 2.1–2.4).
+
+use crate::fmt_series;
+use sop_core::designs::{reference_chip, DesignKind};
+use sop_model::{DesignPoint, Interconnect};
+use sop_tech::{CoreKind, LlcParams, MemoryInterface, SocParams, TechnologyNode};
+use sop_workloads::Workload;
+
+/// The LLC capacities swept in Fig 2.2.
+pub const FIG2_2_CAPACITIES: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Fig 2.1: application IPC of the aggressive 4-wide core per workload.
+pub fn fig2_1() -> Vec<(Workload, f64)> {
+    Workload::ALL
+        .iter()
+        .map(|&w| {
+            let ipc = DesignPoint::new(CoreKind::Conventional, 4, 8.0, Interconnect::Ideal)
+                .evaluate(w)
+                .per_core_ipc;
+            (w, ipc)
+        })
+        .collect()
+}
+
+/// Prints Fig 2.1.
+pub fn print_fig2_1() {
+    println!("Fig 2.1 — application IPC, aggressive OoO core (max 4)");
+    for (w, ipc) in fig2_1() {
+        println!("  {:16} {ipc:.2}", w.label());
+    }
+}
+
+/// Fig 2.2: per-workload performance vs. LLC capacity, normalised to 1MB.
+pub fn fig2_2() -> Vec<(Workload, Vec<f64>)> {
+    Workload::ALL
+        .iter()
+        .map(|&w| {
+            let at = |mb: f64| {
+                DesignPoint::new(CoreKind::Conventional, 4, mb, Interconnect::Crossbar)
+                    .evaluate(w)
+                    .per_core_ipc
+            };
+            let base = at(1.0);
+            (w, FIG2_2_CAPACITIES.iter().map(|&c| at(c) / base).collect())
+        })
+        .collect()
+}
+
+/// Prints Fig 2.2.
+pub fn print_fig2_2() {
+    println!("Fig 2.2 — 4-core performance vs LLC size (normalised to 1MB)");
+    println!("{:24} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}", "workload", 1, 2, 4, 8, 16, 32);
+    for (w, series) in fig2_2() {
+        println!("  {}", fmt_series(w.label(), &series));
+    }
+}
+
+/// Fig 2.3: per-core and aggregate performance vs. core count at 4MB,
+/// under the ideal and mesh fabrics. Returns (cores, ideal, mesh) rows of
+/// per-core IPC normalised to one core.
+pub fn fig2_3() -> Vec<(u32, f64, f64)> {
+    let base_ideal =
+        DesignPoint::new(CoreKind::OutOfOrder, 1, 4.0, Interconnect::Ideal).mean_per_core_ipc();
+    let base_mesh =
+        DesignPoint::new(CoreKind::OutOfOrder, 1, 4.0, Interconnect::Mesh).mean_per_core_ipc();
+    [1u32, 2, 4, 8, 16, 32, 64, 128, 256]
+        .iter()
+        .map(|&n| {
+            let ideal = DesignPoint::new(CoreKind::OutOfOrder, n, 4.0, Interconnect::Ideal)
+                .mean_per_core_ipc();
+            let mesh = DesignPoint::new(CoreKind::OutOfOrder, n, 4.0, Interconnect::Mesh)
+                .mean_per_core_ipc();
+            (n, ideal / base_ideal, mesh / base_mesh)
+        })
+        .collect()
+}
+
+/// Prints Fig 2.3 (both panels).
+pub fn print_fig2_3() {
+    println!("Fig 2.3 — per-core perf (a) and aggregate perf (b) vs cores, 4MB LLC");
+    println!("  {:>6} {:>12} {:>12} {:>12} {:>12}", "cores", "ideal/core", "mesh/core", "ideal agg", "mesh agg");
+    for (n, i, m) in fig2_3() {
+        println!(
+            "  {n:>6} {i:>12.3} {m:>12.3} {:>12.1} {:>12.1}",
+            i * f64::from(n),
+            m * f64::from(n)
+        );
+    }
+}
+
+/// Prints Tables 2.1/2.2: component areas, power, and system parameters.
+pub fn print_tab2_1() {
+    let node = TechnologyNode::N40;
+    println!("Table 2.1 — component area and power at {node}");
+    for kind in CoreKind::ALL {
+        println!(
+            "  {:14} {:6.1} mm2 {:6.2} W",
+            kind.label(),
+            kind.area_mm2(node),
+            kind.power_w(node)
+        );
+    }
+    let llc = LlcParams::at(node);
+    println!("  {:14} {:6.1} mm2/MB {:4.2} W/MB", "LLC (16-way)", llc.area_mm2_per_mb, llc.power_w_per_mb);
+    let mem = MemoryInterface::at(node);
+    println!("  {:14} {:6.1} mm2 {:6.2} W ({} @ {:.1}GB/s useful)", "DDR interface", mem.area_mm2, mem.power_w, mem.gen, mem.useful_gbps());
+    let soc = SocParams::at(node);
+    println!("  {:14} {:6.1} mm2 {:6.2} W", "SoC components", soc.area_mm2, soc.power_w);
+}
+
+/// The designs of Tables 2.3/2.4, in row order.
+pub fn table_2_designs() -> Vec<DesignKind> {
+    let mut v = vec![DesignKind::Conventional];
+    for k in [CoreKind::OutOfOrder, CoreKind::InOrder] {
+        v.extend([
+            DesignKind::Tiled(k),
+            DesignKind::LlcOptimalTiled(k),
+            DesignKind::LlcOptimalTiledIr(k),
+            DesignKind::Ideal(k),
+        ]);
+    }
+    v
+}
+
+/// Prints Table 2.3 (40nm) or Table 2.4 (20nm).
+pub fn print_tab2_3(node: TechnologyNode) {
+    let which = if node == TechnologyNode::N40 { "2.3" } else { "2.4" };
+    println!("Table {which} — processor designs at {node}");
+    println!(
+        "  {:34} {:>6} {:>5} {:>6} {:>3} {:>7} {:>6} {:>6}",
+        "design", "PD", "cores", "LLC", "MC", "die", "power", "P/W"
+    );
+    for d in table_2_designs() {
+        let c = reference_chip(d, node);
+        println!(
+            "  {:34} {:>6.3} {:>5} {:>6.1} {:>3} {:>7.1} {:>6.1} {:>6.2}",
+            c.label,
+            c.performance_density,
+            c.cores,
+            c.llc_mb,
+            c.memory_channels,
+            c.die_mm2,
+            c.power_w,
+            c.perf_per_watt
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_1_only_media_streaming_is_below_one() {
+        let rows = fig2_1();
+        let below: Vec<_> = rows.iter().filter(|(_, ipc)| *ipc < 1.0).collect();
+        assert!(below.len() <= 2, "too many sub-1 workloads: {below:?}");
+        let min = rows
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        assert_eq!(min.0, Workload::MediaStreaming);
+        assert!(min.1 < 1.0);
+        // None reach half the 4-wide peak.
+        assert!(rows.iter().all(|(_, ipc)| *ipc < 2.0));
+    }
+
+    #[test]
+    fn fig2_2_mapreduce_c_gains_12_to_24_percent_at_16mb() {
+        let rows = fig2_2();
+        let (_, mrc) = rows.iter().find(|(w, _)| *w == Workload::MapReduceC).expect("present");
+        let g16 = mrc[4];
+        assert!((1.10..1.26).contains(&g16), "got {g16}");
+        // 32MB is no better than 16MB.
+        assert!(mrc[5] <= g16 + 1e-9);
+    }
+
+    #[test]
+    fn fig2_3_mesh_degrades_much_faster_than_ideal() {
+        let rows = fig2_3();
+        let (_, i256, m256) = rows.last().copied().expect("non-empty");
+        assert!(i256 > 0.8, "ideal fell to {i256}");
+        assert!(m256 < 0.6, "mesh only fell to {m256}");
+    }
+
+    #[test]
+    fn table_rosters_are_complete() {
+        assert_eq!(table_2_designs().len(), 9);
+    }
+}

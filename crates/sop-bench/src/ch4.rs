@@ -1,0 +1,227 @@
+//! Chapter 4: the NOC-Out pod microarchitecture (Figs 4.3, 4.6–4.8,
+//! Table 4.1, §4.4.4 power).
+
+use crate::geomean;
+use sop_noc::{NocAreaBreakdown, NocConfig, NocPowerEstimate, TopologyKind};
+use sop_sim::{Machine, SimConfig, SimResult};
+use sop_workloads::Workload;
+
+/// The fabrics compared in chapter 4.
+pub const FABRICS: [TopologyKind; 3] =
+    [TopologyKind::Mesh, TopologyKind::FlattenedButterfly, TopologyKind::NocOut];
+
+/// Runs the 64-core pod for one workload/fabric (Fig 4.6 machinery).
+pub fn run_pod(workload: Workload, topology: TopologyKind, link_bits: u32, quick: bool) -> SimResult {
+    let mut cfg = SimConfig::pod_64(workload, topology);
+    cfg.noc = cfg.noc.with_link_bits(link_bits);
+    let (warm, measure) = if quick { (2_000, 4_000) } else { (8_000, 16_000) };
+    Machine::new(cfg).run(warm, measure)
+}
+
+/// Fig 4.3: fraction of LLC accesses that trigger a snoop, per workload.
+pub fn fig4_3(quick: bool) -> Vec<(Workload, f64)> {
+    Workload::ALL
+        .iter()
+        .map(|&w| (w, run_pod(w, TopologyKind::Mesh, 128, quick).snoop_fraction()))
+        .collect()
+}
+
+/// Prints Fig 4.3.
+pub fn print_fig4_3(quick: bool) {
+    println!("Fig 4.3 — % of LLC accesses triggering a snoop (64-core pod)");
+    let rows = fig4_3(quick);
+    for (w, f) in &rows {
+        println!("  {:16} {:.1}%", w.label(), f * 100.0);
+    }
+    let mean = rows.iter().map(|(_, f)| f).sum::<f64>() / rows.len() as f64;
+    println!("  {:16} {:.1}%  (thesis mean: 2.7%)", "Mean", mean * 100.0);
+}
+
+/// Fig 4.6 (or 4.8 with squeezed links): per-workload pod performance of
+/// each fabric, normalised to the mesh.
+pub fn noc_performance(link_bits: [u32; 3], quick: bool) -> Vec<(Workload, [f64; 3])> {
+    Workload::ALL
+        .iter()
+        .map(|&w| {
+            let mesh = run_pod(w, FABRICS[0], link_bits[0], quick).aggregate_ipc();
+            let fb = run_pod(w, FABRICS[1], link_bits[1], quick).aggregate_ipc();
+            let no = run_pod(w, FABRICS[2], link_bits[2], quick).aggregate_ipc();
+            (w, [1.0, fb / mesh, no / mesh])
+        })
+        .collect()
+}
+
+/// Prints Fig 4.6 (full-width links).
+pub fn print_fig4_6(quick: bool) {
+    println!("Fig 4.6 — pod performance normalised to mesh (128-bit links)");
+    print_noc_rows(&noc_performance([128, 128, 128], quick));
+}
+
+/// Link widths at which each fabric matches NOC-Out's area (Fig 4.8).
+pub fn equal_area_widths() -> [u32; 3] {
+    let target = NocAreaBreakdown::of(
+        &NocConfig::pod_64(TopologyKind::NocOut).build_topology(),
+        128,
+    )
+    .total_mm2();
+    let squeeze = |kind: TopologyKind| {
+        let topo = NocConfig::pod_64(kind).build_topology();
+        (8..=128)
+            .rev()
+            .find(|&bits| NocAreaBreakdown::of(&topo, bits).total_mm2() <= target)
+            .unwrap_or(8)
+    };
+    [squeeze(TopologyKind::Mesh), squeeze(TopologyKind::FlattenedButterfly), 128]
+}
+
+/// Prints Fig 4.8 (equal-area links).
+pub fn print_fig4_8(quick: bool) {
+    let widths = equal_area_widths();
+    println!(
+        "Fig 4.8 — pod performance normalised to mesh under NOC-Out's area budget"
+    );
+    println!(
+        "  equal-area link widths: mesh {}b, fbfly {}b, NOC-Out {}b",
+        widths[0], widths[1], widths[2]
+    );
+    print_noc_rows(&noc_performance(widths, quick));
+}
+
+fn print_noc_rows(rows: &[(Workload, [f64; 3])]) {
+    println!("  {:16} {:>7} {:>7} {:>7}", "workload", "mesh", "fbfly", "nocout");
+    for (w, r) in rows {
+        println!("  {:16} {:>7.3} {:>7.3} {:>7.3}", w.label(), r[0], r[1], r[2]);
+    }
+    let gm = |i: usize| geomean(&rows.iter().map(|(_, r)| r[i]).collect::<Vec<_>>());
+    println!("  {:16} {:>7.3} {:>7.3} {:>7.3}", "GMean", gm(0), gm(1), gm(2));
+}
+
+/// Prints Fig 4.7: the NOC area breakdown per fabric.
+pub fn print_fig4_7() {
+    println!("Fig 4.7 — NOC area breakdown at 32nm (mm2)");
+    println!("  {:22} {:>7} {:>8} {:>9} {:>7}", "fabric", "links", "buffers", "crossbars", "total");
+    for kind in FABRICS {
+        let cfg = NocConfig::pod_64(kind);
+        let a = NocAreaBreakdown::of(&cfg.build_topology(), cfg.link_bits);
+        println!(
+            "  {:22} {:>7.2} {:>8.2} {:>9.2} {:>7.2}",
+            format!("{kind:?}"),
+            a.links_mm2,
+            a.buffers_mm2,
+            a.crossbars_mm2,
+            a.total_mm2()
+        );
+    }
+}
+
+/// Prints the §4.4.4 power analysis.
+pub fn print_fig4_9_power(quick: bool) {
+    println!("§4.4.4 — NOC power (W) averaged across workloads");
+    for kind in FABRICS {
+        let mut per_workload = Vec::new();
+        for w in Workload::ALL {
+            let mut cfg = SimConfig::pod_64(w, kind);
+            cfg.noc = cfg.noc.with_link_bits(128);
+            let (warm, measure) = if quick { (1_000, 3_000) } else { (4_000, 12_000) };
+            let machine = Machine::new(cfg);
+            let topo = cfg.noc.build_topology();
+            let r = machine.run(warm, measure);
+            let counters = sop_noc::sim::TrafficCounters {
+                flit_hops: r.noc_flit_hops,
+                flit_mm: r.noc_flit_mm,
+                packets: 0,
+                total_latency: 0,
+            };
+            let p = NocPowerEstimate::of(&topo, &counters, measure, 2.0, 128);
+            per_workload.push(p.total_w());
+        }
+        let mean = per_workload.iter().sum::<f64>() / per_workload.len() as f64;
+        println!("  {:22} {:.2} W", format!("{kind:?}"), mean);
+    }
+}
+
+/// Prints the §4.5.1 scalability discussion: NOC-Out grown to 128 and
+/// 256 cores via concentration, express links, and a 2-D LLC butterfly.
+pub fn print_sec4_5() {
+    use sop_noc::{NocAreaBreakdown, ScaledNocOut, Topology};
+    println!("§4.5.1 — scaling NOC-Out past 64 cores");
+    println!(
+        "  {:28} {:>7} {:>10} {:>9}",
+        "organization", "cores", "mean lat", "NOC mm2"
+    );
+    let base = Topology::noc_out(64, 8, 1.82);
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    for &c in &base.core_nodes {
+        for &l in &base.llc_nodes {
+            sum += u64::from(base.zero_load_latency(c, l));
+            count += 1;
+        }
+    }
+    println!(
+        "  {:28} {:>7} {:>10.1} {:>9.2}",
+        "baseline (ch. 4)",
+        64,
+        sum as f64 / count as f64,
+        NocAreaBreakdown::of(&base, 128).total_mm2()
+    );
+    for (label, cfg) in [
+        ("concentration x2", ScaledNocOut::concentrated_128()),
+        ("conc. + express + 2D LLC", ScaledNocOut::express_256()),
+    ] {
+        let topo = cfg.build();
+        println!(
+            "  {:28} {:>7} {:>10.1} {:>9.2}",
+            label,
+            cfg.cores,
+            cfg.mean_core_to_llc_latency(),
+            NocAreaBreakdown::of(&topo, 128).total_mm2()
+        );
+    }
+    println!("  -> 4x the cores at sub-2x latency and a fraction of the cost");
+    println!("     of widening a mesh or butterfly to 256 tiles.");
+}
+
+/// Prints Table 4.1's headline parameters.
+pub fn print_tab4_1() {
+    println!("Table 4.1 — 64-core pod evaluation parameters (32nm, 2GHz)");
+    println!("  64 OoO cores (A15-like, 2.9mm2), 8MB NUCA LLC (3.2mm2/MB),");
+    println!("  4 DDR3-1667 channels, 64B lines");
+    for kind in FABRICS {
+        let cfg = NocConfig::pod_64(kind);
+        println!(
+            "  {:22} {} LLC tiles, {}-bit links, {} flits/VC",
+            format!("{kind:?}"),
+            cfg.llc_tiles,
+            cfg.link_bits,
+            cfg.vc_depth
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_area_widths_squeeze_the_butterfly_hardest() {
+        let [mesh, fb, no] = equal_area_widths();
+        assert_eq!(no, 128);
+        assert!(fb < mesh, "fbfly {fb} vs mesh {mesh}");
+        assert!(fb <= 24, "fbfly should lose ~7x width, got {fb}");
+    }
+
+    #[test]
+    fn fig4_6_nocout_beats_mesh_on_average() {
+        let rows = noc_performance([128, 128, 128], true);
+        let gm: f64 = geomean(&rows.iter().map(|(_, r)| r[2]).collect::<Vec<_>>());
+        assert!(gm > 1.02, "NOC-Out gmean vs mesh {gm}");
+    }
+
+    #[test]
+    fn fig4_3_snoops_stay_rare() {
+        let rows = fig4_3(true);
+        let mean = rows.iter().map(|(_, f)| f).sum::<f64>() / rows.len() as f64;
+        assert!(mean < 0.10, "mean snoop fraction {mean}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Chip composition under area, power, and bandwidth budgets (§3.2.3).
+//!
+//! A chip is either *monolithic* (one shared LLC domain — conventional,
+//! tiled, and ideal designs) or a *multi-pod Scale-Out Processor* (several
+//! stand-alone pods sharing only memory interfaces and SoC glue). In both
+//! cases the composer populates the die with as many compute resources as
+//! fit, with memory channels provisioned from the worst-case bandwidth
+//! demand — and because adding channels costs die area and power, the
+//! provisioning feedback itself can bound the core count, exactly as in
+//! the thesis' 40nm LLC-optimal designs.
+
+use crate::pd::{PodConfig, PodMetrics};
+use sop_model::DesignPoint;
+use sop_tech::budgets::BindingConstraint;
+use sop_tech::{ChipBudget, MemoryInterface, SocParams, TechnologyNode};
+
+/// How the compute area of a chip is organized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Composition {
+    /// One shared LLC domain described by a model design point.
+    Monolithic(DesignPoint),
+    /// `count` identical, fully independent pods.
+    Pods {
+        /// The replicated pod.
+        pod: PodConfig,
+        /// Number of pods on the die.
+        count: u32,
+    },
+}
+
+/// A fully composed chip: the rows of Tables 2.3, 2.4, 3.2, and 5.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSpec {
+    /// Human-readable design name.
+    pub label: String,
+    /// Organization of the compute area.
+    pub composition: Composition,
+    /// Total cores on the die.
+    pub cores: u32,
+    /// Total LLC capacity in MB.
+    pub llc_mb: f64,
+    /// Provisioned memory channels.
+    pub memory_channels: u32,
+    /// Total die area in mm² (compute + channels + SoC).
+    pub die_mm2: f64,
+    /// Peak power in watts.
+    pub power_w: f64,
+    /// Aggregate application IPC averaged across workloads.
+    pub aggregate_ipc: f64,
+    /// Worst-case off-chip demand in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Which budget axis binds.
+    pub binding: BindingConstraint,
+    /// Aggregate IPC per mm² of die.
+    pub performance_density: f64,
+    /// Aggregate IPC per watt.
+    pub perf_per_watt: f64,
+}
+
+/// A candidate chip produced by a sizing rule, before budget checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Organization of the compute area.
+    pub composition: Composition,
+    /// Total cores.
+    pub cores: u32,
+    /// Total LLC in MB.
+    pub llc_mb: f64,
+    /// Compute area (cores + caches + fabric) in mm².
+    pub compute_area_mm2: f64,
+    /// Compute power in watts.
+    pub compute_power_w: f64,
+    /// Aggregate application IPC.
+    pub aggregate_ipc: f64,
+    /// Worst-case off-chip demand in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Fixed channel count override (the conventional design's one channel
+    /// per four cores rule); `None` provisions from demand.
+    pub channel_override: Option<u32>,
+}
+
+impl Candidate {
+    /// Finalizes the candidate into a chip at `node`, or `None` if it
+    /// violates `budget`.
+    pub fn finalize(
+        self,
+        label: &str,
+        node: TechnologyNode,
+        budget: &ChipBudget,
+    ) -> Option<ChipSpec> {
+        let mem = MemoryInterface::at(node);
+        let soc = SocParams::at(node);
+        let channels = self
+            .channel_override
+            .unwrap_or_else(|| mem.channels_for(self.bandwidth_gbps));
+        if channels > budget.max_memory_channels {
+            return None;
+        }
+        // Demand-provisioned chips must actually be feedable.
+        if self.channel_override.is_none()
+            && self.bandwidth_gbps > mem.useful_gbps() * f64::from(channels)
+        {
+            return None;
+        }
+        let die = self.compute_area_mm2 + f64::from(channels) * mem.area_mm2 + soc.area_mm2;
+        let power = self.compute_power_w + f64::from(channels) * mem.power_w + soc.power_w;
+        if !budget.admits(die, power, channels) {
+            return None;
+        }
+        Some(ChipSpec {
+            label: label.to_owned(),
+            binding: budget.binding_constraint(die, power, channels),
+            composition: self.composition,
+            cores: self.cores,
+            llc_mb: self.llc_mb,
+            memory_channels: channels,
+            die_mm2: die,
+            power_w: power,
+            aggregate_ipc: self.aggregate_ipc,
+            bandwidth_gbps: self.bandwidth_gbps,
+            performance_density: self.aggregate_ipc / die,
+            perf_per_watt: self.aggregate_ipc / power,
+        })
+    }
+}
+
+/// Composes the largest admissible chip from a family of candidates:
+/// `candidate(i)` for `i = 1, 2, ...` must describe progressively larger
+/// chips (more tiles / more pods); the composer returns the feasible one
+/// with the most aggregate performance.
+///
+/// # Panics
+///
+/// Panics if not even `candidate(1)` fits the budget.
+pub fn compose_largest<F>(
+    label: &str,
+    node: TechnologyNode,
+    budget: &ChipBudget,
+    max_steps: u32,
+    candidate: F,
+) -> ChipSpec
+where
+    F: Fn(u32) -> Candidate,
+{
+    let mut best: Option<ChipSpec> = None;
+    for i in 1..=max_steps {
+        if let Some(spec) = candidate(i).finalize(label, node, budget) {
+            let better = best
+                .as_ref()
+                .map(|b| spec.aggregate_ipc > b.aggregate_ipc)
+                .unwrap_or(true);
+            if better {
+                best = Some(spec);
+            }
+        }
+    }
+    best.unwrap_or_else(|| panic!("no feasible configuration for {label}"))
+}
+
+/// Composes a multi-pod Scale-Out chip: as many pods as the budgets
+/// allow, or `None` when not even one pod fits.
+pub fn try_compose_pods(
+    label: &str,
+    pod: &PodMetrics,
+    node: TechnologyNode,
+    budget: &ChipBudget,
+) -> Option<ChipSpec> {
+    let mut best: Option<ChipSpec> = None;
+    for count in 1..=64u32 {
+        let cand = Candidate {
+            composition: Composition::Pods { pod: pod.config, count },
+            cores: pod.config.cores * count,
+            llc_mb: pod.config.llc_mb * f64::from(count),
+            compute_area_mm2: pod.area_mm2 * f64::from(count),
+            compute_power_w: pod.power_w * f64::from(count),
+            aggregate_ipc: pod.aggregate_ipc * f64::from(count),
+            bandwidth_gbps: pod.bandwidth_gbps * f64::from(count),
+            channel_override: None,
+        };
+        if let Some(spec) = cand.finalize(label, node, budget) {
+            let better =
+                best.as_ref().map(|b| spec.aggregate_ipc > b.aggregate_ipc).unwrap_or(true);
+            if better {
+                best = Some(spec);
+            }
+        }
+    }
+    best
+}
+
+/// Composes a multi-pod Scale-Out chip: as many pods as the budgets allow.
+///
+/// # Panics
+///
+/// Panics if not even one pod fits; use [`try_compose_pods`] to handle
+/// oversized pods gracefully.
+pub fn compose_pods(
+    label: &str,
+    pod: &PodMetrics,
+    node: TechnologyNode,
+    budget: &ChipBudget,
+) -> ChipSpec {
+    compose_largest(label, node, budget, 64, |count| Candidate {
+        composition: Composition::Pods { pod: pod.config, count },
+        cores: pod.config.cores * count,
+        llc_mb: pod.config.llc_mb * f64::from(count),
+        compute_area_mm2: pod.area_mm2 * f64::from(count),
+        compute_power_w: pod.power_w * f64::from(count),
+        aggregate_ipc: pod.aggregate_ipc * f64::from(count),
+        bandwidth_gbps: pod.bandwidth_gbps * f64::from(count),
+        channel_override: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sop_model::Interconnect;
+    use sop_tech::CoreKind;
+
+    fn ooo_pod() -> PodMetrics {
+        PodConfig::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar).metrics()
+    }
+
+    #[test]
+    fn two_ooo_pods_fit_at_40nm() {
+        // §3.4.2 chip-level assessment: two pods, 32 cores, ~263mm², ~62W.
+        let chip = compose_pods(
+            "Scale-Out (OoO)",
+            &ooo_pod(),
+            TechnologyNode::N40,
+            &ChipBudget::server_2d(TechnologyNode::N40),
+        );
+        assert_eq!(chip.cores, 32);
+        assert!((chip.die_mm2 - 263.0).abs() < 6.0, "die {}", chip.die_mm2);
+        assert!((chip.power_w - 62.0).abs() < 5.0, "power {}", chip.power_w);
+        assert_eq!(chip.memory_channels, 3);
+    }
+
+    #[test]
+    fn seven_ooo_pods_fit_at_20nm() {
+        // §3.4.4: seven pods, 112 cores at 20nm.
+        let chip = compose_pods(
+            "Scale-Out (OoO)",
+            &PodConfig::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar)
+                .at_node(TechnologyNode::N20)
+                .metrics(),
+            TechnologyNode::N20,
+            &ChipBudget::server_2d(TechnologyNode::N20),
+        );
+        assert!(
+            (6..=7).contains(&(chip.cores / 16)),
+            "got {} pods",
+            chip.cores / 16
+        );
+    }
+
+    #[test]
+    fn channel_demand_is_respected() {
+        let pod = ooo_pod();
+        let chip = compose_pods(
+            "sop",
+            &pod,
+            TechnologyNode::N40,
+            &ChipBudget::server_2d(TechnologyNode::N40),
+        );
+        let mem = MemoryInterface::at(TechnologyNode::N40);
+        assert!(
+            chip.bandwidth_gbps <= mem.useful_gbps() * f64::from(chip.memory_channels)
+        );
+    }
+
+    #[test]
+    fn pd_is_aggregate_over_die() {
+        let chip = compose_pods(
+            "sop",
+            &ooo_pod(),
+            TechnologyNode::N40,
+            &ChipBudget::server_2d(TechnologyNode::N40),
+        );
+        assert!(
+            (chip.performance_density - chip.aggregate_ipc / chip.die_mm2).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn infeasible_candidate_is_rejected() {
+        let cand = Candidate {
+            composition: Composition::Pods { pod: ooo_pod().config, count: 1 },
+            cores: 16,
+            llc_mb: 4.0,
+            compute_area_mm2: 400.0, // over any die budget
+            compute_power_w: 20.0,
+            aggregate_ipc: 10.0,
+            bandwidth_gbps: 9.0,
+            channel_override: None,
+        };
+        assert!(cand
+            .finalize("x", TechnologyNode::N40, &ChipBudget::server_2d(TechnologyNode::N40))
+            .is_none());
+    }
+
+    #[test]
+    fn over_bandwidth_candidate_is_rejected() {
+        let cand = Candidate {
+            composition: Composition::Pods { pod: ooo_pod().config, count: 1 },
+            cores: 16,
+            llc_mb: 4.0,
+            compute_area_mm2: 90.0,
+            compute_power_w: 20.0,
+            aggregate_ipc: 10.0,
+            bandwidth_gbps: 100.0, // would need >6 channels
+            channel_override: None,
+        };
+        assert!(cand
+            .finalize("x", TechnologyNode::N40, &ChipBudget::server_2d(TechnologyNode::N40))
+            .is_none());
+    }
+}

@@ -1,0 +1,381 @@
+//! The named reference designs of Tables 2.3, 2.4, 3.2, and 5.1.
+//!
+//! Each design is a sizing rule plus a fabric:
+//!
+//! * **Conventional** — aggressive cores, a big crossbar-shared LLC (2MB
+//!   per core at 40nm, doubled at 20nm as vendors planned), one memory
+//!   channel per four cores.
+//! * **Tiled** — mesh of tiles, each a core plus a generous LLC slice
+//!   (1MB for OoO tiles; the same core-to-cache area ratio for in-order).
+//! * **LLC-optimal tiled** — same mesh, but the slice shrinks to what
+//!   scale-out workloads actually use (256KB per OoO tile, 64KB per
+//!   in-order tile, §2.5.1), freeing area for cores.
+//! * **LLC-optimal tiled with IR** — adds R-NUCA-style instruction
+//!   replication.
+//! * **Ideal** — the LLC-optimal organization with a fixed 4-cycle fabric:
+//!   the upper bound no realizable chip reaches.
+//! * **OnePod** — a single PD-optimal pod with its own channels and SoC
+//!   (the small-die design of chapter 5).
+//! * **ScaleOut** — as many pods as the budgets admit.
+
+use crate::chip::{compose_largest, compose_pods, Candidate, ChipSpec, Composition};
+use crate::pd::{interconnect_area_mm2, interconnect_power_w, PodConfig};
+use sop_model::{DesignPoint, Interconnect};
+use sop_tech::{ChipBudget, CoreKind, LlcParams, TechnologyNode};
+
+/// A reference server-chip design family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// Xeon-class chip: few aggressive cores, large LLC.
+    Conventional,
+    /// Tile64-style mesh with generous LLC slices.
+    Tiled(CoreKind),
+    /// Mesh with right-sized LLC slices.
+    LlcOptimalTiled(CoreKind),
+    /// LLC-optimal mesh plus instruction replication.
+    LlcOptimalTiledIr(CoreKind),
+    /// LLC-optimal organization on an ideal 4-cycle fabric.
+    Ideal(CoreKind),
+    /// A single PD-optimal pod on its own die.
+    OnePod(CoreKind),
+    /// A multi-pod Scale-Out Processor.
+    ScaleOut(CoreKind),
+}
+
+impl DesignKind {
+    /// Every design of Table 3.2, in its row order.
+    pub fn table_3_2() -> Vec<DesignKind> {
+        let mut v = vec![DesignKind::Conventional];
+        for kind in [CoreKind::OutOfOrder, CoreKind::InOrder] {
+            v.push(DesignKind::Tiled(kind));
+            v.push(DesignKind::LlcOptimalTiled(kind));
+            v.push(DesignKind::LlcOptimalTiledIr(kind));
+            v.push(DesignKind::ScaleOut(kind));
+        }
+        v
+    }
+
+    /// Every design of Table 5.1 (chapter 5's TCO study), in row order.
+    pub fn table_5_1() -> Vec<DesignKind> {
+        let mut v = vec![DesignKind::Conventional];
+        for kind in [CoreKind::OutOfOrder, CoreKind::InOrder] {
+            v.push(DesignKind::Tiled(kind));
+            v.push(DesignKind::OnePod(kind));
+            v.push(DesignKind::ScaleOut(kind));
+        }
+        v
+    }
+
+    /// The row label used in the thesis' tables.
+    pub fn label(self) -> String {
+        match self {
+            DesignKind::Conventional => "Conventional".to_owned(),
+            DesignKind::Tiled(k) => format!("Tiled ({k})"),
+            DesignKind::LlcOptimalTiled(k) => format!("LLC-Optimal Tiled ({k})"),
+            DesignKind::LlcOptimalTiledIr(k) => format!("LLC-Optimal Tiled with IR ({k})"),
+            DesignKind::Ideal(k) => format!("Ideal ({k})"),
+            DesignKind::OnePod(k) => format!("1Pod ({k})"),
+            DesignKind::ScaleOut(k) => format!("Scale-Out ({k})"),
+        }
+    }
+
+    /// The core microarchitecture this design uses.
+    pub fn core_kind(self) -> CoreKind {
+        match self {
+            DesignKind::Conventional => CoreKind::Conventional,
+            DesignKind::Tiled(k)
+            | DesignKind::LlcOptimalTiled(k)
+            | DesignKind::LlcOptimalTiledIr(k)
+            | DesignKind::Ideal(k)
+            | DesignKind::OnePod(k)
+            | DesignKind::ScaleOut(k) => k,
+        }
+    }
+}
+
+/// LLC capacity per tile in MB for tiled designs.
+fn tiled_slice_mb(kind: CoreKind, llc_optimal: bool) -> f64 {
+    match (kind, llc_optimal) {
+        // §2.5.1: 1MB per OoO tile; in-order tiles keep the same
+        // core-to-cache area ratio (1.3/4.5 of a megabyte's area).
+        (CoreKind::OutOfOrder, false) => 1.0,
+        (CoreKind::InOrder, false) => 0.3125,
+        // §2.5.1: 256KB per OoO tile, 64KB per in-order tile.
+        (CoreKind::OutOfOrder, true) => 0.25,
+        (CoreKind::InOrder, true) => 0.0625,
+        (CoreKind::Conventional, _) => 2.0,
+    }
+}
+
+/// The thesis' preferred pod for `kind` (§3.4.2/§3.4.3): 16 cores + 4MB
+/// for out-of-order, 32 cores + 2MB for in-order.
+pub fn thesis_pod(kind: CoreKind, node: TechnologyNode) -> PodConfig {
+    let (cores, mb) = match kind {
+        CoreKind::OutOfOrder | CoreKind::Conventional => (16, 4.0),
+        CoreKind::InOrder => (32, 2.0),
+    };
+    PodConfig::new(kind, cores, mb, Interconnect::Crossbar).at_node(node)
+}
+
+fn monolithic_candidate(
+    kind: CoreKind,
+    cores: u32,
+    llc_mb: f64,
+    interconnect: Interconnect,
+    ir: bool,
+    node: TechnologyNode,
+    channel_override: Option<u32>,
+) -> Candidate {
+    let mut dp = DesignPoint::new(kind, cores, llc_mb, interconnect).at_node(node);
+    if ir {
+        dp = dp.with_instruction_replication();
+    }
+    let llc = LlcParams::at(node);
+    let area = kind.area_mm2(node) * f64::from(cores)
+        + llc.area_mm2(llc_mb)
+        + interconnect_area_mm2(interconnect, cores, dp.llc_banks, node);
+    let power = kind.power_w(node) * f64::from(cores)
+        + llc.power_w(llc_mb)
+        + interconnect_power_w(interconnect, cores, dp.llc_banks, node);
+    Candidate {
+        cores,
+        llc_mb,
+        compute_area_mm2: area,
+        compute_power_w: power,
+        aggregate_ipc: dp.mean_aggregate_ipc(),
+        bandwidth_gbps: dp.worst_case_bandwidth_gbps(),
+        channel_override,
+        composition: Composition::Monolithic(dp),
+    }
+}
+
+/// Composes the reference chip for `design` at `node` under the standard
+/// 2D server budget.
+pub fn reference_chip(design: DesignKind, node: TechnologyNode) -> ChipSpec {
+    reference_chip_with_budget(design, node, &ChipBudget::server_2d(node))
+}
+
+/// Composes the reference chip under an explicit budget.
+pub fn reference_chip_with_budget(
+    design: DesignKind,
+    node: TechnologyNode,
+    budget: &ChipBudget,
+) -> ChipSpec {
+    let label = design.label();
+    match design {
+        DesignKind::Conventional => {
+            // 2MB of LLC per core at 40nm; vendors' roadmaps double that
+            // at 20nm (§1.2). One channel per four cores.
+            let llc_per_core = if node == TechnologyNode::N20 { 4.0 } else { 2.0 };
+            compose_largest(&label, node, budget, 128, |i| {
+                let cores = 2 * i;
+                monolithic_candidate(
+                    CoreKind::Conventional,
+                    cores,
+                    llc_per_core * f64::from(cores),
+                    Interconnect::Crossbar,
+                    false,
+                    node,
+                    Some(cores.div_ceil(4)),
+                )
+            })
+        }
+        DesignKind::Tiled(kind) => {
+            let slice = tiled_slice_mb(kind, false);
+            compose_largest(&label, node, budget, 128, |i| {
+                let cores = 4 * i;
+                monolithic_candidate(
+                    kind,
+                    cores,
+                    slice * f64::from(cores),
+                    Interconnect::Mesh,
+                    false,
+                    node,
+                    None,
+                )
+            })
+        }
+        DesignKind::LlcOptimalTiled(kind) | DesignKind::LlcOptimalTiledIr(kind) => {
+            let ir = matches!(design, DesignKind::LlcOptimalTiledIr(_));
+            let slice = tiled_slice_mb(kind, true);
+            compose_largest(&label, node, budget, 128, |i| {
+                let cores = 4 * i;
+                monolithic_candidate(
+                    kind,
+                    cores,
+                    slice * f64::from(cores),
+                    Interconnect::Mesh,
+                    ir,
+                    node,
+                    None,
+                )
+            })
+        }
+        DesignKind::Ideal(kind) => {
+            let slice = tiled_slice_mb(kind, true);
+            compose_largest(&label, node, budget, 128, |i| {
+                let cores = 4 * i;
+                monolithic_candidate(
+                    kind,
+                    cores,
+                    slice * f64::from(cores),
+                    Interconnect::Ideal,
+                    false,
+                    node,
+                    None,
+                )
+            })
+        }
+        DesignKind::OnePod(kind) => {
+            let pod = thesis_pod(kind, node).metrics();
+            compose_largest(&label, node, budget, 1, |_| Candidate {
+                composition: Composition::Pods { pod: pod.config, count: 1 },
+                cores: pod.config.cores,
+                llc_mb: pod.config.llc_mb,
+                compute_area_mm2: pod.area_mm2,
+                compute_power_w: pod.power_w,
+                aggregate_ipc: pod.aggregate_ipc,
+                bandwidth_gbps: pod.bandwidth_gbps,
+                channel_override: None,
+            })
+        }
+        DesignKind::ScaleOut(kind) => {
+            let pod = thesis_pod(kind, node).metrics();
+            compose_pods(&label, &pod, node, budget)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_40nm_matches_table_2_3() {
+        let chip = reference_chip(DesignKind::Conventional, TechnologyNode::N40);
+        assert_eq!(chip.cores, 6, "got {} cores", chip.cores);
+        assert_eq!(chip.llc_mb, 12.0);
+        assert_eq!(chip.memory_channels, 2);
+        assert!((chip.die_mm2 - 276.0).abs() < 6.0, "die {}", chip.die_mm2);
+        assert!((chip.power_w - 94.0).abs() < 3.0, "power {}", chip.power_w);
+    }
+
+    #[test]
+    fn tiled_ooo_40nm_matches_table_2_3() {
+        let chip = reference_chip(DesignKind::Tiled(CoreKind::OutOfOrder), TechnologyNode::N40);
+        assert_eq!(chip.cores, 20, "got {} cores", chip.cores);
+        assert_eq!(chip.llc_mb, 20.0);
+        // Our worst-case traffic model provisions a second memory channel
+        // (the thesis' one-channel tiled chip sits within 8% of the same
+        // die size).
+        assert!((chip.die_mm2 - 245.0).abs() < 15.0, "die {}", chip.die_mm2);
+    }
+
+    #[test]
+    fn llc_optimal_ooo_40nm_matches_table_2_3() {
+        // The thesis reports 32 cores; our composer finds one more grid row
+        // fits (36 tiles at 276mm²) under the same budgets. Both satisfy the
+        // 256KB-per-tile sizing rule.
+        let chip =
+            reference_chip(DesignKind::LlcOptimalTiled(CoreKind::OutOfOrder), TechnologyNode::N40);
+        assert!((32..=36).contains(&chip.cores), "got {} cores", chip.cores);
+        assert_eq!(chip.llc_mb / f64::from(chip.cores), 0.25);
+    }
+
+    #[test]
+    fn scale_out_ooo_40nm_has_two_pods() {
+        let chip = reference_chip(DesignKind::ScaleOut(CoreKind::OutOfOrder), TechnologyNode::N40);
+        assert_eq!(chip.cores, 32);
+        match chip.composition {
+            Composition::Pods { count, .. } => assert_eq!(count, 2),
+            _ => panic!("scale-out chips are pod-composed"),
+        }
+    }
+
+    #[test]
+    fn scale_out_io_40nm_has_three_pods() {
+        let chip = reference_chip(DesignKind::ScaleOut(CoreKind::InOrder), TechnologyNode::N40);
+        assert_eq!(chip.cores, 96, "got {}", chip.cores);
+        assert!((chip.die_mm2 - 270.0).abs() < 10.0, "die {}", chip.die_mm2);
+    }
+
+    #[test]
+    fn one_pod_chips_match_table_5_1() {
+        let ooo = reference_chip(DesignKind::OnePod(CoreKind::OutOfOrder), TechnologyNode::N40);
+        assert_eq!(ooo.cores, 16);
+        assert!((ooo.die_mm2 - 158.0).abs() < 5.0, "die {}", ooo.die_mm2);
+        assert!((ooo.power_w - 36.0).abs() < 3.0, "power {}", ooo.power_w);
+        let io = reference_chip(DesignKind::OnePod(CoreKind::InOrder), TechnologyNode::N40);
+        assert_eq!(io.cores, 32);
+        assert!((io.die_mm2 - 118.0).abs() < 5.0, "die {}", io.die_mm2);
+        assert!((io.power_w - 34.0).abs() < 3.0, "power {}", io.power_w);
+    }
+
+    #[test]
+    fn pd_ordering_holds_at_40nm_for_ooo() {
+        // Table 3.2 ordering: conventional < tiled < LLC-opt < +IR <=
+        // Scale-Out < ideal.
+        let node = TechnologyNode::N40;
+        let k = CoreKind::OutOfOrder;
+        let conv = reference_chip(DesignKind::Conventional, node).performance_density;
+        let tiled = reference_chip(DesignKind::Tiled(k), node).performance_density;
+        let opt = reference_chip(DesignKind::LlcOptimalTiled(k), node).performance_density;
+        let ir = reference_chip(DesignKind::LlcOptimalTiledIr(k), node).performance_density;
+        let sop = reference_chip(DesignKind::ScaleOut(k), node).performance_density;
+        let ideal = reference_chip(DesignKind::Ideal(k), node).performance_density;
+        assert!(conv < tiled, "conv {conv} vs tiled {tiled}");
+        assert!(tiled < opt, "tiled {tiled} vs opt {opt}");
+        assert!(opt < ir * 1.02, "opt {opt} vs ir {ir}");
+        assert!(ir <= sop * 1.03, "ir {ir} vs sop {sop}");
+        assert!(sop < ideal, "sop {sop} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn pd_ordering_holds_at_40nm_for_in_order() {
+        let node = TechnologyNode::N40;
+        let k = CoreKind::InOrder;
+        let tiled = reference_chip(DesignKind::Tiled(k), node).performance_density;
+        let opt = reference_chip(DesignKind::LlcOptimalTiled(k), node).performance_density;
+        let sop = reference_chip(DesignKind::ScaleOut(k), node).performance_density;
+        let ideal = reference_chip(DesignKind::Ideal(k), node).performance_density;
+        assert!(tiled < opt && opt < sop * 1.05 && sop < ideal);
+    }
+
+    #[test]
+    fn in_order_designs_out_density_ooo() {
+        // Table 3.2: every in-order variant has higher PD than its OoO twin.
+        let node = TechnologyNode::N40;
+        for mk in [DesignKind::Tiled, DesignKind::LlcOptimalTiled, DesignKind::ScaleOut] {
+            let ooo = reference_chip(mk(CoreKind::OutOfOrder), node).performance_density;
+            let io = reference_chip(mk(CoreKind::InOrder), node).performance_density;
+            assert!(io > ooo, "{:?}", mk(CoreKind::InOrder));
+        }
+    }
+
+    #[test]
+    fn scaling_to_20nm_multiplies_pd() {
+        // §2.5.2/§3.4.4: 20nm improves PD by roughly 2.6x-3.7x.
+        for design in [
+            DesignKind::Conventional,
+            DesignKind::Tiled(CoreKind::OutOfOrder),
+            DesignKind::ScaleOut(CoreKind::OutOfOrder),
+        ] {
+            let pd40 = reference_chip(design, TechnologyNode::N40).performance_density;
+            let pd20 = reference_chip(design, TechnologyNode::N20).performance_density;
+            let gain = pd20 / pd40;
+            assert!((2.0..4.3).contains(&gain), "{design:?}: gain {gain}");
+        }
+    }
+
+    #[test]
+    fn labels_match_tables() {
+        assert_eq!(DesignKind::ScaleOut(CoreKind::OutOfOrder).label(), "Scale-Out (OoO)");
+        assert_eq!(DesignKind::OnePod(CoreKind::InOrder).label(), "1Pod (IO)");
+    }
+
+    #[test]
+    fn table_rosters_have_expected_sizes() {
+        assert_eq!(DesignKind::table_3_2().len(), 9);
+        assert_eq!(DesignKind::table_5_1().len(), 7);
+    }
+}

@@ -1,0 +1,138 @@
+//! Energy-per-operation decomposition (§3.4.5).
+//!
+//! The thesis closes chapter 3 by noting that Scale-Out chips beat tiled
+//! chips on performance per watt through *memory-hierarchy* energy: the
+//! same cores, but smaller caches (less leakage) and shorter
+//! communication distances. This module splits a composed chip's energy
+//! per committed instruction into core, cache, interconnect, and
+//! memory-interface components so that claim is checkable.
+
+use crate::chip::{ChipSpec, Composition};
+use crate::pd::interconnect_power_w;
+use sop_model::Interconnect;
+use sop_tech::{LlcParams, MemoryInterface, SocParams, TechnologyNode};
+
+/// Energy per committed application instruction, in picojoules, split by
+/// subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyPerInstruction {
+    /// Core pipelines and L1s.
+    pub core_pj: f64,
+    /// LLC arrays (dominated by leakage for scale-out workloads).
+    pub llc_pj: f64,
+    /// On-chip interconnect.
+    pub noc_pj: f64,
+    /// Memory interfaces and SoC glue.
+    pub io_pj: f64,
+}
+
+impl EnergyPerInstruction {
+    /// Total energy per instruction.
+    pub fn total_pj(&self) -> f64 {
+        self.core_pj + self.llc_pj + self.noc_pj + self.io_pj
+    }
+
+    /// The memory-hierarchy share (LLC + NOC): the component §3.4.5 says
+    /// Scale-Out organizations shrink.
+    pub fn memory_hierarchy_pj(&self) -> f64 {
+        self.llc_pj + self.noc_pj
+    }
+
+    /// Decomposes a composed chip's power by subsystem and divides by its
+    /// committed-instruction rate at `node`'s clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip has no throughput (a composition bug).
+    pub fn of(chip: &ChipSpec, node: TechnologyNode) -> Self {
+        assert!(chip.aggregate_ipc > 0.0, "chip must commit instructions");
+        let (core_kind, cores, llc_mb, interconnect, units) = match &chip.composition {
+            Composition::Monolithic(dp) => {
+                (dp.core_kind, dp.cores, dp.llc_mb, dp.interconnect, 1u32)
+            }
+            Composition::Pods { pod, count } => {
+                (pod.core_kind, pod.cores, pod.llc_mb, Interconnect::Crossbar, *count)
+            }
+        };
+        let core_w = core_kind.power_w(node) * f64::from(cores) * f64::from(units);
+        let llc_w = LlcParams::at(node).power_w(llc_mb) * f64::from(units);
+        let banks = cores.div_ceil(4);
+        let noc_w =
+            interconnect_power_w(interconnect, cores, banks, node) * f64::from(units);
+        let io_w = f64::from(chip.memory_channels) * MemoryInterface::at(node).power_w
+            + SocParams::at(node).power_w;
+        // Instructions per second = aggregate IPC x clock.
+        let ips = chip.aggregate_ipc * node.frequency_ghz() * 1e9;
+        let pj = |w: f64| w / ips * 1e12;
+        EnergyPerInstruction {
+            core_pj: pj(core_w),
+            llc_pj: pj(llc_w),
+            noc_pj: pj(noc_w),
+            io_pj: pj(io_w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{reference_chip, DesignKind};
+    use sop_tech::CoreKind;
+
+    fn energy(design: DesignKind) -> EnergyPerInstruction {
+        let node = TechnologyNode::N40;
+        EnergyPerInstruction::of(&reference_chip(design, node), node)
+    }
+
+    #[test]
+    fn totals_match_perf_per_watt() {
+        let node = TechnologyNode::N40;
+        let chip = reference_chip(DesignKind::ScaleOut(CoreKind::OutOfOrder), node);
+        let e = EnergyPerInstruction::of(&chip, node);
+        // energy/op = power / (IPC x f); perf/W = (IPC x f)/power: inverses.
+        let implied_ppw = 1.0 / (e.total_pj() * 1e-12) / (node.frequency_ghz() * 1e9);
+        assert!(
+            (implied_ppw - chip.perf_per_watt).abs() / chip.perf_per_watt < 0.01,
+            "implied {implied_ppw} vs {}",
+            chip.perf_per_watt
+        );
+    }
+
+    #[test]
+    fn scale_out_spends_less_on_the_memory_hierarchy_than_tiled() {
+        // §3.4.5: same core type, but smaller caches and shorter distances.
+        let sop = energy(DesignKind::ScaleOut(CoreKind::OutOfOrder));
+        let tiled = energy(DesignKind::Tiled(CoreKind::OutOfOrder));
+        assert!(
+            sop.memory_hierarchy_pj() < tiled.memory_hierarchy_pj(),
+            "sop {:.1}pJ vs tiled {:.1}pJ",
+            sop.memory_hierarchy_pj(),
+            tiled.memory_hierarchy_pj()
+        );
+    }
+
+    #[test]
+    fn conventional_chips_burn_the_most_per_instruction() {
+        let conv = energy(DesignKind::Conventional);
+        for d in [
+            DesignKind::Tiled(CoreKind::OutOfOrder),
+            DesignKind::ScaleOut(CoreKind::OutOfOrder),
+            DesignKind::ScaleOut(CoreKind::InOrder),
+        ] {
+            assert!(energy(d).total_pj() < conv.total_pj(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn in_order_scale_out_is_the_most_frugal() {
+        let io = energy(DesignKind::ScaleOut(CoreKind::InOrder));
+        let ooo = energy(DesignKind::ScaleOut(CoreKind::OutOfOrder));
+        assert!(io.total_pj() < ooo.total_pj());
+    }
+
+    #[test]
+    fn components_are_positive() {
+        let e = energy(DesignKind::ScaleOut(CoreKind::OutOfOrder));
+        assert!(e.core_pj > 0.0 && e.llc_pj > 0.0 && e.noc_pj > 0.0 && e.io_pj > 0.0);
+    }
+}

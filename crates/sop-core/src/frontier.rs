@@ -1,0 +1,125 @@
+//! Pareto analysis over the design space.
+//!
+//! Table 3.2 reports both performance density and performance per watt;
+//! a design only matters if nothing else beats it on *both*. This module
+//! extracts the PD/efficiency Pareto frontier from any set of evaluated
+//! chips or pods — the lens through which the thesis' "Scale-Out chips
+//! dominate" claim becomes a checkable statement.
+
+use crate::chip::ChipSpec;
+
+/// A point in the two-objective (performance density, perf/W) space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// Human-readable label.
+    pub label: String,
+    /// Performance density (aggregate IPC per mm²).
+    pub performance_density: f64,
+    /// Energy efficiency (aggregate IPC per watt).
+    pub perf_per_watt: f64,
+}
+
+impl FrontierPoint {
+    /// Whether `self` dominates `other`: at least as good on both axes
+    /// and strictly better on one.
+    pub fn dominates(&self, other: &FrontierPoint) -> bool {
+        let ge = self.performance_density >= other.performance_density
+            && self.perf_per_watt >= other.perf_per_watt;
+        let gt = self.performance_density > other.performance_density
+            || self.perf_per_watt > other.perf_per_watt;
+        ge && gt
+    }
+}
+
+impl From<&ChipSpec> for FrontierPoint {
+    fn from(chip: &ChipSpec) -> Self {
+        FrontierPoint {
+            label: chip.label.clone(),
+            performance_density: chip.performance_density,
+            perf_per_watt: chip.perf_per_watt,
+        }
+    }
+}
+
+/// Returns the non-dominated subset of `points`, sorted by descending
+/// performance density. Duplicate-valued points are all retained.
+pub fn pareto_frontier(points: &[FrontierPoint]) -> Vec<FrontierPoint> {
+    let mut frontier: Vec<FrontierPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| b.performance_density.total_cmp(&a.performance_density));
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{reference_chip, DesignKind};
+    use sop_tech::{CoreKind, TechnologyNode};
+
+    fn pt(label: &str, pd: f64, ppw: f64) -> FrontierPoint {
+        FrontierPoint { label: label.to_owned(), performance_density: pd, perf_per_watt: ppw }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let points =
+            vec![pt("a", 1.0, 1.0), pt("b", 2.0, 2.0), pt("c", 1.5, 0.5), pt("d", 0.5, 3.0)];
+        let f = pareto_frontier(&points);
+        let labels: Vec<&str> = f.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["b", "d"]);
+    }
+
+    #[test]
+    fn domination_requires_strict_improvement() {
+        let a = pt("a", 1.0, 1.0);
+        let b = pt("b", 1.0, 1.0);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // Equal points both survive.
+        assert_eq!(pareto_frontier(&[a, b]).len(), 2);
+    }
+
+    #[test]
+    fn scale_out_designs_sit_on_the_frontier() {
+        // Table 3.2's implicit claim: at each core type, the Scale-Out
+        // chip is not dominated by any realizable alternative.
+        let node = TechnologyNode::N40;
+        let designs = [
+            DesignKind::Conventional,
+            DesignKind::Tiled(CoreKind::OutOfOrder),
+            DesignKind::LlcOptimalTiled(CoreKind::OutOfOrder),
+            DesignKind::LlcOptimalTiledIr(CoreKind::OutOfOrder),
+            DesignKind::ScaleOut(CoreKind::OutOfOrder),
+            DesignKind::Tiled(CoreKind::InOrder),
+            DesignKind::LlcOptimalTiled(CoreKind::InOrder),
+            DesignKind::ScaleOut(CoreKind::InOrder),
+        ];
+        let points: Vec<FrontierPoint> =
+            designs.iter().map(|&d| FrontierPoint::from(&reference_chip(d, node))).collect();
+        let frontier = pareto_frontier(&points);
+        assert!(
+            frontier.iter().any(|p| p.label == "Scale-Out (IO)"),
+            "frontier: {:?}",
+            frontier.iter().map(|p| p.label.as_str()).collect::<Vec<_>>()
+        );
+        // The conventional chip never makes the frontier.
+        assert!(frontier.iter().all(|p| p.label != "Conventional"));
+    }
+
+    #[test]
+    fn frontier_is_sorted_by_density() {
+        let points = vec![pt("lo", 1.0, 3.0), pt("hi", 3.0, 1.0), pt("mid", 2.0, 2.0)];
+        let f = pareto_frontier(&points);
+        for pair in f.windows(2) {
+            assert!(pair[0].performance_density >= pair[1].performance_density);
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

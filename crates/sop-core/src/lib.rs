@@ -1,0 +1,46 @@
+//! The Scale-Out Processor design methodology.
+//!
+//! This crate implements the thesis' primary contribution (chapters 2–3):
+//!
+//! * **Performance density** (`perf/mm²`, [`pd`]) as the metric that folds
+//!   the conflicting demands of scale-out workloads — many cores, modest
+//!   LLC, short core-to-cache distance — into one number (§2.3, §3.1).
+//! * **Pods** ([`pod`]): the PD-optimal building block that tightly couples
+//!   a handful of cores to a small LLC over a crossbar, derived by
+//!   searching the (core count x LLC capacity x interconnect) space.
+//! * **Chip composition** ([`chip`]): tiling several pods — each a
+//!   stand-alone server with no inter-pod coherence — onto a die under
+//!   area, power, and bandwidth budgets (§3.2.3).
+//! * **Reference designs** ([`designs`]): the conventional, tiled,
+//!   LLC-optimal tiled (with and without instruction replication), ideal,
+//!   and Scale-Out chips of Tables 2.3, 2.4, and 3.2.
+//!
+//! # Example
+//!
+//! ```
+//! use sop_core::designs::{DesignKind, reference_chip};
+//! use sop_tech::{CoreKind, TechnologyNode};
+//!
+//! let conv = reference_chip(DesignKind::Conventional, TechnologyNode::N40);
+//! let sop = reference_chip(
+//!     DesignKind::ScaleOut(CoreKind::OutOfOrder),
+//!     TechnologyNode::N40,
+//! );
+//! // The thesis' headline: Scale-Out Processors land about 3.5x the
+//! // performance density of conventional chips at 40nm.
+//! assert!(sop.performance_density > 3.0 * conv.performance_density);
+//! ```
+
+pub mod chip;
+pub mod designs;
+pub mod energy;
+pub mod frontier;
+pub mod pd;
+pub mod pod;
+
+pub use chip::{try_compose_pods, ChipSpec, Composition};
+pub use designs::{reference_chip, DesignKind};
+pub use energy::EnergyPerInstruction;
+pub use frontier::{pareto_frontier, FrontierPoint};
+pub use pd::{interconnect_area_mm2, interconnect_power_w, PodConfig, PodMetrics};
+pub use pod::{optimal_pod, preferred_pod, PodSearchSpace};

@@ -1,0 +1,225 @@
+//! Performance density: throughput per unit of silicon (§2.3, §3.1).
+//!
+//! Given a core microarchitecture, PD compares designs that differ in core
+//! count, LLC size, and interconnect by dividing aggregate application IPC
+//! by the die area those resources occupy. [`PodConfig`] evaluates one
+//! core/cache/fabric grouping; chip-level PD (which also charges memory
+//! interfaces and SoC glue) lives in [`crate::chip`].
+
+use sop_model::{DesignPoint, Interconnect};
+use sop_tech::{CoreKind, LlcParams, TechnologyNode};
+
+/// Die area of the interconnect for `cores` cores and `banks` LLC banks, in
+/// mm² at `node`.
+///
+/// Table 2.1 bounds on-die interconnect area to 0.2–4.5mm² at 40nm for the
+/// fabrics chapter 3 considers: crossbars are tiny at pod scale (a 16-core
+/// pod's area is fully accounted for by cores and cache, §3.4.2), while a
+/// 64-tile mesh's routers sum to a few mm² (Fig 4.7).
+pub fn interconnect_area_mm2(
+    interconnect: Interconnect,
+    cores: u32,
+    banks: u32,
+    node: TechnologyNode,
+) -> f64 {
+    let scale = node.area_scale_from_40nm();
+    let base = match interconnect {
+        Interconnect::Ideal => 0.2,
+        Interconnect::Crossbar => {
+            // Quadratic in port count: negligible at pod scale (~0.4mm²
+            // for 16+4 ports), but the wiring of a many-ported crossbar
+            // grows without bound — the §2.2.1 scalability argument.
+            let ports = f64::from(cores + banks);
+            (0.0016 * ports * ports).max(0.2)
+        }
+        Interconnect::Mesh => {
+            // Per-tile 5-port router with 3 VCs x 5 flits of buffering:
+            // 64 tiles come to ~3.5mm² at 32nm (the Fig 4.7 mesh bar).
+            0.085 * f64::from(cores)
+        }
+        Interconnect::FlattenedButterfly => {
+            // 15-port routers with deep SRAM buffers and long repeated
+            // links: ~7x the mesh (Fig 4.7's >23mm² at 32nm, 64 tiles).
+            0.6 * f64::from(cores)
+        }
+        Interconnect::NocOut => {
+            // Reduction + dispersion trees are 18% each of a 2.5mm² total
+            // and the LLC-row butterfly is 64% (Fig 4.7); two banks share
+            // each LLC-tile router.
+            let llc_tiles = f64::from(banks.div_ceil(2));
+            0.022 * f64::from(cores) + 0.3125 * llc_tiles
+        }
+    };
+    base * scale
+}
+
+/// Power of the interconnect in watts (Table 2.1 bounds it below 5W;
+/// §4.4.4 measures 1.3–1.8W for 64-core pods at 32nm).
+pub fn interconnect_power_w(
+    interconnect: Interconnect,
+    cores: u32,
+    _banks: u32,
+    node: TechnologyNode,
+) -> f64 {
+    let scale = node.power_scale_from_40nm();
+    let per_core = match interconnect {
+        Interconnect::Ideal => 0.01,
+        Interconnect::Crossbar => 0.02,
+        Interconnect::Mesh => 0.035,
+        Interconnect::FlattenedButterfly => 0.031,
+        Interconnect::NocOut => 0.025,
+    };
+    (per_core * f64::from(cores)).min(5.0) * scale
+}
+
+/// One candidate pod (or monolithic compute cluster): cores + LLC + fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PodConfig {
+    /// Core microarchitecture.
+    pub core_kind: CoreKind,
+    /// Cores in the pod.
+    pub cores: u32,
+    /// LLC capacity in MB.
+    pub llc_mb: f64,
+    /// Core-to-cache interconnect.
+    pub interconnect: Interconnect,
+    /// Technology node.
+    pub node: TechnologyNode,
+}
+
+impl PodConfig {
+    /// A pod at 40nm.
+    pub fn new(core_kind: CoreKind, cores: u32, llc_mb: f64, interconnect: Interconnect) -> Self {
+        PodConfig { core_kind, cores, llc_mb, interconnect, node: TechnologyNode::N40 }
+    }
+
+    /// Returns a copy at a different node.
+    pub fn at_node(mut self, node: TechnologyNode) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// The analytic-model design point for this pod.
+    pub fn design_point(&self) -> DesignPoint {
+        DesignPoint::new(self.core_kind, self.cores, self.llc_mb, self.interconnect)
+            .at_node(self.node)
+    }
+
+    /// Evaluates area, power, performance, and PD.
+    pub fn metrics(&self) -> PodMetrics {
+        let dp = self.design_point();
+        let llc = LlcParams::at(self.node);
+        let core_area = self.core_kind.area_mm2(self.node) * f64::from(self.cores);
+        let llc_area = llc.area_mm2(self.llc_mb);
+        let noc_area =
+            interconnect_area_mm2(self.interconnect, self.cores, dp.llc_banks, self.node);
+        let area = core_area + llc_area + noc_area;
+        let power = self.core_kind.power_w(self.node) * f64::from(self.cores)
+            + llc.power_w(self.llc_mb)
+            + interconnect_power_w(self.interconnect, self.cores, dp.llc_banks, self.node);
+        let per_core_ipc = dp.mean_per_core_ipc();
+        let aggregate_ipc = per_core_ipc * f64::from(self.cores);
+        PodMetrics {
+            config: *self,
+            area_mm2: area,
+            power_w: power,
+            per_core_ipc,
+            aggregate_ipc,
+            performance_density: aggregate_ipc / area,
+            bandwidth_gbps: dp.worst_case_bandwidth_gbps(),
+        }
+    }
+}
+
+/// Evaluated characteristics of a [`PodConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PodMetrics {
+    /// The configuration these metrics describe.
+    pub config: PodConfig,
+    /// Silicon area of cores + LLC + interconnect (no memory interfaces).
+    pub area_mm2: f64,
+    /// Peak power of the same resources.
+    pub power_w: f64,
+    /// Mean per-core application IPC across the workloads.
+    pub per_core_ipc: f64,
+    /// Aggregate application IPC of the pod.
+    pub aggregate_ipc: f64,
+    /// Aggregate IPC per mm² — the thesis' optimization metric.
+    pub performance_density: f64,
+    /// Worst-case off-chip bandwidth demand across workloads, GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ooo_pod_area_matches_section_3_4_2() {
+        // §3.4.2: the 16-core, 4MB OoO pod occupies 92mm² and draws ~20W.
+        let m = PodConfig::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar).metrics();
+        assert!((m.area_mm2 - 92.0).abs() < 1.5, "area {}", m.area_mm2);
+        assert!((m.power_w - 20.0).abs() < 1.5, "power {}", m.power_w);
+    }
+
+    #[test]
+    fn io_pod_area_matches_section_3_4_3() {
+        // §3.4.3: the 32-core, 2MB in-order pod occupies 52mm², draws 17W.
+        let m = PodConfig::new(CoreKind::InOrder, 32, 2.0, Interconnect::Crossbar).metrics();
+        assert!((m.area_mm2 - 52.0).abs() < 2.5, "area {}", m.area_mm2);
+        assert!((m.power_w - 17.0).abs() < 1.5, "power {}", m.power_w);
+    }
+
+    #[test]
+    fn crossbar_area_is_negligible_at_pod_scale() {
+        let a = interconnect_area_mm2(Interconnect::Crossbar, 16, 4, TechnologyNode::N40);
+        assert!(a < 1.0, "got {a}");
+    }
+
+    #[test]
+    fn fbfly_costs_much_more_than_mesh() {
+        // Fig 4.7: nearly 7x at 64 tiles.
+        let mesh = interconnect_area_mm2(Interconnect::Mesh, 64, 64, TechnologyNode::N32);
+        let fb =
+            interconnect_area_mm2(Interconnect::FlattenedButterfly, 64, 64, TechnologyNode::N32);
+        let ratio = fb / mesh;
+        assert!((5.0..9.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn nocout_area_is_the_smallest_fabric_at_64_cores() {
+        let node = TechnologyNode::N32;
+        let no = interconnect_area_mm2(Interconnect::NocOut, 64, 16, node);
+        let mesh = interconnect_area_mm2(Interconnect::Mesh, 64, 64, node);
+        let fb = interconnect_area_mm2(Interconnect::FlattenedButterfly, 64, 64, node);
+        assert!(no < mesh && no < fb);
+        // Fig 4.7: about 2.5mm² at 32nm.
+        assert!((no - 2.5).abs() < 1.0, "got {no}");
+    }
+
+    #[test]
+    fn noc_power_stays_under_5w() {
+        for ic in [
+            Interconnect::Mesh,
+            Interconnect::FlattenedButterfly,
+            Interconnect::NocOut,
+            Interconnect::Crossbar,
+        ] {
+            let p = interconnect_power_w(ic, 256, 64, TechnologyNode::N40);
+            assert!(p <= 5.0);
+        }
+    }
+
+    #[test]
+    fn pd_reflects_aggregate_over_area() {
+        let m = PodConfig::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar).metrics();
+        assert!((m.performance_density - m.aggregate_ipc / m.area_mm2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_scaling_shrinks_pods() {
+        let p40 = PodConfig::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar);
+        let p20 = p40.at_node(TechnologyNode::N20);
+        assert!(p20.metrics().area_mm2 < 0.3 * p40.metrics().area_mm2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Interconnect latency models (Table 3.1).
+//!
+//! The analytic model abstracts each on-chip network to the *round-trip*
+//! latency it adds to an LLC access (request plus response, beyond the bank
+//! access itself):
+//!
+//! * **Ideal** — a fixed 4-cycle interconnect, independent of scale. This
+//!   is the thesis' upper bound ("ideal processor").
+//! * **Crossbar** — the dancehall fabric of conventional processors and
+//!   pods. Table 3.1: 4 cycles up to 8 cores, then 5/7/11 cycles at
+//!   16/32/64 cores; we extrapolate the same arbitration-depth growth.
+//! * **Mesh** — the tiled fabric: 3 cycles per hop (router + channel),
+//!   charged for the average request path and the response path.
+//! * **NocOut** — the chapter-4 organization: single-cycle reduction and
+//!   dispersion tree hops into a central LLC row joined by a one-row
+//!   flattened butterfly.
+//! * **FlattenedButterfly** — rich point-to-point connectivity: at most two
+//!   hops through 3-stage routers.
+
+/// The on-chip network joining cores to LLC banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interconnect {
+    /// Fixed 4-cycle fabric regardless of scale (the "ideal" bound).
+    Ideal,
+    /// Dancehall crossbar whose arbitration deepens with port count.
+    Crossbar,
+    /// Tiled 2-D mesh, 3 cycles/hop.
+    Mesh,
+    /// Two-hop richly connected topology with 3-stage routers.
+    FlattenedButterfly,
+    /// NOC-Out reduction/dispersion trees plus an LLC-row butterfly.
+    NocOut,
+}
+
+impl Interconnect {
+    /// The interconnects compared in chapter 3's pod derivation.
+    pub const POD_CANDIDATES: [Interconnect; 3] =
+        [Interconnect::Ideal, Interconnect::Crossbar, Interconnect::Mesh];
+
+    /// Round-trip cycles a core pays to reach the LLC and get the response
+    /// back, excluding the bank access itself, in a design with `cores`
+    /// cores. For tiled fabrics the tile count equals the core count.
+    pub fn round_trip_cycles(self, cores: u32) -> f64 {
+        assert!(cores > 0, "need at least one core");
+        match self {
+            Interconnect::Ideal => 4.0,
+            Interconnect::Crossbar => {
+                // Table 3.1: 4 cycles through 8 cores; +arbitration depth
+                // beyond (5 at 16, 7 at 32, 11 at 64, extrapolating the
+                // same growth). Wire propagation across the pod's span is
+                // charged separately by the performance model.
+                let ports = f64::from(cores);
+                3.0 + (ports / 8.0).ceil().max(1.0)
+            }
+            Interconnect::Mesh => {
+                let (w, h) = grid_dims(cores);
+                // Request hops plus response hops at 3 cycles/hop; the
+                // response partially overlaps the next access's request
+                // under non-unit MLP, so it is charged at 70%.
+                (1.0 + 0.7) * mean_grid_distance(w, h) * 3.0
+            }
+            Interconnect::FlattenedButterfly => {
+                // At most one hop per dimension: a random destination needs
+                // the X hop with probability (1 - 1/w) and likewise in Y.
+                // Each hop costs a 3-stage router plus link flight; add one
+                // ejection cycle per direction.
+                let (w, h) = grid_dims(cores);
+                let hops = (1.0 - 1.0 / f64::from(w)) + (1.0 - 1.0 / f64::from(h));
+                2.0 * (hops * 4.0 + 1.0)
+            }
+            Interconnect::NocOut => {
+                // Cores stack in half-columns above and below the LLC row;
+                // one LLC tile per 8 cores (each tile serving a column of 4
+                // above and 4 below, Table 4.1 geometry). Tree hops cost a
+                // single cycle; the LLC-row butterfly adds a router.
+                let half_column = (f64::from(cores) / 16.0).max(1.0).ceil();
+                let mean_depth = (half_column + 1.0) / 2.0;
+                2.0 * mean_depth + 6.0
+            }
+        }
+    }
+
+    /// Short label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Interconnect::Ideal => "Ideal",
+            Interconnect::Crossbar => "Crossbar",
+            Interconnect::Mesh => "Mesh",
+            Interconnect::FlattenedButterfly => "Flattened Butterfly",
+            Interconnect::NocOut => "NOC-Out",
+        }
+    }
+}
+
+impl std::fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The most square grid of at least `tiles` positions with aspect ratio at
+/// most 2:1 — the thesis' "regular grid topology with a reasonable aspect
+/// ratio" (§2.5.1). Returns `(width, height)` with `width >= height`.
+pub fn grid_dims(tiles: u32) -> (u32, u32) {
+    assert!(tiles > 0, "need at least one tile");
+    let mut best = (tiles, 1);
+    let mut best_cost = u32::MAX;
+    let root = (tiles as f64).sqrt().ceil() as u32;
+    for h in 1..=root {
+        let w = tiles.div_ceil(h);
+        if w < h {
+            continue;
+        }
+        // Prefer exact, near-square factorizations.
+        let waste = w * h - tiles;
+        let cost = (w - h) + 4 * waste;
+        if cost < best_cost {
+            best_cost = cost;
+            best = (w, h);
+        }
+    }
+    best
+}
+
+/// Mean Manhattan distance between two uniformly random positions of a
+/// `w x h` grid: `(w^2-1)/(3w) + (h^2-1)/(3h)`.
+pub fn mean_grid_distance(w: u32, h: u32) -> f64 {
+    let axis = |k: u32| {
+        let k = f64::from(k);
+        (k * k - 1.0) / (3.0 * k)
+    };
+    axis(w) + axis(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_matches_table_3_1() {
+        for n in [1, 2, 4, 8] {
+            assert_eq!(Interconnect::Crossbar.round_trip_cycles(n), 4.0);
+        }
+        assert_eq!(Interconnect::Crossbar.round_trip_cycles(16), 5.0);
+        assert_eq!(Interconnect::Crossbar.round_trip_cycles(32), 7.0);
+        assert_eq!(Interconnect::Crossbar.round_trip_cycles(64), 11.0);
+    }
+
+    #[test]
+    fn ideal_is_flat() {
+        assert_eq!(Interconnect::Ideal.round_trip_cycles(1), 4.0);
+        assert_eq!(Interconnect::Ideal.round_trip_cycles(256), 4.0);
+    }
+
+    #[test]
+    fn mesh_grows_with_core_count() {
+        let m16 = Interconnect::Mesh.round_trip_cycles(16);
+        let m64 = Interconnect::Mesh.round_trip_cycles(64);
+        let m256 = Interconnect::Mesh.round_trip_cycles(256);
+        assert!(m16 < m64 && m64 < m256);
+        // 8x8 grid: mean distance 5.25, round trip 1.7 x 5.25 x 3 cycles.
+        assert!((m64 - 26.775).abs() < 1e-9, "got {m64}");
+    }
+
+    #[test]
+    fn fbfly_beats_mesh_at_scale() {
+        // At 16 tiles the mesh is genuinely competitive (short paths, no
+        // deep routers); the butterfly's advantage appears at scale.
+        for n in [64, 128, 256] {
+            assert!(
+                Interconnect::FlattenedButterfly.round_trip_cycles(n)
+                    < Interconnect::Mesh.round_trip_cycles(n)
+            );
+        }
+    }
+
+    #[test]
+    fn nocout_tracks_fbfly_at_64_cores() {
+        // §4.4.1: NOC-Out matches the flattened butterfly's performance.
+        let no = Interconnect::NocOut.round_trip_cycles(64);
+        let fb = Interconnect::FlattenedButterfly.round_trip_cycles(64);
+        assert!((no - fb).abs() <= 6.0, "NOC-Out {no} vs FBfly {fb}");
+    }
+
+    #[test]
+    fn grid_dims_are_reasonable() {
+        assert_eq!(grid_dims(64), (8, 8));
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(20), (5, 4));
+        assert_eq!(grid_dims(32), (8, 4));
+        assert_eq!(grid_dims(96), (12, 8));
+        let (w, h) = grid_dims(13);
+        assert!(w * h >= 13);
+    }
+
+    #[test]
+    fn mean_distance_of_unit_grid_is_zero() {
+        assert_eq!(mean_grid_distance(1, 1), 0.0);
+    }
+
+    #[test]
+    fn mean_distance_matches_closed_form_small_case() {
+        // 2x1 grid: pairs (0,0),(0,1),(1,0),(1,1) -> mean |dx| = 0.5.
+        assert!((mean_grid_distance(2, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_cores_panics() {
+        Interconnect::Mesh.round_trip_cycles(0);
+    }
+}

@@ -1,0 +1,327 @@
+//! The AMAT-extension performance equation.
+//!
+//! Per-core performance is `1 / T` where `T`, the average time per
+//! application instruction, decomposes into (§2.4.3):
+//!
+//! ```text
+//! T = 1/IPC_inf                            (compute, L1-resident)
+//!   + A_ser x (L_bank + L_net)             (serialized LLC accesses)
+//!   + M(C, n)/MLP_mem x (L_net + L_mem)    (off-chip accesses)
+//! ```
+//!
+//! `A_ser` weights instruction-fetch misses fully (they stall the front
+//! end) and divides data accesses by the data MLP; `M(C, n)` is the
+//! workload's LLC miss curve; `L_net` is the interconnect round-trip.
+
+use crate::interconnect::Interconnect;
+use sop_tech::{CacheGeometry, CoreKind, LlcParams, TechnologyNode};
+use sop_workloads::{Workload, WorkloadProfile};
+
+/// A core/cache/interconnect organization to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Core microarchitecture.
+    pub core_kind: CoreKind,
+    /// Number of cores sharing the LLC.
+    pub cores: u32,
+    /// Total LLC capacity in MB.
+    pub llc_mb: f64,
+    /// Interconnect between cores and LLC banks.
+    pub interconnect: Interconnect,
+    /// Number of LLC banks. Tiled designs have one bank per tile; UCA
+    /// crossbar designs one bank per four cores (Table 3.1).
+    pub llc_banks: u32,
+    /// Whether R-NUCA-style instruction replication is enabled
+    /// (the "LLC-optimal tiled with IR" designs of §2.2.3).
+    pub instruction_replication: bool,
+    /// Technology node (sets the memory latency).
+    pub node: TechnologyNode,
+    /// Overrides the die area the crossbar's wires span, in mm². 3D
+    /// stacks set this to the per-die footprint: the vertical distance
+    /// between dies is negligible (§6.1), so only the planar span counts.
+    pub crossbar_span_area_mm2: Option<f64>,
+}
+
+impl DesignPoint {
+    /// A design point with the thesis' default banking rules and no
+    /// instruction replication at 40nm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `llc_mb` is not positive.
+    pub fn new(core_kind: CoreKind, cores: u32, llc_mb: f64, interconnect: Interconnect) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(llc_mb > 0.0, "LLC capacity must be positive");
+        let llc_banks = match interconnect {
+            // Table 3.1: UCA, one bank per four cores.
+            Interconnect::Ideal | Interconnect::Crossbar => cores.div_ceil(4),
+            // NUCA, one bank (slice) per tile.
+            Interconnect::Mesh | Interconnect::FlattenedButterfly => cores,
+            // NOC-Out: two banks per LLC tile, one tile per eight cores
+            // (Table 4.1's 16 banks for 64 cores).
+            Interconnect::NocOut => (cores / 4).max(1),
+        };
+        DesignPoint {
+            core_kind,
+            cores,
+            llc_mb,
+            interconnect,
+            llc_banks,
+            instruction_replication: false,
+            node: TechnologyNode::N40,
+            crossbar_span_area_mm2: None,
+        }
+    }
+
+    /// Returns a copy whose crossbar wires span `area_mm2` of silicon
+    /// (per-die footprint for 3D stacks).
+    pub fn with_crossbar_span_area(mut self, area_mm2: f64) -> Self {
+        assert!(area_mm2 > 0.0, "span area must be positive");
+        self.crossbar_span_area_mm2 = Some(area_mm2);
+        self
+    }
+
+    /// Returns a copy with instruction replication enabled.
+    pub fn with_instruction_replication(mut self) -> Self {
+        self.instruction_replication = true;
+        self
+    }
+
+    /// Returns a copy at a different technology node.
+    pub fn at_node(mut self, node: TechnologyNode) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Returns a copy with an explicit bank count.
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        self.llc_banks = banks;
+        self
+    }
+
+    /// Evaluates the model for one workload.
+    pub fn evaluate(&self, workload: Workload) -> PerfEstimate {
+        self.evaluate_profile(&WorkloadProfile::of(workload))
+    }
+
+    /// Evaluates the model for an explicit (possibly customised) profile.
+    pub fn evaluate_profile(&self, profile: &WorkloadProfile) -> PerfEstimate {
+        let kind = self.core_kind;
+        let geometry = CacheGeometry::new();
+        let bank_mb = self.llc_mb / f64::from(self.llc_banks);
+        let l_bank = f64::from(geometry.bank_latency_cycles(bank_mb));
+        // Crossbars pay wire propagation across the physical span of the
+        // pod on top of arbitration (§3.2.2's distance argument): the span
+        // is the square root of the compute area, and signals cover
+        // ~4mm/cycle at 40nm — both halving together under scaling, so the
+        // wire term is node-invariant for a fixed organization (§2.5.2).
+        let l_net = self.interconnect.round_trip_cycles(self.cores)
+            + if self.interconnect == Interconnect::Crossbar {
+                let area = self.crossbar_span_area_mm2.unwrap_or_else(|| {
+                    kind.area_mm2(self.node) * f64::from(self.cores)
+                        + LlcParams::at(self.node).area_mm2(self.llc_mb)
+                });
+                let mm_per_cycle = 4.0 * self.node.feature_nm() / 40.0;
+                2.0 * area.sqrt() / mm_per_cycle
+            } else {
+                0.0
+            };
+        let l_mem = f64::from(self.node.memory_latency_cycles());
+
+        let compute = 1.0 / profile.ipc_infinite_for(kind);
+
+        let (l1i, l1d) = profile.l1_mpki_for(kind);
+        let data_mlp = profile.data_mlp_for(kind);
+        // Instruction replication pins instruction blocks one hop away
+        // (§2.2.3): instruction fetches pay a single mesh hop each way
+        // instead of the full network distance.
+        let l_net_instr = if self.instruction_replication { 6.0 } else { l_net };
+        let llc_time = l1i / 1000.0 * (l_bank + l_net_instr)
+            + l1d / 1000.0 / data_mlp * (l_bank + l_net);
+
+        // Replication consumes LLC capacity: the shared working set
+        // competes with its own replicas, shrinking effective capacity.
+        let effective_mb = if self.instruction_replication {
+            let replicas = (f64::from(self.cores) / 4.0).clamp(1.0, 4.0);
+            let shared_share = 0.5; // instructions+OS as a fraction of live content
+            self.llc_mb / (1.0 + shared_share * (replicas - 1.0) * 0.15)
+        } else {
+            self.llc_mb
+        };
+        let mpki = profile.miss_curve.misses_per_kilo_instr(effective_mb, self.cores);
+        let mem_time = mpki / 1000.0 / profile.mem_mlp_for(kind) * (l_net + l_mem);
+
+        let total = compute + llc_time + mem_time;
+        PerfEstimate {
+            per_core_ipc: 1.0 / total,
+            breakdown: PerfBreakdown {
+                compute_cpi: compute,
+                llc_cpi: llc_time,
+                memory_cpi: mem_time,
+                llc_miss_mpki: mpki,
+                llc_round_trip_cycles: l_bank + l_net,
+            },
+        }
+    }
+
+    /// Mean per-core application IPC across all seven workloads — the
+    /// quantity the thesis averages for its performance-density figures.
+    pub fn mean_per_core_ipc(&self) -> f64 {
+        let profiles = WorkloadProfile::all();
+        profiles
+            .iter()
+            .map(|p| self.evaluate_profile(p).per_core_ipc)
+            .sum::<f64>()
+            / profiles.len() as f64
+    }
+
+    /// Aggregate application instructions per cycle for the whole design
+    /// (per-core IPC times core count), averaged across workloads.
+    pub fn mean_aggregate_ipc(&self) -> f64 {
+        self.mean_per_core_ipc() * f64::from(self.cores)
+    }
+
+    /// Worst-case off-chip bandwidth demand across the workloads, in GB/s,
+    /// at this design's achieved per-workload throughput — the quantity
+    /// the thesis provisions memory channels against (§2.5).
+    pub fn worst_case_bandwidth_gbps(&self) -> f64 {
+        let ghz = self.node.frequency_ghz();
+        let mut traffic_mult = if self.instruction_replication { 1.35 } else { 1.0 };
+        // Blocking in-order pipelines coalesce fewer stores and expose
+        // more fetch traffic per instruction than the OoO cores the
+        // profiles were measured on.
+        if self.core_kind == CoreKind::InOrder {
+            traffic_mult *= 1.3;
+        }
+        WorkloadProfile::all()
+            .iter()
+            .map(|p| {
+                let ipc = self.evaluate_profile(p).per_core_ipc;
+                p.traffic.bandwidth_gbps(self.llc_mb, self.cores, ipc, ghz) * traffic_mult
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The model's output for one (design, workload) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfEstimate {
+    /// Application instructions committed per cycle per core.
+    pub per_core_ipc: f64,
+    /// Where the cycles go.
+    pub breakdown: PerfBreakdown,
+}
+
+/// Cycles-per-instruction decomposition of [`PerfEstimate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfBreakdown {
+    /// Compute (L1-resident) time per instruction.
+    pub compute_cpi: f64,
+    /// Serialized LLC access time per instruction.
+    pub llc_cpi: f64,
+    /// Off-chip memory time per instruction.
+    pub memory_cpi: f64,
+    /// LLC misses per kilo-instruction at this capacity and sharing.
+    pub llc_miss_mpki: f64,
+    /// End-to-end LLC access latency (bank + network round trip).
+    pub llc_round_trip_cycles: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(cores: u32, mb: f64, ic: Interconnect) -> PerfEstimate {
+        DesignPoint::new(CoreKind::OutOfOrder, cores, mb, ic).evaluate(Workload::WebSearch)
+    }
+
+    #[test]
+    fn bigger_cache_helps_until_latency_dominates() {
+        // Fig 2.2 shape: performance rises from 1MB to the 4-8MB knee ...
+        let p1 = ws(4, 1.0, Interconnect::Ideal).per_core_ipc;
+        let p8 = ws(4, 8.0, Interconnect::Ideal).per_core_ipc;
+        assert!(p8 > p1);
+        // ... and a 32MB cache is no better (slower banks, no more reuse).
+        let p32 = ws(4, 32.0, Interconnect::Ideal).per_core_ipc;
+        assert!(p32 <= p8 * 1.01);
+    }
+
+    #[test]
+    fn mesh_latency_erodes_per_core_perf() {
+        // Fig 2.3a: under a realistic interconnect per-core performance
+        // falls much faster with core count than under an ideal one.
+        let ideal_drop = ws(256, 4.0, Interconnect::Ideal).per_core_ipc
+            / ws(2, 4.0, Interconnect::Ideal).per_core_ipc;
+        let mesh_drop = ws(256, 4.0, Interconnect::Mesh).per_core_ipc
+            / ws(2, 4.0, Interconnect::Mesh).per_core_ipc;
+        assert!(mesh_drop < ideal_drop);
+        assert!(ideal_drop > 0.70, "ideal sharing penalty should be small: {ideal_drop}");
+    }
+
+    #[test]
+    fn aggregate_perf_scales_with_cores_under_ideal_network() {
+        // Fig 2.3b: 256 cores on an ideal fabric deliver roughly 200x+ the
+        // single-core throughput.
+        let agg1 = ws(1, 4.0, Interconnect::Ideal).per_core_ipc;
+        let agg256 = 256.0 * ws(256, 4.0, Interconnect::Ideal).per_core_ipc;
+        let speedup = agg256 / agg1;
+        assert!(speedup > 180.0, "got {speedup}");
+    }
+
+    #[test]
+    fn instruction_replication_helps_meshes() {
+        let base = DesignPoint::new(CoreKind::OutOfOrder, 32, 8.0, Interconnect::Mesh);
+        let ir = base.with_instruction_replication();
+        let w = Workload::WebFrontend; // biggest instruction footprint
+        assert!(ir.evaluate(w).per_core_ipc > base.evaluate(w).per_core_ipc);
+    }
+
+    #[test]
+    fn instruction_replication_costs_bandwidth() {
+        let base = DesignPoint::new(CoreKind::OutOfOrder, 32, 8.0, Interconnect::Mesh);
+        let ir = base.with_instruction_replication();
+        assert!(ir.worst_case_bandwidth_gbps() > base.worst_case_bandwidth_gbps());
+    }
+
+    #[test]
+    fn in_order_cores_are_slower_per_core() {
+        let ooo = DesignPoint::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar);
+        let io = DesignPoint::new(CoreKind::InOrder, 16, 4.0, Interconnect::Crossbar);
+        assert!(io.mean_per_core_ipc() < ooo.mean_per_core_ipc());
+    }
+
+    #[test]
+    fn conventional_core_gains_are_modest() {
+        // §2.5.3: aggressive cores provide only a small performance gain
+        // over the 3-wide OoO core on scale-out workloads.
+        let ooo = DesignPoint::new(CoreKind::OutOfOrder, 4, 4.0, Interconnect::Crossbar);
+        let conv = DesignPoint::new(CoreKind::Conventional, 4, 4.0, Interconnect::Crossbar);
+        let ratio = conv.mean_per_core_ipc() / ooo.mean_per_core_ipc();
+        assert!(ratio > 1.0 && ratio < 1.6, "got {ratio}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let est = ws(16, 4.0, Interconnect::Crossbar);
+        let b = est.breakdown;
+        let total = b.compute_cpi + b.llc_cpi + b.memory_cpi;
+        assert!((1.0 / est.per_core_ipc - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ooo_bank_count_follows_table_3_1() {
+        let uca = DesignPoint::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar);
+        assert_eq!(uca.llc_banks, 4);
+        let nuca = DesignPoint::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Mesh);
+        assert_eq!(nuca.llc_banks, 16);
+        let nocout = DesignPoint::new(CoreKind::OutOfOrder, 64, 8.0, Interconnect::NocOut);
+        assert_eq!(nocout.llc_banks, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_llc_panics() {
+        DesignPoint::new(CoreKind::OutOfOrder, 4, 0.0, Interconnect::Ideal);
+    }
+}

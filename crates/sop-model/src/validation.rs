@@ -1,0 +1,156 @@
+//! Error statistics for model-versus-simulation comparison (Fig 3.3's
+//! quantitative backbone).
+//!
+//! §3.4.1 reports the model "predicts performance with excellent accuracy
+//! up to 16 cores" — this module turns such statements into numbers:
+//! mean/max absolute relative error and signed bias over a series of
+//! (modelled, measured) pairs.
+
+/// Accumulates paired observations and reports error statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErrorStats {
+    pairs: Vec<(f64, f64)>,
+}
+
+impl ErrorStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        ErrorStats::default()
+    }
+
+    /// Records a (modelled, measured) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured` is not positive (relative error undefined).
+    pub fn record(&mut self, modelled: f64, measured: f64) {
+        assert!(measured > 0.0, "measured value must be positive");
+        self.pairs.push((modelled, measured));
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Mean absolute relative error, `mean(|model - sim| / sim)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pairs were recorded.
+    pub fn mean_abs_error(&self) -> f64 {
+        assert!(!self.is_empty(), "no observations recorded");
+        self.pairs.iter().map(|(m, s)| ((m - s) / s).abs()).sum::<f64>()
+            / self.pairs.len() as f64
+    }
+
+    /// Largest absolute relative error.
+    pub fn max_abs_error(&self) -> f64 {
+        assert!(!self.is_empty(), "no observations recorded");
+        self.pairs
+            .iter()
+            .map(|(m, s)| ((m - s) / s).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Signed bias, `mean((model - sim) / sim)`: positive when the model
+    /// is optimistic.
+    pub fn bias(&self) -> f64 {
+        assert!(!self.is_empty(), "no observations recorded");
+        self.pairs.iter().map(|(m, s)| (m - s) / s).sum::<f64>() / self.pairs.len() as f64
+    }
+
+    /// Pearson correlation between modelled and measured series — shape
+    /// agreement independent of scale offsets.
+    pub fn correlation(&self) -> f64 {
+        assert!(self.pairs.len() >= 2, "correlation needs two pairs");
+        let n = self.pairs.len() as f64;
+        let (mx, my) = (
+            self.pairs.iter().map(|p| p.0).sum::<f64>() / n,
+            self.pairs.iter().map(|p| p.1).sum::<f64>() / n,
+        );
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for &(x, y) in &self.pairs {
+            cov += (x - mx) * (y - my);
+            vx += (x - mx) * (x - mx);
+            vy += (y - my) * (y - my);
+        }
+        if vx == 0.0 || vy == 0.0 {
+            return 0.0;
+        }
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+impl Extend<(f64, f64)> for ErrorStats {
+    fn extend<T: IntoIterator<Item = (f64, f64)>>(&mut self, iter: T) {
+        for (m, s) in iter {
+            self.record(m, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_agreement_has_zero_error() {
+        let mut e = ErrorStats::new();
+        e.extend([(1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(e.mean_abs_error(), 0.0);
+        assert_eq!(e.bias(), 0.0);
+        assert!((e.correlation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimistic_model_has_positive_bias() {
+        let mut e = ErrorStats::new();
+        e.extend([(1.2, 1.0), (2.4, 2.0)]);
+        assert!((e.bias() - 0.2).abs() < 1e-12);
+        assert!((e.mean_abs_error() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_error_dominates_mean() {
+        let mut e = ErrorStats::new();
+        e.extend([(1.0, 1.0), (1.5, 1.0)]);
+        assert!((e.max_abs_error() - 0.5).abs() < 1e-12);
+        assert!((e.mean_abs_error() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_captures_shape_despite_offset() {
+        let mut e = ErrorStats::new();
+        // Model is 30% optimistic everywhere: perfect shape agreement.
+        e.extend([(1.3, 1.0), (2.6, 2.0), (3.9, 3.0)]);
+        assert!((e.correlation() - 1.0).abs() < 1e-12);
+        assert!(e.bias() > 0.29);
+    }
+
+    #[test]
+    fn anticorrelated_series_is_detected() {
+        let mut e = ErrorStats::new();
+        e.extend([(3.0, 1.0), (2.0, 2.0), (1.0, 3.0)]);
+        assert!(e.correlation() < -0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_measurement_panics() {
+        ErrorStats::new().record(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations")]
+    fn empty_stats_panic() {
+        ErrorStats::new().mean_abs_error();
+    }
+}

@@ -1,0 +1,132 @@
+//! Packets, flits, and message classes.
+
+/// Unique identifier of an injected packet.
+pub type PacketId = u64;
+
+/// Coherence-protocol message classes (§4.2.2). Each class travels in its
+/// own virtual channel to guarantee protocol-level deadlock freedom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    /// Data request from a core to the LLC (control-sized).
+    Request,
+    /// Snoop request from a directory to a core (control-sized).
+    SnoopRequest,
+    /// Data or snoop response (usually carries a 64B line).
+    Response,
+}
+
+impl MessageClass {
+    /// All classes, lowest priority first.
+    pub const ALL: [MessageClass; 3] =
+        [MessageClass::Request, MessageClass::SnoopRequest, MessageClass::Response];
+
+    /// Virtual-channel index of the class. Responses get the highest
+    /// priority so replies can always drain (§4.2.2's static priority).
+    pub fn vc(self) -> usize {
+        match self {
+            MessageClass::Request => 0,
+            MessageClass::SnoopRequest => 1,
+            MessageClass::Response => 2,
+        }
+    }
+
+    /// Payload size in bytes (control packets carry an address and
+    /// command; responses carry a 64B cache line).
+    pub fn payload_bytes(self) -> u32 {
+        match self {
+            MessageClass::Request | MessageClass::SnoopRequest => 8,
+            MessageClass::Response => 64,
+        }
+    }
+
+    /// Number of flits a packet of this class needs on `link_bits`-wide
+    /// channels, including an 8-byte header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_bits` is zero.
+    pub fn flits(self, link_bits: u32) -> u32 {
+        assert!(link_bits > 0, "links must be at least one bit wide");
+        let bits = (self.payload_bytes() + 8) * 8;
+        bits.div_ceil(link_bits).max(1)
+    }
+}
+
+/// One flit in flight. Wormhole switching: the head flit allocates the
+/// path, body flits follow in order, the tail releases it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Message class (selects the VC at every hop).
+    pub class: MessageClass,
+    /// Destination node index.
+    pub dst: usize,
+    /// True for the first flit of the packet.
+    pub is_head: bool,
+    /// True for the last flit of the packet (a one-flit packet is both).
+    pub is_tail: bool,
+}
+
+/// A completed packet delivery reported by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// The packet that arrived.
+    pub packet: PacketId,
+    /// Message class.
+    pub class: MessageClass,
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Cycle the packet was injected.
+    pub injected_at: u64,
+    /// Cycle the tail flit was ejected.
+    pub delivered_at: u64,
+}
+
+impl Delivered {
+    /// End-to-end packet latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.delivered_at - self.injected_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_counts_follow_link_width() {
+        // 128-bit links: control = 1 flit, response = (64+8)*8/128 = 5.
+        assert_eq!(MessageClass::Request.flits(128), 1);
+        assert_eq!(MessageClass::Response.flits(128), 5);
+        // 18-bit links (the Fig 4.8 squeezed butterfly): everything longer.
+        assert!(MessageClass::Response.flits(18) > 5 * 5);
+    }
+
+    #[test]
+    fn response_class_has_highest_vc() {
+        assert!(MessageClass::Response.vc() > MessageClass::Request.vc());
+        assert!(MessageClass::Response.vc() > MessageClass::SnoopRequest.vc());
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit")]
+    fn zero_width_links_panic() {
+        MessageClass::Request.flits(0);
+    }
+
+    #[test]
+    fn latency_is_delivery_minus_injection() {
+        let d = Delivered {
+            packet: 1,
+            class: MessageClass::Request,
+            src: 0,
+            dst: 5,
+            injected_at: 10,
+            delivered_at: 31,
+        };
+        assert_eq!(d.latency(), 21);
+    }
+}

@@ -1,0 +1,319 @@
+//! NOC-Out scalability mechanisms (§4.5.1).
+//!
+//! The thesis sketches three ways to scale NOC-Out past 64 cores and
+//! commits to none; this module implements all three so they can be
+//! evaluated:
+//!
+//! * **Concentration** — several adjacent cores share one tree port
+//!   (a concentration factor of 2 supports twice the cores at nearly the
+//!   same network cost);
+//! * **Express links** — long-range links inserted into the reduction and
+//!   dispersion trees that bypass intermediate nodes, holding tree delay
+//!   near-constant as columns deepen;
+//! * **A 2-D LLC butterfly** — the LLC region grows from one row to a
+//!   grid of rows, each row pair serving its own banks, with the flattened
+//!   butterfly extended across both dimensions.
+
+use crate::topology::{Channel, NodeRole, Topology, TopologyKind};
+
+/// Configuration of a scaled NOC-Out fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledNocOut {
+    /// Total cores.
+    pub cores: u32,
+    /// LLC tiles (each holding two banks), arranged in `llc_rows` rows.
+    pub llc_tiles: u32,
+    /// Rows of LLC tiles (1 = the chapter-4 organization).
+    pub llc_rows: u32,
+    /// Cores sharing each tree port (1 = no concentration).
+    pub concentration: u32,
+    /// Insert an express link past every `express_stride` tree nodes
+    /// (0 = no express links).
+    pub express_stride: u32,
+    /// Core tile edge in mm.
+    pub tile_mm: f64,
+}
+
+impl ScaledNocOut {
+    /// The §4.5.1 sketch for a 128-core pod: concentration of two over
+    /// the 64-core organization.
+    pub fn concentrated_128() -> Self {
+        ScaledNocOut {
+            cores: 128,
+            llc_tiles: 8,
+            llc_rows: 1,
+            concentration: 2,
+            express_stride: 0,
+            tile_mm: 1.82,
+        }
+    }
+
+    /// A 256-core pod: concentration of two, express links every two
+    /// nodes, and a 2x8 LLC grid.
+    pub fn express_256() -> Self {
+        ScaledNocOut {
+            cores: 256,
+            llc_tiles: 16,
+            llc_rows: 2,
+            concentration: 2,
+            express_stride: 2,
+            tile_mm: 1.82,
+        }
+    }
+
+    /// Builds the topology graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cores do not divide evenly into the tree columns or
+    /// the tiles into the rows.
+    pub fn build(&self) -> Topology {
+        assert!(self.concentration >= 1, "concentration factor of at least 1");
+        assert!(self.llc_rows >= 1 && self.llc_tiles.is_multiple_of(self.llc_rows),
+            "tiles must split evenly into rows");
+        let ports = self.cores / self.concentration;
+        assert_eq!(
+            ports % (self.llc_tiles * 2),
+            0,
+            "tree ports must split evenly into two half-columns per tile"
+        );
+        let depth = ports / (self.llc_tiles * 2);
+        let n_llc = self.llc_tiles as usize;
+        let cols = (self.llc_tiles / self.llc_rows) as usize;
+        // Node layout: [0, n_llc) LLC routers (row-major grid); then one
+        // tree node per port, grouped (tile, half, position).
+        let n = n_llc + ports as usize;
+        let tree_node = |tile: u32, half: u32, pos: u32| {
+            n_llc + (tile * 2 * depth + half * depth + pos) as usize
+        };
+        let mut roles = vec![NodeRole::TreeNode; n];
+        let mut channels = vec![Vec::new(); n];
+        let mut pipeline = vec![0u32; n];
+        for (t, role) in roles.iter_mut().enumerate().take(n_llc) {
+            *role = NodeRole::Llc(t as u32);
+        }
+        // LLC grid: flattened butterfly along rows and columns.
+        for t in 0..self.llc_tiles {
+            let (row, col) = (t as usize / cols, t as usize % cols);
+            pipeline[t as usize] = 3;
+            for o in 0..self.llc_tiles {
+                let (orow, ocol) = (o as usize / cols, o as usize % cols);
+                if (orow == row) != (ocol == col) {
+                    // Same row or same column (not both = not self).
+                    let span_mm = ((orow.abs_diff(row) + ocol.abs_diff(col)) * 2) as f64;
+                    channels[t as usize].push(Channel {
+                        to: o as usize,
+                        latency: ((span_mm / 4.0).ceil() as u32).max(1),
+                        length_mm: span_mm,
+                    });
+                }
+            }
+        }
+        // Trees with optional express links.
+        for t in 0..self.llc_tiles {
+            for half in 0..2 {
+                for pos in 0..depth {
+                    let node = tree_node(t, half, pos);
+                    pipeline[node] = 1;
+                    let parent =
+                        if pos == 0 { t as usize } else { tree_node(t, half, pos - 1) };
+                    channels[node].push(Channel {
+                        to: parent,
+                        latency: 1,
+                        length_mm: self.tile_mm * self.concentration as f64,
+                    });
+                    let child = Channel {
+                        to: node,
+                        latency: 1,
+                        length_mm: self.tile_mm * self.concentration as f64,
+                    };
+                    if pos == 0 {
+                        channels[t as usize].push(child);
+                    } else {
+                        channels[tree_node(t, half, pos - 1)].push(child);
+                    }
+                    // Express links: jump straight to the LLC tile from
+                    // every stride-th node (and back), bypassing the chain.
+                    if self.express_stride > 0
+                        && pos >= self.express_stride
+                        && pos % self.express_stride == 0
+                    {
+                        let span = self.tile_mm * f64::from(pos + 1);
+                        channels[node].push(Channel {
+                            to: t as usize,
+                            latency: ((span / 4.0).ceil() as u32).max(1),
+                            length_mm: span,
+                        });
+                        channels[t as usize].push(Channel {
+                            to: node,
+                            latency: ((span / 4.0).ceil() as u32).max(1),
+                            length_mm: span,
+                        });
+                    }
+                }
+            }
+        }
+        // Routing tables via BFS (the express/grid structure no longer has
+        // the simple closed form of the one-row fabric).
+        let next_hop = bfs_routes(&channels, &pipeline, n);
+        // Core endpoints: concentration maps several cores onto one tree
+        // node; endpoint lists repeat nodes accordingly.
+        let mut core_nodes = Vec::with_capacity(self.cores as usize);
+        for port in 0..ports {
+            let (tile, rem) = (port / (2 * depth), port % (2 * depth));
+            let (half, pos) = (rem / depth, rem % depth);
+            for _ in 0..self.concentration {
+                core_nodes.push(tree_node(tile, half, pos));
+            }
+        }
+        for (i, &node) in core_nodes.iter().enumerate().take(ports as usize) {
+            let _ = (i, node);
+        }
+        // Mark tree nodes that host cores.
+        for (i, &node) in core_nodes.iter().enumerate() {
+            roles[node] = NodeRole::Core(i as u32 / self.concentration);
+        }
+        Topology {
+            kind: TopologyKind::NocOut,
+            roles,
+            channels,
+            pipeline,
+            next_hop,
+            core_nodes,
+            llc_nodes: (0..n_llc).collect(),
+        }
+    }
+
+    /// Mean zero-load latency from a core port to an LLC tile.
+    pub fn mean_core_to_llc_latency(&self) -> f64 {
+        let topo = self.build();
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for &c in topo.core_nodes.iter().step_by(self.concentration as usize) {
+            for &l in &topo.llc_nodes {
+                sum += u64::from(topo.zero_load_latency(c, l));
+                count += 1;
+            }
+        }
+        sum as f64 / count as f64
+    }
+}
+
+/// All-pairs next-hop routing by breadth-first search, minimizing
+/// (latency-weighted) hop distance with deterministic tie-breaking.
+fn bfs_routes(channels: &[Vec<Channel>], pipeline: &[u32], n: usize) -> Vec<Vec<usize>> {
+    let mut next = vec![vec![0usize; n]; n];
+    for dst in 0..n {
+        // Reverse Dijkstra (small weights, use simple relaxation).
+        let mut dist = vec![u32::MAX; n];
+        dist[dst] = 0;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in 0..n {
+                for (port, ch) in channels[u].iter().enumerate() {
+                    let through = dist[ch.to].saturating_add(ch.latency + pipeline[u]);
+                    if through < dist[u] {
+                        dist[u] = through;
+                        next[u][dst] = port;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concentrated_128_has_64_tree_ports() {
+        let cfg = ScaledNocOut::concentrated_128();
+        let topo = cfg.build();
+        assert_eq!(topo.core_nodes.len(), 128);
+        // Two cores share each port: 64 distinct tree endpoints.
+        let mut distinct: Vec<_> = topo.core_nodes.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn concentration_keeps_network_cost_flat() {
+        // §4.5.1: twice the cores at nearly the same network area.
+        let base = crate::topology::Topology::noc_out(64, 8, 1.82);
+        let scaled = ScaledNocOut::concentrated_128().build();
+        let base_area = crate::area::NocAreaBreakdown::of(&base, 128).total_mm2();
+        let scaled_area = crate::area::NocAreaBreakdown::of(&scaled, 128).total_mm2();
+        assert!(
+            scaled_area < base_area * 1.35,
+            "128-core fabric {scaled_area:.2} vs 64-core {base_area:.2}"
+        );
+    }
+
+    #[test]
+    fn express_links_cut_tree_latency() {
+        let without = ScaledNocOut {
+            express_stride: 0,
+            ..ScaledNocOut::express_256()
+        };
+        let with = ScaledNocOut::express_256();
+        let slow = without.mean_core_to_llc_latency();
+        let fast = with.mean_core_to_llc_latency();
+        assert!(fast < slow, "express {fast:.1} vs chain {slow:.1}");
+    }
+
+    #[test]
+    fn two_dimensional_llc_grid_is_fully_reachable() {
+        let topo = ScaledNocOut::express_256().build();
+        for &c in topo.core_nodes.iter().step_by(7) {
+            for &l in &topo.llc_nodes {
+                if c != l {
+                    topo.hops(c, l); // panics on a routing failure
+                    topo.hops(l, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn llc_grid_rows_use_two_hops_max() {
+        let topo = ScaledNocOut::express_256().build();
+        for &a in &topo.llc_nodes {
+            for &b in &topo.llc_nodes {
+                if a != b {
+                    assert!(topo.hops(a, b) <= 2, "{a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_latency_grows_slowly_with_core_count() {
+        // 4x the cores should cost far less than 4x the latency.
+        let base = crate::topology::Topology::noc_out(64, 8, 1.82);
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for &c in &base.core_nodes {
+            for &l in &base.llc_nodes {
+                sum += u64::from(base.zero_load_latency(c, l));
+                count += 1;
+            }
+        }
+        let base_mean = sum as f64 / count as f64;
+        let scaled_mean = ScaledNocOut::express_256().mean_core_to_llc_latency();
+        assert!(
+            scaled_mean < base_mean * 2.0,
+            "256-core {scaled_mean:.1} vs 64-core {base_mean:.1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly")]
+    fn uneven_rows_panic() {
+        ScaledNocOut { llc_rows: 3, ..ScaledNocOut::express_256() }.build();
+    }
+}

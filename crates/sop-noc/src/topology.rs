@@ -1,0 +1,562 @@
+//! Network topologies: mesh, flattened butterfly, NOC-Out, crossbar, and
+//! the ideal fixed-latency fabric (Table 4.1, §4.2).
+//!
+//! A topology is an explicit directed graph of nodes (core tiles, LLC
+//! tiles, tree mux/demux nodes, crossbar hubs) with per-channel latencies
+//! and lengths, a per-node router pipeline depth, and a deterministic
+//! next-hop routing table. Routing is minimal and dimension-ordered (XY in
+//! the mesh, X-then-Y in the butterfly), which together with per-class
+//! virtual channels keeps the network deadlock-free.
+
+/// Which fabric a [`Topology`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// 2-D mesh of core+slice tiles (the chapter-4 baseline).
+    Mesh,
+    /// Fully connected rows and columns (Kim et al.'s flattened butterfly).
+    FlattenedButterfly,
+    /// Reduction/dispersion trees into a central LLC row (the proposal).
+    NocOut,
+    /// Dancehall crossbar hub (pods, conventional chips).
+    Crossbar,
+    /// Fixed-latency star: the "ideal interconnect" of Table 3.1.
+    Ideal,
+}
+
+/// What a graph node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// A core endpoint (with its index among cores).
+    Core(u32),
+    /// An LLC endpoint (with its index among LLC tiles).
+    Llc(u32),
+    /// A tile holding both a core and an LLC slice (mesh/butterfly tiles).
+    Tile(u32),
+    /// An internal reduction/dispersion tree node.
+    TreeNode,
+    /// A crossbar or star hub.
+    Hub,
+}
+
+/// A directed channel between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Channel {
+    /// Destination node.
+    pub to: usize,
+    /// Flight latency in cycles (≥ 1).
+    pub latency: u32,
+    /// Physical length in millimetres (drives repeater area and energy).
+    pub length_mm: f64,
+}
+
+/// An explicit network graph with routing.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Which fabric this is.
+    pub kind: TopologyKind,
+    /// Role of each node.
+    pub roles: Vec<NodeRole>,
+    /// Outgoing channels per node; the index within the vector is the
+    /// output port number.
+    pub channels: Vec<Vec<Channel>>,
+    /// Router pipeline depth in cycles per node (0 = pure wire joint).
+    pub pipeline: Vec<u32>,
+    /// `next_hop[node][dst]` = output port taking a packet at `node` one
+    /// step closer to `dst`.
+    pub next_hop: Vec<Vec<usize>>,
+    /// Nodes where cores inject/eject.
+    pub core_nodes: Vec<usize>,
+    /// Nodes where LLC banks inject/eject.
+    pub llc_nodes: Vec<usize>,
+}
+
+impl Topology {
+    /// Number of nodes in the graph.
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Whether the graph is empty (never true for built topologies).
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// Total one-way wire length in mm across all channels.
+    pub fn total_wire_mm(&self) -> f64 {
+        self.channels.iter().flatten().map(|c| c.length_mm).sum()
+    }
+
+    /// Hop count (routers traversed, including the destination's) from
+    /// `src` to `dst` following the routing tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if routing loops (a topology construction bug).
+    pub fn hops(&self, src: usize, dst: usize) -> u32 {
+        let mut at = src;
+        let mut hops = 0;
+        while at != dst {
+            let port = self.next_hop[at][dst];
+            at = self.channels[at][port].to;
+            hops += 1;
+            assert!(hops < 10_000, "routing loop from {src} to {dst}");
+        }
+        hops
+    }
+
+    /// Zero-load latency in cycles from `src` to `dst`: channel flight
+    /// times plus each traversed router's pipeline.
+    pub fn zero_load_latency(&self, src: usize, dst: usize) -> u32 {
+        let mut at = src;
+        let mut cycles = 0;
+        while at != dst {
+            let port = self.next_hop[at][dst];
+            let ch = self.channels[at][port];
+            cycles += self.pipeline[at] + ch.latency;
+            at = ch.to;
+        }
+        cycles
+    }
+
+    fn verify(self) -> Self {
+        let n = self.len();
+        assert_eq!(self.channels.len(), n);
+        assert_eq!(self.pipeline.len(), n);
+        assert_eq!(self.next_hop.len(), n);
+        // Every endpoint pair must be mutually reachable.
+        for &c in &self.core_nodes {
+            for &l in &self.llc_nodes {
+                self.hops(c, l);
+                self.hops(l, c);
+            }
+        }
+        self
+    }
+
+    /// Builds a `width x height` mesh of tiles, each holding a core and an
+    /// LLC slice. 3 cycles/hop: 2-stage speculative router + 1-cycle link
+    /// (Table 4.1).
+    pub fn mesh(width: u32, height: u32, tile_mm: f64) -> Topology {
+        assert!(width > 0 && height > 0, "mesh needs positive dimensions");
+        let n = (width * height) as usize;
+        let idx = |x: u32, y: u32| (y * width + x) as usize;
+        let mut channels = vec![Vec::new(); n];
+        for y in 0..height {
+            for x in 0..width {
+                let mut add = |tx: i64, ty: i64| {
+                    if (0..i64::from(width)).contains(&tx) && (0..i64::from(height)).contains(&ty)
+                    {
+                        channels[idx(x, y)].push(Channel {
+                            to: idx(tx as u32, ty as u32),
+                            latency: 1,
+                            length_mm: tile_mm,
+                        });
+                    }
+                };
+                add(i64::from(x) - 1, i64::from(y));
+                add(i64::from(x) + 1, i64::from(y));
+                add(i64::from(x), i64::from(y) - 1);
+                add(i64::from(x), i64::from(y) + 1);
+            }
+        }
+        // XY routing: correct X first, then Y.
+        let mut next_hop = vec![vec![0usize; n]; n];
+        for y in 0..height {
+            for x in 0..width {
+                let at = idx(x, y);
+                for dy in 0..height {
+                    for dx in 0..width {
+                        let dst = idx(dx, dy);
+                        if dst == at {
+                            continue;
+                        }
+                        let (tx, ty) = if dx != x {
+                            (if dx < x { x - 1 } else { x + 1 }, y)
+                        } else {
+                            (x, if dy < y { y - 1 } else { y + 1 })
+                        };
+                        let target = idx(tx, ty);
+                        next_hop[at][dst] = channels[at]
+                            .iter()
+                            .position(|c| c.to == target)
+                            .expect("neighbour channel exists");
+                    }
+                }
+            }
+        }
+        Topology {
+            kind: TopologyKind::Mesh,
+            roles: (0..n as u32).map(NodeRole::Tile).collect(),
+            channels,
+            pipeline: vec![2; n],
+            next_hop,
+            core_nodes: (0..n).collect(),
+            llc_nodes: (0..n).collect(),
+        }
+        .verify()
+    }
+
+    /// Builds a `width x height` flattened butterfly: every node is
+    /// directly linked to all others in its row and column. Routers have a
+    /// 3-stage non-speculative pipeline; links cover two tiles per cycle
+    /// (Table 4.1).
+    pub fn flattened_butterfly(width: u32, height: u32, tile_mm: f64) -> Topology {
+        assert!(width > 0 && height > 0, "butterfly needs positive dimensions");
+        let n = (width * height) as usize;
+        let idx = |x: u32, y: u32| (y * width + x) as usize;
+        let mut channels = vec![Vec::new(); n];
+        for y in 0..height {
+            for x in 0..width {
+                for tx in 0..width {
+                    if tx != x {
+                        let span = f64::from(x.abs_diff(tx));
+                        channels[idx(x, y)].push(Channel {
+                            to: idx(tx, y),
+                            latency: ((span / 2.0).ceil() as u32).max(1),
+                            length_mm: span * tile_mm,
+                        });
+                    }
+                }
+                for ty in 0..height {
+                    if ty != y {
+                        let span = f64::from(y.abs_diff(ty));
+                        channels[idx(x, y)].push(Channel {
+                            to: idx(x, ty),
+                            latency: ((span / 2.0).ceil() as u32).max(1),
+                            length_mm: span * tile_mm,
+                        });
+                    }
+                }
+            }
+        }
+        // X then Y, at most one hop per dimension.
+        let mut next_hop = vec![vec![0usize; n]; n];
+        for y in 0..height {
+            for x in 0..width {
+                let at = idx(x, y);
+                for dy in 0..height {
+                    for dx in 0..width {
+                        let dst = idx(dx, dy);
+                        if dst == at {
+                            continue;
+                        }
+                        let target = if dx != x { idx(dx, y) } else { idx(x, dy) };
+                        next_hop[at][dst] = channels[at]
+                            .iter()
+                            .position(|c| c.to == target)
+                            .expect("row/column channel exists");
+                    }
+                }
+            }
+        }
+        Topology {
+            kind: TopologyKind::FlattenedButterfly,
+            roles: (0..n as u32).map(NodeRole::Tile).collect(),
+            channels,
+            pipeline: vec![3; n],
+            next_hop,
+            core_nodes: (0..n).collect(),
+            llc_nodes: (0..n).collect(),
+        }
+        .verify()
+    }
+
+    /// Builds the NOC-Out pod (Fig 4.4): `llc_tiles` LLC-row routers in a
+    /// one-dimensional flattened butterfly, and `cores` cores hanging off
+    /// reduction/dispersion trees — half above and half below the row,
+    /// `cores / llc_tiles / 2` deep. Tree hops cost a single cycle
+    /// including the link (§4.3.1).
+    pub fn noc_out(cores: u32, llc_tiles: u32, tile_mm: f64) -> Topology {
+        assert!(llc_tiles > 0, "need at least one LLC tile");
+        assert!(
+            cores.is_multiple_of(llc_tiles * 2),
+            "cores must split evenly into two half-columns per LLC tile"
+        );
+        let depth = cores / (llc_tiles * 2);
+        let n_llc = llc_tiles as usize;
+        let n = n_llc + cores as usize;
+        // Node layout: [0, n_llc) are LLC routers; cores follow, grouped
+        // by (tile, half, position-in-column), position 0 adjacent to the
+        // LLC row.
+        let core_node = |tile: u32, half: u32, pos: u32| {
+            n_llc + (tile * 2 * depth + half * depth + pos) as usize
+        };
+        let mut roles = vec![NodeRole::TreeNode; n];
+        let mut channels = vec![Vec::new(); n];
+        let mut pipeline = vec![0u32; n];
+        for (t, role) in roles.iter_mut().enumerate().take(n_llc) {
+            *role = NodeRole::Llc(t as u32);
+        }
+        for t in 0..llc_tiles {
+            pipeline[t as usize] = 3; // LLC-row butterfly router
+            // Row links: fully connected 1-D butterfly.
+            for o in 0..llc_tiles {
+                if o != t {
+                    // LLC tiles are ~2mm wide (two 0.5MB banks + router).
+                    let span_mm = f64::from(t.abs_diff(o)) * 2.0;
+                    channels[t as usize].push(Channel {
+                        to: o as usize,
+                        latency: ((span_mm / 4.0).ceil() as u32).max(1),
+                        length_mm: span_mm,
+                    });
+                }
+            }
+            for half in 0..2 {
+                for pos in 0..depth {
+                    let node = core_node(t, half, pos);
+                    let core_index = t * 2 * depth + half * depth + pos;
+                    roles[node] = NodeRole::Core(core_index);
+                    pipeline[node] = 1; // mux/demux + link, single cycle
+                    // Toward the LLC (reduction direction).
+                    let parent = if pos == 0 { t as usize } else { core_node(t, half, pos - 1) };
+                    channels[node].push(Channel { to: parent, latency: 1, length_mm: tile_mm });
+                    // Away from the LLC (dispersion direction).
+                    let child_port = Channel {
+                        to: core_node(t, half, pos),
+                        latency: 1,
+                        length_mm: tile_mm,
+                    };
+                    if pos == 0 {
+                        channels[t as usize].push(child_port);
+                    } else {
+                        channels[core_node(t, half, pos - 1)].push(child_port);
+                    }
+                }
+            }
+        }
+        // Routing: cores send everything toward their LLC tile (port 0 of
+        // every core node); LLC routers route across the row, then down
+        // the right dispersion tree.
+        let mut next_hop = vec![vec![0usize; n]; n];
+        for (node, hops) in next_hop.iter_mut().enumerate() {
+            for dst in 0..n {
+                if dst == node {
+                    continue;
+                }
+                hops[dst] = match roles[node] {
+                    NodeRole::Core(_) | NodeRole::TreeNode => 0, // toward the LLC row
+                    NodeRole::Llc(t) => {
+                        let (dtile, dhalf, dpos) = match roles[dst] {
+                            NodeRole::Core(ci) => {
+                                (ci / (2 * depth), (ci / depth) % 2, ci % depth)
+                            }
+                            NodeRole::Llc(o) => (o, 0, 0),
+                            _ => unreachable!("NOC-Out has no other roles"),
+                        };
+                        if dtile != t {
+                            // Cross the row toward the destination tile.
+                            channels[node]
+                                .iter()
+                                .position(|c| c.to == dtile as usize)
+                                .expect("row channel")
+                        } else if matches!(roles[dst], NodeRole::Llc(_)) {
+                            unreachable!("dst == node case handled above")
+                        } else {
+                            // Down this tile's dispersion tree.
+                            let first = core_node(t, dhalf, 0);
+                            let _ = dpos;
+                            channels[node]
+                                .iter()
+                                .position(|c| c.to == first)
+                                .expect("tree root channel")
+                        }
+                    }
+                    NodeRole::Tile(_) | NodeRole::Hub => unreachable!(),
+                };
+                // Tree nodes below the LLC route downward along the chain.
+                if let NodeRole::Core(ci) = roles[node] {
+                    if let NodeRole::Core(di) = roles[dst] {
+                        let (tile, half, pos) = (ci / (2 * depth), (ci / depth) % 2, ci % depth);
+                        let (dtile, dhalf, dpos) =
+                            (di / (2 * depth), (di / depth) % 2, di % depth);
+                        if tile == dtile && half == dhalf && dpos > pos {
+                            // Dispersion continues down: port 1 is the child.
+                            hops[dst] = channels[node]
+                                .iter()
+                                .position(|c| c.to == core_node(tile, half, pos + 1))
+                                .expect("child channel");
+                        }
+                    }
+                }
+            }
+        }
+        let core_nodes = (0..cores)
+            .map(|ci| core_node(ci / (2 * depth), (ci / depth) % 2, ci % depth))
+            .collect();
+        Topology {
+            kind: TopologyKind::NocOut,
+            roles,
+            channels,
+            pipeline,
+            next_hop,
+            core_nodes,
+            llc_nodes: (0..n_llc).collect(),
+        }
+        .verify()
+    }
+
+    /// Builds a dancehall crossbar: `cores` core leaves and `banks` bank
+    /// leaves around a hub whose pipeline is `hub_cycles` (arbitration +
+    /// switch). Used for pods and the conventional design.
+    pub fn crossbar(cores: u32, banks: u32, hub_cycles: u32, span_mm: f64) -> Topology {
+        Self::star(TopologyKind::Crossbar, cores, banks, hub_cycles, 1, span_mm)
+    }
+
+    /// Builds the ideal fixed-latency fabric of Table 3.1: a star whose
+    /// hub is free and whose links take two cycles each way (4-cycle round
+    /// trip), independent of scale.
+    pub fn ideal(cores: u32, banks: u32) -> Topology {
+        Self::star(TopologyKind::Ideal, cores, banks, 0, 2, 1.0)
+    }
+
+    fn star(
+        kind: TopologyKind,
+        cores: u32,
+        banks: u32,
+        hub_cycles: u32,
+        link_latency: u32,
+        span_mm: f64,
+    ) -> Topology {
+        assert!(cores > 0 && banks > 0, "star needs endpoints");
+        let n = 1 + (cores + banks) as usize;
+        let mut roles = vec![NodeRole::Hub];
+        let mut channels = vec![Vec::new(); n];
+        for c in 0..cores {
+            roles.push(NodeRole::Core(c));
+        }
+        for b in 0..banks {
+            roles.push(NodeRole::Llc(b));
+        }
+        for leaf in 1..n {
+            channels[0].push(Channel { to: leaf, latency: link_latency, length_mm: span_mm });
+            channels[leaf].push(Channel { to: 0, latency: link_latency, length_mm: span_mm });
+        }
+        let mut next_hop = vec![vec![0usize; n]; n];
+        for (dst, port) in next_hop[0].iter_mut().enumerate().skip(1) {
+            *port = dst - 1; // hub port order follows leaf order
+        }
+        let mut pipeline = vec![0; n];
+        pipeline[0] = hub_cycles;
+        Topology {
+            kind,
+            roles,
+            channels,
+            pipeline,
+            next_hop,
+            core_nodes: (1..=cores as usize).collect(),
+            llc_nodes: (1 + cores as usize..n).collect(),
+        }
+        .verify()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_zero_load_matches_three_cycles_per_hop() {
+        let m = Topology::mesh(8, 8, 1.82);
+        // Corner to corner: 14 hops x (2-cycle router + 1-cycle link).
+        assert_eq!(m.hops(0, 63), 14);
+        assert_eq!(m.zero_load_latency(0, 63), 42);
+    }
+
+    #[test]
+    fn mesh_routes_x_first() {
+        let m = Topology::mesh(4, 4, 1.0);
+        // From (0,0) to (2,1): first hop must be toward x=1, i.e. node 1.
+        let port = m.next_hop[0][6];
+        assert_eq!(m.channels[0][port].to, 1);
+    }
+
+    #[test]
+    fn butterfly_needs_at_most_two_hops() {
+        let f = Topology::flattened_butterfly(8, 8, 1.82);
+        for src in 0..64 {
+            for dst in 0..64 {
+                if src != dst {
+                    assert!(f.hops(src, dst) <= 2, "{src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nocout_cores_reach_all_llc_tiles() {
+        let t = Topology::noc_out(64, 8, 1.7);
+        assert_eq!(t.core_nodes.len(), 64);
+        assert_eq!(t.llc_nodes.len(), 8);
+        // A core adjacent to the row reaches its own tile in one hop.
+        let near = t.core_nodes[0];
+        assert_eq!(t.hops(near, t.llc_nodes[0]), 1);
+        // Deepest core of tile 0 to the farthest tile: 4 tree + 1 row hops.
+        let deep = t.core_nodes[3];
+        assert_eq!(t.hops(deep, t.llc_nodes[7]), 5);
+    }
+
+    #[test]
+    fn nocout_zero_load_is_low() {
+        let t = Topology::noc_out(64, 8, 1.7);
+        // Average core-to-LLC zero-load latency should be well under the
+        // mesh's (§4.4.1).
+        let mesh = Topology::mesh(8, 8, 1.82);
+        let avg = |topo: &Topology| {
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            for &c in &topo.core_nodes {
+                for &l in &topo.llc_nodes {
+                    if c != l {
+                        sum += u64::from(topo.zero_load_latency(c, l));
+                        count += 1;
+                    }
+                }
+            }
+            sum as f64 / count as f64
+        };
+        assert!(avg(&t) < 0.7 * avg(&mesh), "nocout {} mesh {}", avg(&t), avg(&mesh));
+    }
+
+    #[test]
+    fn nocout_response_path_returns_to_core() {
+        let t = Topology::noc_out(64, 8, 1.7);
+        for &core in &t.core_nodes {
+            for &llc in &t.llc_nodes {
+                t.hops(llc, core); // panics on a routing loop
+            }
+        }
+    }
+
+    #[test]
+    fn crossbar_is_two_hops_each_way() {
+        let x = Topology::crossbar(16, 4, 2, 4.8);
+        let core = x.core_nodes[3];
+        let bank = x.llc_nodes[1];
+        assert_eq!(x.hops(core, bank), 2);
+        // leaf (0 pipeline) + link + hub pipeline + link.
+        assert_eq!(x.zero_load_latency(core, bank), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn ideal_star_is_scale_invariant() {
+        let small = Topology::ideal(4, 1);
+        let big = Topology::ideal(256, 64);
+        assert_eq!(
+            small.zero_load_latency(small.core_nodes[0], small.llc_nodes[0]),
+            big.zero_load_latency(big.core_nodes[100], big.llc_nodes[10]),
+        );
+    }
+
+    #[test]
+    fn wire_length_grows_with_connectivity() {
+        let mesh = Topology::mesh(8, 8, 1.82);
+        let fb = Topology::flattened_butterfly(8, 8, 1.82);
+        assert!(fb.total_wire_mm() > 4.0 * mesh.total_wire_mm());
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly")]
+    fn nocout_uneven_cores_panics() {
+        Topology::noc_out(30, 8, 1.7);
+    }
+}

@@ -1,0 +1,256 @@
+//! Set-associative LLC banks with an invalidation directory.
+//!
+//! Each bank is a 16-way set-associative array with LRU replacement
+//! (Table 2.2). The directory tracks which cores hold each resident line
+//! so writes can invalidate remote sharers and reads can be forwarded
+//! from an owner — the (rare) snoop activity of Fig 4.3. L1 eviction is
+//! approximated by bounding the sharer list: the oldest sharer is dropped
+//! when a ninth core touches a line.
+
+use sop_workloads::trace::LineAddr;
+
+/// Maximum sharers tracked per line (stale-sharer bound).
+const MAX_SHARERS: usize = 8;
+
+/// Directory state of one resident line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryState {
+    /// Cached read-only by the listed cores (insertion order).
+    Shared(Vec<u32>),
+    /// Held modifiable by one core.
+    Owned(u32),
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    line: LineAddr,
+    dir: DirectoryState,
+    /// LRU stamp (bank access counter at last touch).
+    last_use: u64,
+}
+
+/// Outcome of a bank lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BankOutcome {
+    /// Line present; the listed cores (excluding the requester) must be
+    /// snooped before the access completes (empty for plain hits).
+    Hit {
+        /// Cores to invalidate (write to shared line) or the owner to
+        /// interrogate (read of an owned line).
+        snoop: Vec<u32>,
+    },
+    /// Line absent; fetch from memory (and write back a victim if the
+    /// evicted line was owned).
+    Miss {
+        /// Whether the victim needs a write-back to memory.
+        writeback: bool,
+    },
+}
+
+/// One LLC bank.
+#[derive(Debug, Clone)]
+pub struct LlcBank {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    accesses: u64,
+    misses: u64,
+    snoops: u64,
+    tick: u64,
+}
+
+impl LlcBank {
+    /// Builds a bank of `capacity_bytes` with `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity does not hold at least one set.
+    pub fn new(capacity_bytes: u64, ways: usize) -> Self {
+        let lines = capacity_bytes / 64;
+        let sets = (lines / ways as u64).max(1) as usize;
+        LlcBank {
+            sets: vec![Vec::new(); sets],
+            ways,
+            accesses: 0,
+            misses: 0,
+            snoops: 0,
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        // Mix the bits so region bases do not alias into a few sets.
+        let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
+        (h % self.sets.len() as u64) as usize
+    }
+
+    /// Performs an access by `core` to `line`; `write` requests ownership.
+    /// Updates directory and LRU state and returns what must happen next.
+    pub fn access(&mut self, core: u32, line: LineAddr, write: bool) -> BankOutcome {
+        self.accesses += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.last_use = tick;
+            let snoop = match (&mut way.dir, write) {
+                (DirectoryState::Shared(sharers), false) => {
+                    if !sharers.contains(&core) {
+                        sharers.push(core);
+                        if sharers.len() > MAX_SHARERS {
+                            sharers.remove(0);
+                        }
+                    }
+                    Vec::new()
+                }
+                (DirectoryState::Shared(sharers), true) => {
+                    let victims: Vec<u32> =
+                        sharers.iter().copied().filter(|&s| s != core).collect();
+                    way.dir = DirectoryState::Owned(core);
+                    victims
+                }
+                (DirectoryState::Owned(owner), _) => {
+                    let prev = *owner;
+                    if prev == core {
+                        Vec::new()
+                    } else {
+                        // L1-to-L1 forwarding (read) or ownership transfer.
+                        way.dir = if write {
+                            DirectoryState::Owned(core)
+                        } else {
+                            DirectoryState::Shared(vec![prev, core])
+                        };
+                        vec![prev]
+                    }
+                }
+            };
+            self.snoops += snoop.len() as u64;
+            return BankOutcome::Hit { snoop };
+        }
+        // Miss: fill, evicting LRU if the set is full.
+        self.misses += 1;
+        let mut writeback = false;
+        if set.len() >= ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            writeback = matches!(set[lru].dir, DirectoryState::Owned(_));
+            set.swap_remove(lru);
+        }
+        let dir = if write {
+            DirectoryState::Owned(core)
+        } else {
+            DirectoryState::Shared(vec![core])
+        };
+        set.push(Way { line, dir, last_use: tick });
+        BankOutcome::Miss { writeback }
+    }
+
+    /// (accesses, misses, snoop messages) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.accesses, self.misses, self.snoops)
+    }
+
+    /// Resets statistics (after warm-up) without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+        self.snoops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_access_hits() {
+        let mut b = LlcBank::new(1 << 20, 16);
+        assert!(matches!(b.access(0, 42, false), BankOutcome::Miss { .. }));
+        assert!(matches!(b.access(0, 42, false), BankOutcome::Hit { snoop } if snoop.is_empty()));
+        assert_eq!(b.stats(), (2, 1, 0));
+    }
+
+    #[test]
+    fn write_to_shared_line_snoops_other_sharers() {
+        let mut b = LlcBank::new(1 << 20, 16);
+        b.access(0, 7, false);
+        b.access(1, 7, false);
+        b.access(2, 7, false);
+        match b.access(1, 7, true) {
+            BankOutcome::Hit { snoop } => {
+                assert_eq!(snoop.len(), 2);
+                assert!(snoop.contains(&0) && snoop.contains(&2));
+            }
+            other => panic!("expected a hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_of_owned_line_forwards_from_owner() {
+        let mut b = LlcBank::new(1 << 20, 16);
+        b.access(3, 9, true);
+        match b.access(5, 9, false) {
+            BankOutcome::Hit { snoop } => assert_eq!(snoop, vec![3]),
+            other => panic!("expected forwarding hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn owner_rewrite_is_silent() {
+        let mut b = LlcBank::new(1 << 20, 16);
+        b.access(3, 9, true);
+        match b.access(3, 9, true) {
+            BankOutcome::Hit { snoop } => assert!(snoop.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_lru() {
+        // A 16-line (1-set-at-16-ways) bank: the 17th distinct line evicts.
+        let mut b = LlcBank::new(16 * 64, 16);
+        for l in 0..16u64 {
+            b.access(0, l, false);
+        }
+        b.access(0, 0, false); // refresh line 0
+        assert!(matches!(b.access(0, 100, false), BankOutcome::Miss { .. }));
+        // Line 0 was refreshed, so it should still be resident.
+        assert!(matches!(b.access(0, 0, false), BankOutcome::Hit { .. }));
+    }
+
+    #[test]
+    fn dirty_victim_requires_writeback() {
+        let mut b = LlcBank::new(64, 1); // one line total
+        b.access(0, 1, true);
+        match b.access(0, 2, false) {
+            BankOutcome::Miss { writeback } => assert!(writeback),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharer_list_is_bounded() {
+        let mut b = LlcBank::new(1 << 20, 16);
+        for core in 0..12u32 {
+            b.access(core, 5, false);
+        }
+        match b.access(50, 5, true) {
+            BankOutcome::Hit { snoop } => assert!(snoop.len() <= MAX_SHARERS),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut b = LlcBank::new(1 << 20, 16);
+        b.access(0, 42, false);
+        b.reset_stats();
+        assert_eq!(b.stats(), (0, 0, 0));
+        assert!(matches!(b.access(0, 42, false), BankOutcome::Hit { .. }));
+    }
+}

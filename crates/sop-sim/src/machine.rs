@@ -1,0 +1,656 @@
+//! The full chip-multiprocessor: cores + NOC + LLC + directory + memory.
+//!
+//! Transactions follow the §4.2.1 protocol. A core's L1 miss travels as a
+//! `Request` to the home LLC bank. The bank either hits (responding after
+//! its access latency, possibly after snooping sharers/owners), or misses
+//! and fetches the line from the interleaved memory controllers (paying a
+//! write-back when the victim was owned). Snoops travel as
+//! `SnoopRequest`s to the cores, whose acknowledgements return as
+//! `Response`s before the original access completes — the full
+//! invalidation/forwarding round trip of an inclusive directory LLC.
+
+use crate::cache::{BankOutcome, LlcBank};
+use crate::l1::L1Cache;
+use crate::stats::Histogram;
+use crate::core::{CoreRequest, SimCore};
+use crate::memory::{channel_of, MemoryController};
+use sop_noc::{MessageClass, Network, NocConfig, PacketId, TopologyKind};
+use sop_tech::{CacheGeometry, CoreKind, TechnologyNode};
+use sop_workloads::trace::LineAddr;
+use sop_workloads::{TraceConfig, Workload, WorkloadProfile};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Workload to run.
+    pub workload: Workload,
+    /// Core microarchitecture.
+    pub core_kind: CoreKind,
+    /// Cores instantiated (the fabric is built for this count).
+    pub cores: u32,
+    /// Cores actually running threads (§4.3.3: workloads that only scale
+    /// to 16 use the 16 tiles nearest the LLC).
+    pub active_cores: u32,
+    /// Total LLC capacity in MB.
+    pub llc_mb: f64,
+    /// On-chip fabric.
+    pub noc: NocConfig,
+    /// Memory channels.
+    pub memory_channels: u32,
+    /// Technology node.
+    pub node: TechnologyNode,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The chapter-4 pod: 64 A15-like cores, 8MB LLC, four DDR3 channels
+    /// at 32nm (Table 4.1), honouring the workload's scalability limit.
+    pub fn pod_64(workload: Workload, topology: TopologyKind) -> Self {
+        let profile = WorkloadProfile::of(workload);
+        SimConfig {
+            workload,
+            core_kind: CoreKind::OutOfOrder,
+            cores: 64,
+            active_cores: profile.scalability.pod_cores.min(64),
+            llc_mb: 8.0,
+            noc: NocConfig::pod_64(topology),
+            memory_channels: 4,
+            node: TechnologyNode::N32,
+            seed: 42,
+        }
+    }
+
+    /// A chapter-3 validation configuration (Fig 3.3): `cores` cores and a
+    /// 4MB LLC on the given fabric at 40nm.
+    pub fn validation(workload: Workload, cores: u32, topology: TopologyKind) -> Self {
+        let llc_tiles = match topology {
+            TopologyKind::Mesh | TopologyKind::FlattenedButterfly => cores,
+            _ => cores.div_ceil(4),
+        };
+        SimConfig {
+            workload,
+            core_kind: CoreKind::OutOfOrder,
+            cores,
+            active_cores: cores,
+            llc_mb: 4.0,
+            noc: NocConfig {
+                topology,
+                cores,
+                llc_tiles,
+                link_bits: 128,
+                vc_depth: 5,
+                tile_mm: 2.2,
+                hub_cycles: 2,
+            },
+            // Scale channels with the machine so the validation study
+            // isolates interconnect and software effects, as the thesis'
+            // full-system configurations do.
+            memory_channels: cores.div_ceil(8).max(2),
+            node: TechnologyNode::N40,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated simulation results over the measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Application instructions committed by all cores in the window.
+    pub instructions: u64,
+    /// LLC accesses in the window.
+    pub llc_accesses: u64,
+    /// LLC misses in the window.
+    pub llc_misses: u64,
+    /// Snoop messages sent to cores.
+    pub snoops: u64,
+    /// Lines transferred from memory.
+    pub memory_lines: u64,
+    /// Snoop invalidations that found a line in an L1 (the rest were
+    /// stale-sharer snoops).
+    pub l1_invalidations: u64,
+    /// Mean NOC packet latency.
+    pub mean_packet_latency: f64,
+    /// End-to-end L1-miss round-trip latency distribution (request issue
+    /// to response delivery, including bank, directory, and memory time).
+    pub request_latency: Histogram,
+    /// Flit-hops through routers during the window (for power analysis).
+    pub noc_flit_hops: u64,
+    /// Flit-millimetres of wire traversed during the window.
+    pub noc_flit_mm: f64,
+    /// Cores that ran threads.
+    pub active_cores: u32,
+}
+
+impl SimResult {
+    /// Aggregate application IPC (the thesis' performance metric, §3.3).
+    pub fn aggregate_ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// Per-core application IPC.
+    pub fn per_core_ipc(&self) -> f64 {
+        self.aggregate_ipc() / f64::from(self.active_cores)
+    }
+
+    /// Fraction of LLC accesses that triggered at least one snoop-ish
+    /// message (Fig 4.3 numerator counts accesses causing a snoop).
+    pub fn snoop_fraction(&self) -> f64 {
+        if self.llc_accesses == 0 {
+            0.0
+        } else {
+            self.snoops as f64 / self.llc_accesses as f64
+        }
+    }
+
+    /// Off-chip bandwidth in GB/s at `ghz`.
+    pub fn offchip_gbps(&self, ghz: f64) -> f64 {
+        self.memory_lines as f64 * 64.0 / (self.cycles as f64 / (ghz * 1e9)) / 1e9
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenRequest {
+    core: u32,
+    line: LineAddr,
+    write: bool,
+    fetch: bool,
+    bank: usize,
+    /// Cycle the core issued the request.
+    issued_at: u64,
+    /// Snoop acknowledgements still outstanding.
+    pending_acks: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    due: u64,
+    packet: PacketId,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due).then(other.packet.cmp(&self.packet))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A runnable machine instance.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SimConfig,
+    net: Network,
+    cores: Vec<SimCore>,
+    /// Which cores run threads (indices into `cores`).
+    active: Vec<u32>,
+    banks: Vec<LlcBank>,
+    bank_free_at: Vec<u64>,
+    bank_latency: u64,
+    mcs: Vec<MemoryController>,
+    /// Requests in flight, by the packet id of their current leg.
+    open: HashMap<PacketId, OpenRequest>,
+    /// Snoop leg -> parent request packet.
+    snoop_parent: HashMap<PacketId, PacketId>,
+    /// Response leg -> (core, fetch?, issue cycle).
+    response_meta: HashMap<PacketId, (u32, bool, u64)>,
+    /// Bank pipeline completion events.
+    bank_events: BinaryHeap<Scheduled>,
+    /// Memory completion events.
+    mem_events: BinaryHeap<Scheduled>,
+    cycle: u64,
+    memory_lines: u64,
+    request_latency: Histogram,
+    /// Per-thread private L1 data caches (coherence state only: snoops
+    /// must find real lines, and finite capacity drops stale sharers).
+    l1s: Vec<L1Cache>,
+    warmed: bool,
+}
+
+impl Machine {
+    /// Builds the machine for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_cores` exceeds `cores`.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.active_cores <= cfg.cores, "more threads than cores");
+        let net = Network::new(cfg.noc);
+        let profile = WorkloadProfile::of(cfg.workload);
+        // Pick the active cores closest to the LLC: the thesis places
+        // 16-core workloads on the central mesh tiles and on the core
+        // tiles adjacent to the LLC row in NOC-Out (§4.3.3). Rank cores by
+        // mean zero-load latency to the LLC endpoints.
+        let topo = net.topology();
+        let mut ranked: Vec<(u64, u32)> = net
+            .core_endpoints()
+            .iter()
+            .enumerate()
+            .map(|(core, &node)| {
+                let sum: u64 = net
+                    .llc_endpoints()
+                    .iter()
+                    .map(|&l| {
+                        if l == node {
+                            0
+                        } else {
+                            u64::from(topo.zero_load_latency(node, l))
+                        }
+                    })
+                    .sum();
+                (sum, core as u32)
+            })
+            .collect();
+        ranked.sort();
+        let mut active: Vec<u32> =
+            ranked[..cfg.active_cores as usize].iter().map(|&(_, c)| c).collect();
+        active.sort_unstable();
+        // Only active cores execute; their trace identities are contiguous
+        // regardless of which physical tiles they occupy.
+        let cores = (0..cfg.active_cores)
+            .map(|thread| {
+                SimCore::new(TraceConfig {
+                    profile,
+                    core_kind: cfg.core_kind,
+                    core_id: thread,
+                    total_cores: cfg.active_cores.max(1),
+                    seed: cfg.seed,
+                })
+            })
+            .collect();
+        // Two banks per NOC-Out LLC tile (Table 4.1), one per tile/endpoint
+        // elsewhere.
+        let llc_endpoints = net.llc_endpoints().len();
+        let banks_per_endpoint =
+            if cfg.noc.topology == TopologyKind::NocOut { 2 } else { 1 };
+        let n_banks = llc_endpoints * banks_per_endpoint;
+        let bank_bytes = (cfg.llc_mb * 1024.0 * 1024.0 / n_banks as f64) as u64;
+        let banks = (0..n_banks).map(|_| LlcBank::new(bank_bytes, 16)).collect();
+        let bank_latency = u64::from(
+            CacheGeometry::new().bank_latency_cycles(cfg.llc_mb / n_banks as f64),
+        );
+        let mcs = (0..cfg.memory_channels)
+            .map(|_| match cfg.node.memory_gen() {
+                sop_tech::MemoryGen::Ddr3 => MemoryController::ddr3_at_2ghz(),
+                sop_tech::MemoryGen::Ddr4 => MemoryController::ddr4_at_2ghz(),
+            })
+            .collect();
+        Machine {
+            cfg,
+            net,
+            cores,
+            active,
+            banks,
+            bank_free_at: vec![0; n_banks],
+            bank_latency,
+            mcs,
+            open: HashMap::new(),
+            snoop_parent: HashMap::new(),
+            response_meta: HashMap::new(),
+            bank_events: BinaryHeap::new(),
+            mem_events: BinaryHeap::new(),
+            cycle: 0,
+            memory_lines: 0,
+            request_latency: Histogram::new(),
+            l1s: {
+                let ua = cfg.core_kind.microarch();
+                (0..cfg.active_cores)
+                    .map(|_| L1Cache::new(ua.l1d_kb, 2))
+                    .collect()
+            },
+            warmed: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    fn bank_of(&self, line: LineAddr) -> usize {
+        (line.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 29) as usize % self.banks.len()
+    }
+
+    fn llc_node_of_bank(&self, bank: usize) -> usize {
+        let per = if self.cfg.noc.topology == TopologyKind::NocOut { 2 } else { 1 };
+        self.net.llc_endpoints()[bank / per]
+    }
+
+    fn core_node(&self, core: u32) -> usize {
+        self.net.core_endpoints()[core as usize]
+    }
+
+    fn thread_of(&self, physical: u32) -> usize {
+        self.active
+            .iter()
+            .position(|&p| p == physical)
+            .expect("responses only target active cores")
+    }
+
+    fn issue_request(&mut self, core: u32, req: CoreRequest, now: u64) {
+        let bank = self.bank_of(req.line);
+        let src = self.core_node(core);
+        let dst = self.llc_node_of_bank(bank);
+        let packet = self.net.inject(src, dst, MessageClass::Request, 0, now);
+        self.open.insert(
+            packet,
+            OpenRequest {
+                core,
+                line: req.line,
+                write: req.write,
+                fetch: req.fetch,
+                bank,
+                issued_at: now,
+                pending_acks: 0,
+            },
+        );
+    }
+
+    fn respond(&mut self, packet: PacketId, now: u64) {
+        let open = self.open.remove(&packet).expect("open request");
+        // Fill the requester's private L1 (instruction fetches go to the
+        // L1-I, which we do not track for coherence).
+        if !open.fetch {
+            let thread = self.thread_of(open.core);
+            self.l1s[thread].fill(open.line, open.write);
+        }
+        let src = self.llc_node_of_bank(open.bank);
+        let dst = self.core_node(open.core);
+        let resp = self.net.inject(src, dst, MessageClass::Response, 0, now);
+        self.response_meta.insert(resp, (open.core, open.fetch, open.issued_at));
+    }
+
+    /// Runs `warmup` cycles, resets statistics, then runs `measure`
+    /// cycles and reports results. Before the timed warm-up the LLC and
+    /// directory are *functionally* warmed from the same traces — the
+    /// warmed-checkpoint methodology of SimFlex (§3.3) — so steady-state
+    /// hit rates are reached without simulating millions of cold cycles.
+    pub fn run(mut self, warmup: u64, measure: u64) -> SimResult {
+        self.run_window(warmup, measure)
+    }
+
+    /// Runs one measurement window without consuming the machine: warms
+    /// functionally on first use, advances `warmup` timed cycles, then
+    /// measures `measure` cycles. Calling this repeatedly yields the
+    /// SimFlex sampling pattern — consecutive windows drawn over one long
+    /// execution (§3.3).
+    pub fn run_window(&mut self, warmup: u64, measure: u64) -> SimResult {
+        if !self.warmed {
+            self.functional_warmup();
+            self.warmed = true;
+        }
+        self.advance(warmup);
+        for bank in &mut self.banks {
+            bank.reset_stats();
+        }
+        for core in &mut self.cores {
+            core.reset_stats();
+        }
+        for mc in &mut self.mcs {
+            mc.reset_stats();
+        }
+        self.memory_lines = 0;
+        self.request_latency = Histogram::new();
+        let before_packets = self.net.counters();
+        self.advance(measure);
+        let counters = self.net.counters();
+        let instructions = self.cores.iter().map(SimCore::committed).sum();
+        let (mut acc, mut miss, mut sn) = (0, 0, 0);
+        for bank in &self.banks {
+            let (a, m, s) = bank.stats();
+            acc += a;
+            miss += m;
+            sn += s;
+        }
+        let delivered = counters.packets - before_packets.packets;
+        let latency_sum = counters.total_latency - before_packets.total_latency;
+        let l1_invalidations =
+            self.l1s.iter().map(|l| l.stats().1).sum();
+        SimResult {
+            cycles: measure,
+            instructions,
+            l1_invalidations,
+            llc_accesses: acc,
+            llc_misses: miss,
+            snoops: sn,
+            memory_lines: self.memory_lines,
+            mean_packet_latency: if delivered == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / delivered as f64
+            },
+            request_latency: self.request_latency.clone(),
+            noc_flit_hops: counters.flit_hops - before_packets.flit_hops,
+            noc_flit_mm: counters.flit_mm - before_packets.flit_mm,
+            active_cores: self.cfg.active_cores,
+        }
+    }
+
+    /// Streams enough trace accesses through the banks to populate the
+    /// working set (round-robin across cores, preserving sharing).
+    fn functional_warmup(&mut self) {
+        let llc_lines = (self.cfg.llc_mb * 1024.0 * 1024.0 / 64.0) as u64;
+        let per_core = (llc_lines * 6 / self.active.len() as u64).clamp(2_000, 100_000);
+        let batches: Vec<(u32, Vec<crate::core::CoreRequest>)> = (0..self.active.len())
+            .map(|t| (self.active[t], self.cores[t].functional_accesses(per_core)))
+            .collect();
+        // Interleave cores so sharer lists build up the way concurrent
+        // execution would build them.
+        for i in 0..per_core as usize {
+            for (physical, accesses) in &batches {
+                let req = accesses[i];
+                let bank = self.bank_of(req.line);
+                self.banks[bank].access(*physical, req.line, req.write);
+            }
+        }
+        for bank in &mut self.banks {
+            bank.reset_stats();
+        }
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        let end = self.cycle + cycles;
+        while self.cycle < end {
+            let now = self.cycle;
+            // 1. Network deliveries.
+            for d in self.net.step(now) {
+                match d.class {
+                    MessageClass::Request => {
+                        // Arrived at the home bank: start the array access
+                        // when the bank pipeline has a slot.
+                        let open = self.open[&d.packet];
+                        let start = now.max(self.bank_free_at[open.bank]);
+                        // Initiation interval of 2 cycles per bank.
+                        self.bank_free_at[open.bank] = start + 2;
+                        self.bank_events
+                            .push(Scheduled { due: start + self.bank_latency, packet: d.packet });
+                    }
+                    MessageClass::SnoopRequest => {
+                        // Arrived at a core: invalidate the line in its L1
+                        // and acknowledge.
+                        let parent = self.snoop_parent.remove(&d.packet).expect("parent");
+                        if let Some(open) = self.open.get(&parent) {
+                            let line = open.line;
+                            // Map the snooped node back to a thread.
+                            if let Some(t) = self
+                                .active
+                                .iter()
+                                .position(|&p| self.core_node(p) == d.dst)
+                            {
+                                self.l1s[t].snoop_invalidate(line);
+                            }
+                        }
+                        let ack =
+                            self.net.inject(d.dst, d.src, MessageClass::Response, 0, now);
+                        self.snoop_parent.insert(ack, parent);
+                    }
+                    MessageClass::Response => {
+                        if let Some(parent) = self.snoop_parent.remove(&d.packet) {
+                            // A snoop acknowledgement back at the directory.
+                            let open = self.open.get_mut(&parent).expect("parent open");
+                            open.pending_acks -= 1;
+                            if open.pending_acks == 0 {
+                                self.respond(parent, now);
+                            }
+                        } else {
+                            let (core, fetch, issued_at) =
+                                self.response_meta.remove(&d.packet).expect("response meta");
+                            self.request_latency.record(now - issued_at);
+                            let thread = self.thread_of(core);
+                            self.cores[thread].on_response(fetch);
+                        }
+                    }
+                }
+            }
+            // 2. Bank accesses completing.
+            while self.bank_events.peek().map(|e| e.due <= now).unwrap_or(false) {
+                let ev = self.bank_events.pop().expect("peeked");
+                self.finish_bank_access(ev.packet, now);
+            }
+            // 3. Memory returns.
+            while self.mem_events.peek().map(|e| e.due <= now).unwrap_or(false) {
+                let ev = self.mem_events.pop().expect("peeked");
+                self.respond(ev.packet, now);
+            }
+            // 4. Cores issue.
+            for t in 0..self.active.len() {
+                if let Some(req) = self.cores[t].poll(now) {
+                    let physical = self.active[t];
+                    self.issue_request(physical, req, now);
+                }
+            }
+            self.cycle += 1;
+        }
+    }
+
+    fn finish_bank_access(&mut self, packet: PacketId, now: u64) {
+        let open = *self.open.get(&packet).expect("open request");
+        let outcome = self.banks[open.bank].access(open.core, open.line, open.write);
+        match outcome {
+            BankOutcome::Hit { snoop } if snoop.is_empty() => self.respond(packet, now),
+            BankOutcome::Hit { snoop } => {
+                let src = self.llc_node_of_bank(open.bank);
+                let n = snoop.len() as u32;
+                for target in snoop {
+                    let dst = self.core_node(target);
+                    let sp = self.net.inject(src, dst, MessageClass::SnoopRequest, 0, now);
+                    self.snoop_parent.insert(sp, packet);
+                }
+                self.open.get_mut(&packet).expect("open").pending_acks = n;
+            }
+            BankOutcome::Miss { writeback } => {
+                let ch = channel_of(open.line, self.cfg.memory_channels);
+                if writeback {
+                    // Write-backs consume channel bandwidth only.
+                    self.mcs[ch].request(now);
+                    self.memory_lines += 1;
+                }
+                let ready = self.mcs[ch].request(now);
+                self.memory_lines += 1;
+                self.mem_events.push(Scheduled { due: ready, packet });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_simulation_commits_instructions() {
+        let cfg = SimConfig::pod_64(Workload::MapReduceW, TopologyKind::NocOut);
+        let r = Machine::new(cfg).run(3_000, 6_000);
+        assert!(r.instructions > 10_000, "instructions {}", r.instructions);
+        assert!(r.aggregate_ipc() > 1.0);
+        assert!(r.llc_accesses > 500);
+        assert!(r.llc_misses < r.llc_accesses);
+    }
+
+    #[test]
+    fn snoop_fraction_is_small() {
+        // Fig 4.3: a few percent of LLC accesses trigger snoops.
+        let cfg = SimConfig::pod_64(Workload::MapReduceW, TopologyKind::Mesh);
+        let r = Machine::new(cfg).run(3_000, 8_000);
+        assert!(r.snoop_fraction() < 0.12, "snoop fraction {}", r.snoop_fraction());
+    }
+
+    #[test]
+    fn scalability_limit_restricts_active_cores() {
+        let cfg = SimConfig::pod_64(Workload::WebSearch, TopologyKind::Mesh);
+        assert_eq!(cfg.active_cores, 16);
+        let r = Machine::new(cfg).run(1_000, 2_000);
+        assert_eq!(r.active_cores, 16);
+    }
+
+    #[test]
+    fn nocout_outperforms_mesh_on_a_pod() {
+        // Fig 4.6's headline: NOC-Out beats the mesh at 64 cores.
+        let mesh = Machine::new(SimConfig::pod_64(Workload::WebSearch, TopologyKind::Mesh))
+            .run(4_000, 10_000);
+        let nocout =
+            Machine::new(SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut))
+                .run(4_000, 10_000);
+        assert!(
+            nocout.aggregate_ipc() > mesh.aggregate_ipc(),
+            "nocout {} vs mesh {}",
+            nocout.aggregate_ipc(),
+            mesh.aggregate_ipc()
+        );
+    }
+
+    #[test]
+    fn latency_distribution_is_populated_and_ordered() {
+        let r = Machine::new(SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut))
+            .run(3_000, 8_000);
+        let h = &r.request_latency;
+        assert!(h.count() > 100, "samples {}", h.count());
+        // LLC hits bound the low end; memory round trips the high end.
+        assert!(h.quantile_upper(0.5) < h.quantile_upper(0.99));
+        assert!(h.max() >= 90, "some requests reach memory");
+        assert!(h.mean() > 5.0);
+    }
+
+    #[test]
+    fn snoops_find_real_l1_lines() {
+        // The directory's snoops must hit actual cached lines some of the
+        // time (not only stale sharers): shared-write invalidations are
+        // what MESI exists for.
+        let cfg = SimConfig::pod_64(Workload::WebFrontend, TopologyKind::Mesh);
+        let r = Machine::new(cfg).run(3_000, 10_000);
+        assert!(r.snoops > 0, "workload generates snoops");
+        assert!(r.l1_invalidations > 0, "some snoops must find L1 lines");
+        assert!(r.l1_invalidations <= r.snoops + r.llc_accesses);
+    }
+
+    #[test]
+    fn memory_traffic_is_reported() {
+        let cfg = SimConfig::pod_64(Workload::MediaStreaming, TopologyKind::NocOut);
+        let r = Machine::new(cfg).run(2_000, 5_000);
+        assert!(r.memory_lines > 0);
+        assert!(r.offchip_gbps(2.0) > 0.0);
+    }
+
+    #[test]
+    fn validation_config_runs_small_machines() {
+        for cores in [1u32, 4, 16] {
+            let cfg = SimConfig::validation(Workload::SatSolver, cores, TopologyKind::Crossbar);
+            let r = Machine::new(cfg).run(2_000, 4_000);
+            assert!(r.instructions > 0, "{cores} cores");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more threads than cores")]
+    fn too_many_active_cores_panics() {
+        let mut cfg = SimConfig::pod_64(Workload::MapReduceW, TopologyKind::Mesh);
+        cfg.active_cores = 65;
+        Machine::new(cfg);
+    }
+}

@@ -1,0 +1,117 @@
+//! Memory-controller model: fixed DRAM latency plus channel bandwidth.
+//!
+//! Each single-channel controller serves one 64B line at a time at the
+//! channel's useful bandwidth (≈9GB/s for DDR3-1667, §2.4.1), after the
+//! 45ns (90-cycle) DRAM access latency. Requests queue FIFO per channel;
+//! lines are interleaved across channels by address hash.
+
+use sop_workloads::trace::LineAddr;
+
+/// One memory channel.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    /// DRAM access latency in cycles.
+    latency: u64,
+    /// Cycles of channel occupancy per 64B transfer.
+    cycles_per_line: u64,
+    /// The cycle until which the channel data bus is busy.
+    busy_until: u64,
+    /// Lines served.
+    served: u64,
+}
+
+impl MemoryController {
+    /// A controller with `latency` cycles of DRAM access time serving 64B
+    /// every `cycles_per_line` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_line` is zero.
+    pub fn new(latency: u64, cycles_per_line: u64) -> Self {
+        assert!(cycles_per_line > 0, "channel must have bandwidth");
+        MemoryController { latency, cycles_per_line, busy_until: 0, served: 0 }
+    }
+
+    /// A DDR3-1667 channel at 2GHz: 90-cycle latency, 64B per ~14 cycles
+    /// of useful bandwidth.
+    pub fn ddr3_at_2ghz() -> Self {
+        MemoryController::new(90, 14)
+    }
+
+    /// A DDR4 channel at 2GHz: same latency, double the bandwidth.
+    pub fn ddr4_at_2ghz() -> Self {
+        MemoryController::new(90, 7)
+    }
+
+    /// Enqueues a line read (or write-back) at `now`, returning the cycle
+    /// its data is available.
+    pub fn request(&mut self, now: u64) -> u64 {
+        let start = now.max(self.busy_until);
+        self.busy_until = start + self.cycles_per_line;
+        self.served += 1;
+        start + self.cycles_per_line + self.latency
+    }
+
+    /// Lines served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Resets statistics (after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.served = 0;
+    }
+}
+
+/// Picks the channel serving `line` among `channels` (static interleave,
+/// §2.1.6).
+pub fn channel_of(line: LineAddr, channels: u32) -> usize {
+    assert!(channels > 0, "need at least one memory channel");
+    (line.wrapping_mul(0xFF51_AFD7_ED55_8CCD) >> 33) as usize % channels as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_channel_returns_latency_plus_transfer() {
+        let mut mc = MemoryController::ddr3_at_2ghz();
+        assert_eq!(mc.request(100), 100 + 14 + 90);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue_on_bandwidth() {
+        let mut mc = MemoryController::ddr3_at_2ghz();
+        let first = mc.request(0);
+        let second = mc.request(0);
+        assert_eq!(second, first + 14);
+    }
+
+    #[test]
+    fn ddr4_has_double_bandwidth() {
+        let mut d3 = MemoryController::ddr3_at_2ghz();
+        let mut d4 = MemoryController::ddr4_at_2ghz();
+        d3.request(0);
+        d4.request(0);
+        // Two queued 64B transfers: 2x14 vs 2x7 cycles of bus time.
+        assert_eq!(d3.request(0) - d4.request(0), 14);
+    }
+
+    #[test]
+    fn interleaving_spreads_lines() {
+        let mut counts = [0u32; 4];
+        for line in 0..4000u64 {
+            counts[channel_of(line, 4)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_channels_panics() {
+        channel_of(5, 0);
+    }
+}

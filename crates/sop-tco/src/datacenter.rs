@@ -1,0 +1,264 @@
+//! Datacenter composition and the four-category TCO sum (§5.2).
+
+use crate::params::TcoParams;
+use crate::price::market_price_usd;
+use crate::CHAPTER5_NODE;
+use sop_core::designs::{reference_chip, DesignKind};
+use sop_core::ChipSpec;
+
+/// Months used to express TCO (costs are reported per month, as EETCO
+/// does; ratios are horizon-independent).
+const MONTHS_PER_YEAR: f64 = 12.0;
+
+/// Monthly TCO split by expense category (§5.2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoBreakdown {
+    /// Land, building, power provisioning and cooling equipment.
+    pub infrastructure_usd: f64,
+    /// Servers plus network gear (amortized).
+    pub hardware_usd: f64,
+    /// Electricity.
+    pub power_usd: f64,
+    /// Repairs and personnel.
+    pub maintenance_usd: f64,
+}
+
+impl TcoBreakdown {
+    /// Total monthly TCO.
+    pub fn total_usd(&self) -> f64 {
+        self.infrastructure_usd + self.hardware_usd + self.power_usd + self.maintenance_usd
+    }
+}
+
+/// A fully populated datacenter built around one server-chip design.
+#[derive(Debug, Clone)]
+pub struct Datacenter {
+    /// The chip populating every socket.
+    pub chip: ChipSpec,
+    /// Unit price assumed for the chip.
+    pub chip_price_usd: f64,
+    /// Processors per 1U server.
+    pub sockets_per_server: u32,
+    /// DRAM per 1U server in GB.
+    pub memory_gb: u32,
+    /// Racks in the facility.
+    pub racks: u32,
+    /// Aggregate performance (application instructions per cycle summed
+    /// over every chip — proportional to throughput at the fixed 2GHz).
+    pub performance: f64,
+    /// Monthly TCO.
+    pub tco: TcoBreakdown,
+    params: TcoParams,
+}
+
+impl Datacenter {
+    /// Builds the facility for a reference design at the chapter-5 node,
+    /// with `memory_gb` of DRAM per 1U server.
+    pub fn for_design(design: DesignKind, params: &TcoParams, memory_gb: u32) -> Self {
+        let chip = reference_chip(design, CHAPTER5_NODE);
+        let price = market_price_usd(design, chip.die_mm2);
+        Datacenter::for_chip(chip, price, params, memory_gb)
+    }
+
+    /// Builds the facility for an explicit chip and unit price.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not even one processor fits the server power budget.
+    pub fn for_chip(
+        chip: ChipSpec,
+        chip_price_usd: f64,
+        params: &TcoParams,
+        memory_gb: u32,
+    ) -> Self {
+        let budget = params.processor_budget_w(memory_gb);
+        let sockets = (budget / chip.power_w) as u32;
+        assert!(sockets >= 1, "no {} fits a {budget}W budget", chip.label);
+        let racks = params.racks();
+        let servers = racks * params.servers_per_rack;
+        let chips = u64::from(servers) * u64::from(sockets);
+        let performance = chips as f64 * chip.aggregate_ipc;
+        let tco = tco_breakdown(&chip, chip_price_usd, params, memory_gb, sockets);
+        Datacenter {
+            chip,
+            chip_price_usd,
+            sockets_per_server: sockets,
+            memory_gb,
+            racks,
+            performance,
+            tco,
+            params: *params,
+        }
+    }
+
+    /// Performance per monthly TCO dollar (Fig 5.3's metric).
+    pub fn perf_per_tco(&self) -> f64 {
+        self.performance / self.tco.total_usd()
+    }
+
+    /// Performance per watt of facility critical power (Fig 5.4).
+    pub fn perf_per_watt(&self) -> f64 {
+        self.performance / self.params.datacenter_power_w
+    }
+
+    /// Total processors in the facility.
+    pub fn total_chips(&self) -> u64 {
+        u64::from(self.racks)
+            * u64::from(self.params.servers_per_rack)
+            * u64::from(self.sockets_per_server)
+    }
+}
+
+fn tco_breakdown(
+    chip: &ChipSpec,
+    chip_price_usd: f64,
+    p: &TcoParams,
+    memory_gb: u32,
+    sockets: u32,
+) -> TcoBreakdown {
+    let racks = f64::from(p.racks());
+    let servers = racks * f64::from(p.servers_per_rack);
+    let chips = servers * f64::from(sockets);
+
+    // Infrastructure: floor space (with equipment overhead) plus
+    // power/cooling equipment sized to critical power, over 15 years.
+    let floor_m2 = racks * p.rack_footprint_m2 * (1.0 + p.equipment_space_overhead);
+    let infra_capex = floor_m2 * p.infrastructure_usd_per_m2
+        + p.datacenter_power_w * p.equipment_usd_per_w;
+    let infrastructure_usd = infra_capex / (p.infrastructure_years * MONTHS_PER_YEAR);
+
+    // Server hardware over 3 years, network gear over 4.
+    let server_capex = servers
+        * (f64::from(sockets) * chip_price_usd
+            + f64::from(memory_gb) * p.dram_usd_per_gb
+            + f64::from(p.disks_per_server) * p.disk_usd
+            + p.motherboard_usd);
+    let network_capex = racks * p.network_usd_per_rack;
+    let hardware_usd = server_capex / (p.server_years * MONTHS_PER_YEAR)
+        + network_capex / (p.network_years * MONTHS_PER_YEAR);
+
+    // Power: facility draw at PUE, billed per kWh. IT draw is bounded by
+    // the rack budget; servers run at their provisioned power.
+    let it_w = racks * p.rack_power_w;
+    let hours_per_month = 24.0 * 365.25 / 12.0;
+    let power_usd = it_w * p.pue / 1000.0 * p.usd_per_kwh * hours_per_month;
+
+    // Maintenance: personnel plus MTTF-driven replacements.
+    let monthly_fail = |count: f64, mttf_years: f64| count / (mttf_years * MONTHS_PER_YEAR);
+    let repairs = monthly_fail(servers * f64::from(p.disks_per_server), p.disk_mttf_years)
+        * p.disk_usd
+        + monthly_fail(servers * f64::from(memory_gb), p.dram_mttf_years) * p.dram_usd_per_gb
+        + monthly_fail(chips, p.cpu_mttf_years) * chip_price_usd;
+    let maintenance_usd = racks * p.personnel_usd_per_rack_month + repairs;
+    let _ = chip;
+    TcoBreakdown { infrastructure_usd, hardware_usd, power_usd, maintenance_usd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sop_tech::CoreKind;
+
+    fn dc(design: DesignKind) -> Datacenter {
+        Datacenter::for_design(design, &TcoParams::thesis(), 64)
+    }
+
+    #[test]
+    fn socket_counts_match_section_5_3_1() {
+        assert_eq!(dc(DesignKind::Conventional).sockets_per_server, 2);
+        assert_eq!(dc(DesignKind::OnePod(CoreKind::OutOfOrder)).sockets_per_server, 5);
+    }
+
+    #[test]
+    fn fig_5_1_performance_ordering() {
+        let conv = dc(DesignKind::Conventional).performance;
+        let tiled = dc(DesignKind::Tiled(CoreKind::OutOfOrder)).performance;
+        let one_pod = dc(DesignKind::OnePod(CoreKind::OutOfOrder)).performance;
+        let sop = dc(DesignKind::ScaleOut(CoreKind::OutOfOrder)).performance;
+        let sop_io = dc(DesignKind::ScaleOut(CoreKind::InOrder)).performance;
+        // §5.3.1: 1pod ~4.4x conventional and ~1.3x tiled; in-order
+        // Scale-Out is the overall winner.
+        let r = one_pod / conv;
+        assert!((3.4..5.6).contains(&r), "1pod/conv {r}");
+        assert!(one_pod > tiled);
+        assert!(sop > one_pod);
+        assert!(sop_io >= sop, "in-order SOP leads: {sop_io} vs {sop}");
+    }
+
+    #[test]
+    fn fig_5_2_tco_spread_is_much_smaller_than_performance_spread() {
+        // §5.3.1: TCO differences are muted because processors are only a
+        // fraction of the budget.
+        let designs = [
+            DesignKind::Conventional,
+            DesignKind::Tiled(CoreKind::OutOfOrder),
+            DesignKind::OnePod(CoreKind::OutOfOrder),
+            DesignKind::ScaleOut(CoreKind::InOrder),
+        ];
+        let tcos: Vec<f64> = designs.iter().map(|&d| dc(d).tco.total_usd()).collect();
+        let max = tcos.iter().cloned().fold(f64::MIN, f64::max);
+        let min = tcos.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 1.4, "TCO spread {}", max / min);
+    }
+
+    #[test]
+    fn headline_4_4x_to_7_1x_perf_per_tco() {
+        let conv = dc(DesignKind::Conventional).perf_per_tco();
+        let sop_ooo = dc(DesignKind::ScaleOut(CoreKind::OutOfOrder)).perf_per_tco();
+        let sop_io = dc(DesignKind::ScaleOut(CoreKind::InOrder)).perf_per_tco();
+        let lo = sop_ooo / conv;
+        let hi = sop_io / conv;
+        assert!(lo > 3.5, "OoO gain {lo}");
+        assert!(hi > lo, "in-order gain {hi} vs {lo}");
+        assert!(hi < 10.0, "gain {hi} suspiciously large");
+    }
+
+    #[test]
+    fn one_pod_tco_is_not_lower_despite_cheap_chips() {
+        // §5.3.1's paradox: five cheap sockets cost as much as two big
+        // ones, so 1pod's TCO is within a few percent of conventional's.
+        let conv = dc(DesignKind::Conventional).tco.total_usd();
+        let one_pod = dc(DesignKind::OnePod(CoreKind::OutOfOrder)).tco.total_usd();
+        let ratio = one_pod / conv;
+        assert!((0.92..1.12).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn more_memory_lowers_perf_per_tco() {
+        // §5.3.2: memory adds cost while shrinking the processor budget.
+        let p = TcoParams::thesis();
+        let small = Datacenter::for_design(
+            DesignKind::ScaleOut(CoreKind::OutOfOrder),
+            &p,
+            32,
+        );
+        let large = Datacenter::for_design(
+            DesignKind::ScaleOut(CoreKind::OutOfOrder),
+            &p,
+            128,
+        );
+        assert!(large.perf_per_tco() < small.perf_per_tco());
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let d = dc(DesignKind::Conventional);
+        let b = d.tco;
+        assert!(
+            (b.total_usd()
+                - (b.infrastructure_usd + b.hardware_usd + b.power_usd + b.maintenance_usd))
+                .abs()
+                < 1e-9
+        );
+        assert!(b.power_usd > 0.0 && b.hardware_usd > 0.0);
+    }
+
+    #[test]
+    fn larger_dies_win_on_tco_at_equal_methodology() {
+        // §5.3.3: multi-pod (large-die) Scale-Out beats single-pod chips
+        // on performance/TCO.
+        let one_pod = dc(DesignKind::OnePod(CoreKind::OutOfOrder)).perf_per_tco();
+        let multi = dc(DesignKind::ScaleOut(CoreKind::OutOfOrder)).perf_per_tco();
+        assert!(multi > one_pod);
+    }
+}

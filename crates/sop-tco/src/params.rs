@@ -1,0 +1,143 @@
+//! TCO model parameters (Table 5.2) and facility constants (§5.2.3).
+
+/// All knobs of the EETCO-style model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoParams {
+    /// Facility power budget in watts (20MW, §5.2.3).
+    pub datacenter_power_w: f64,
+    /// Power budget per rack in watts (17kW high-density racks).
+    pub rack_power_w: f64,
+    /// 1U servers per 42U rack.
+    pub servers_per_rack: u32,
+    /// Rack floor footprint including inter-rack space, m².
+    pub rack_footprint_m2: f64,
+    /// Floor-space overhead for cooling/power equipment (20%).
+    pub equipment_space_overhead: f64,
+    /// Infrastructure cost per m² of floor.
+    pub infrastructure_usd_per_m2: f64,
+    /// Cooling and power-provisioning equipment per watt of critical power.
+    pub equipment_usd_per_w: f64,
+    /// Server fan + power-supply inefficiency factor (SPUE).
+    pub spue: f64,
+    /// Facility power usage effectiveness.
+    pub pue: f64,
+    /// Electricity price per kWh.
+    pub usd_per_kwh: f64,
+    /// Personnel cost per rack per month.
+    pub personnel_usd_per_rack_month: f64,
+    /// Edge/aggregation/core network gear per rack: power and price.
+    pub network_w_per_rack: f64,
+    /// Network gear price per rack.
+    pub network_usd_per_rack: f64,
+    /// Motherboard power and price per 1U.
+    pub motherboard_w: f64,
+    /// Motherboard price per 1U.
+    pub motherboard_usd: f64,
+    /// Disks per 1U server.
+    pub disks_per_server: u32,
+    /// Power per disk.
+    pub disk_w: f64,
+    /// Price per disk.
+    pub disk_usd: f64,
+    /// Disk mean time to failure in years.
+    pub disk_mttf_years: f64,
+    /// DRAM power per GB.
+    pub dram_w_per_gb: f64,
+    /// DRAM price per GB.
+    pub dram_usd_per_gb: f64,
+    /// DRAM MTTF in years per GB module-equivalent.
+    pub dram_mttf_years: f64,
+    /// Processor MTTF in years.
+    pub cpu_mttf_years: f64,
+    /// Depreciation horizons in years.
+    pub infrastructure_years: f64,
+    /// Server hardware amortization in years.
+    pub server_years: f64,
+    /// Network gear amortization in years.
+    pub network_years: f64,
+}
+
+impl TcoParams {
+    /// The exact Table 5.2 / §5.2 parameter set.
+    pub fn thesis() -> Self {
+        TcoParams {
+            datacenter_power_w: 20.0e6,
+            rack_power_w: 17_000.0,
+            servers_per_rack: 42,
+            // 0.6m x 1.2m rack plus 1.2m inter-rack aisle share.
+            rack_footprint_m2: 0.6 * 1.2 + 0.6 * 1.2,
+            equipment_space_overhead: 0.20,
+            infrastructure_usd_per_m2: 3000.0,
+            equipment_usd_per_w: 12.5,
+            spue: 1.3,
+            pue: 1.3,
+            usd_per_kwh: 0.07,
+            personnel_usd_per_rack_month: 200.0,
+            network_w_per_rack: 360.0,
+            network_usd_per_rack: 10_000.0,
+            motherboard_w: 25.0,
+            motherboard_usd: 330.0,
+            disks_per_server: 2,
+            disk_w: 10.0,
+            disk_usd: 180.0,
+            disk_mttf_years: 100.0,
+            dram_w_per_gb: 1.0,
+            dram_usd_per_gb: 25.0,
+            dram_mttf_years: 800.0,
+            cpu_mttf_years: 30.0,
+            infrastructure_years: 15.0,
+            server_years: 3.0,
+            network_years: 4.0,
+        }
+    }
+
+    /// Power left for processors in one 1U server carrying `memory_gb` of
+    /// DRAM (§5.2.3: rack budget minus network gear, fan/PSU overheads,
+    /// motherboard, disks, and memory).
+    pub fn processor_budget_w(&self, memory_gb: u32) -> f64 {
+        let per_server_wall =
+            (self.rack_power_w - self.network_w_per_rack) / f64::from(self.servers_per_rack);
+        let usable = per_server_wall / self.spue;
+        let fixed = self.motherboard_w
+            + f64::from(self.disks_per_server) * self.disk_w
+            + f64::from(memory_gb) * self.dram_w_per_gb;
+        (usable - fixed).max(0.0)
+    }
+
+    /// Number of racks the facility can power.
+    pub fn racks(&self) -> u32 {
+        (self.datacenter_power_w / self.rack_power_w) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facility_holds_about_1176_racks() {
+        assert_eq!(TcoParams::thesis().racks(), 1176);
+    }
+
+    #[test]
+    fn processor_budget_matches_section_5_3_1_socket_counts() {
+        let p = TcoParams::thesis();
+        let budget = p.processor_budget_w(64);
+        // §5.3.1: two conventional (94W) or as many as five 1pod (36W)
+        // processors fit a 1U server at 64GB.
+        assert_eq!((budget / 94.5) as u32, 2, "budget {budget}");
+        assert_eq!((budget / 36.7) as u32, 5, "budget {budget}");
+    }
+
+    #[test]
+    fn more_memory_leaves_less_processor_power() {
+        let p = TcoParams::thesis();
+        assert!(p.processor_budget_w(128) < p.processor_budget_w(32));
+    }
+
+    #[test]
+    fn budget_never_goes_negative() {
+        let p = TcoParams::thesis();
+        assert_eq!(p.processor_budget_w(100_000), 0.0);
+    }
+}

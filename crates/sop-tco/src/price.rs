@@ -1,0 +1,91 @@
+//! Processor price estimation (§5.2.2).
+//!
+//! The conventional chip is priced at its market value ($800, the cheapest
+//! Xeon 5670 among online vendors). Every other chip is priced like the
+//! thesis' Cadence InCyte flow: non-recurring engineering and mask costs
+//! dominate, so price falls steeply with production volume, plus a
+//! per-unit silicon cost that grows with die size, all marked up by a 50%
+//! margin. The constants are fitted to the two anchors the thesis reports
+//! at 200K units: $320 for the 158mm² single-pod chip and $370 for the
+//! ~250–270mm² tiled and Scale-Out chips (a ~$50, 15% step for nearly
+//! double the silicon, §5.2.2).
+
+use sop_core::designs::DesignKind;
+
+/// NRE + mask + design cost amortized over the production run, USD.
+const NRE_USD: f64 = 24.0e6;
+/// Manufacturing cost per mm² of (yielded) die.
+const SILICON_USD_PER_MM2: f64 = 0.21;
+/// Profit margin (selling price = cost / (1 - margin)).
+const MARGIN: f64 = 0.5;
+/// Production volume used for the headline estimates (§5.2.2).
+pub const THESIS_VOLUME: f64 = 200_000.0;
+
+/// Estimated selling price of a custom chip of `die_mm2` produced in
+/// `volume` units.
+///
+/// # Panics
+///
+/// Panics if `volume` or `die_mm2` is not positive.
+pub fn estimated_price_usd(die_mm2: f64, volume: f64) -> f64 {
+    assert!(volume > 0.0, "volume must be positive");
+    assert!(die_mm2 > 0.0, "die area must be positive");
+    // Yield falls with area; fold it into a mild super-linear silicon term.
+    let yield_factor = 1.0 + die_mm2 / 2000.0;
+    let unit = SILICON_USD_PER_MM2 * die_mm2 * yield_factor;
+    (NRE_USD / volume + unit) / (1.0 - MARGIN)
+}
+
+/// Price used for a design in the chapter-5 studies: market price for the
+/// conventional chip, estimated price at the thesis volume otherwise.
+pub fn market_price_usd(design: DesignKind, die_mm2: f64) -> f64 {
+    match design {
+        DesignKind::Conventional => 800.0,
+        _ => estimated_price_usd(die_mm2, THESIS_VOLUME),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sop_tech::CoreKind;
+
+    #[test]
+    fn anchors_match_table_5_1() {
+        // 1pod (OoO): 158mm² -> ~$320; Scale-Out/tiled ~263mm² -> ~$370.
+        let one_pod = estimated_price_usd(158.0, THESIS_VOLUME);
+        let sop = estimated_price_usd(263.0, THESIS_VOLUME);
+        assert!((one_pod - 320.0).abs() < 15.0, "1pod {one_pod}");
+        assert!((sop - 370.0).abs() < 15.0, "sop {sop}");
+    }
+
+    #[test]
+    fn doubling_die_raises_price_modestly() {
+        // §5.2.2: nearly doubling the die adds just ~15% because NRE
+        // dominates.
+        let small = estimated_price_usd(158.0, THESIS_VOLUME);
+        let big = estimated_price_usd(280.0, THESIS_VOLUME);
+        let step = big / small;
+        assert!((1.05..1.30).contains(&step), "step {step}");
+    }
+
+    #[test]
+    fn volume_dominates_price() {
+        let low = estimated_price_usd(250.0, 40_000.0);
+        let high = estimated_price_usd(250.0, 1_000_000.0);
+        assert!(low > 3.0 * high, "low {low} high {high}");
+    }
+
+    #[test]
+    fn conventional_uses_market_price() {
+        assert_eq!(market_price_usd(DesignKind::Conventional, 276.0), 800.0);
+        let sop = market_price_usd(DesignKind::ScaleOut(CoreKind::InOrder), 270.0);
+        assert!(sop < 800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "volume")]
+    fn zero_volume_panics() {
+        estimated_price_usd(200.0, 0.0);
+    }
+}

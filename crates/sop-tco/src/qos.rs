@@ -1,0 +1,146 @@
+//! Provisioning a mixed-QoS datacenter (§5.3.1–§5.3.2).
+//!
+//! The thesis' chapter-5 narrative: out-of-order Scale-Out chips for
+//! services that "demand tight latency guarantees and have a non-trivial
+//! computational component", in-order Scale-Out chips "when the TCO
+//! premium is justified, which may be the case for throughput workloads".
+//! This module operationalizes that guidance: split the facility between
+//! a latency-sensitive pool and a batch pool, pick the best chip for each
+//! pool, and report the blended efficiency.
+
+use crate::datacenter::Datacenter;
+use crate::params::TcoParams;
+use sop_core::designs::DesignKind;
+use sop_tech::CoreKind;
+use sop_workloads::QosClass;
+
+/// The provisioning decision for one pool.
+#[derive(Debug, Clone)]
+pub struct PoolChoice {
+    /// The pool's service class.
+    pub qos: QosClass,
+    /// Fraction of the facility given to the pool.
+    pub fraction: f64,
+    /// The chip chosen for the pool.
+    pub datacenter: Datacenter,
+}
+
+/// A provisioned two-pool facility.
+#[derive(Debug, Clone)]
+pub struct MixedFleet {
+    /// Latency pool and batch pool (fractions sum to 1).
+    pub pools: Vec<PoolChoice>,
+}
+
+impl MixedFleet {
+    /// Provisions a facility in which `latency_fraction` of the racks run
+    /// latency-sensitive services. Candidate chips for the latency pool
+    /// are the out-of-order designs (the thesis rules in-order cores out
+    /// for tight-latency services); the batch pool considers everything
+    /// and picks on performance/TCO alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency_fraction` is outside `[0, 1]`.
+    pub fn provision(latency_fraction: f64, params: &TcoParams, memory_gb: u32) -> MixedFleet {
+        assert!(
+            (0.0..=1.0).contains(&latency_fraction),
+            "latency fraction must be in [0, 1]"
+        );
+        let latency_candidates = [
+            DesignKind::Conventional,
+            DesignKind::Tiled(CoreKind::OutOfOrder),
+            DesignKind::OnePod(CoreKind::OutOfOrder),
+            DesignKind::ScaleOut(CoreKind::OutOfOrder),
+        ];
+        let batch_candidates = DesignKind::table_5_1();
+        let best = |candidates: &[DesignKind]| {
+            candidates
+                .iter()
+                .map(|&d| Datacenter::for_design(d, params, memory_gb))
+                .max_by(|a, b| a.perf_per_tco().total_cmp(&b.perf_per_tco()))
+                .expect("candidate list is non-empty")
+        };
+        MixedFleet {
+            pools: vec![
+                PoolChoice {
+                    qos: QosClass::LatencySensitive,
+                    fraction: latency_fraction,
+                    datacenter: best(&latency_candidates),
+                },
+                PoolChoice {
+                    qos: QosClass::Batch,
+                    fraction: 1.0 - latency_fraction,
+                    datacenter: best(&batch_candidates),
+                },
+            ],
+        }
+    }
+
+    /// Blended performance per TCO dollar across the pools.
+    pub fn perf_per_tco(&self) -> f64 {
+        let perf: f64 =
+            self.pools.iter().map(|p| p.fraction * p.datacenter.performance).sum();
+        let tco: f64 =
+            self.pools.iter().map(|p| p.fraction * p.datacenter.tco.total_usd()).sum();
+        perf / tco
+    }
+
+    /// The chip label chosen for a service class.
+    pub fn chip_for(&self, qos: QosClass) -> &str {
+        &self
+            .pools
+            .iter()
+            .find(|p| p.qos == qos)
+            .expect("both pools are provisioned")
+            .datacenter
+            .chip
+            .label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(latency_fraction: f64) -> MixedFleet {
+        MixedFleet::provision(latency_fraction, &TcoParams::thesis(), 64)
+    }
+
+    #[test]
+    fn latency_pool_gets_an_out_of_order_scale_out_chip() {
+        let f = fleet(0.5);
+        assert_eq!(f.chip_for(QosClass::LatencySensitive), "Scale-Out (OoO)");
+    }
+
+    #[test]
+    fn batch_pool_gets_the_in_order_scale_out_chip() {
+        let f = fleet(0.5);
+        assert_eq!(f.chip_for(QosClass::Batch), "Scale-Out (IO)");
+    }
+
+    #[test]
+    fn more_batch_work_means_better_blended_efficiency() {
+        // In-order pods buy more throughput per dollar, so shifting the
+        // mix toward batch improves the blend (§5.3.1's 15% throughput
+        // sacrifice of the OoO design, in reverse).
+        let latency_heavy = fleet(0.9).perf_per_tco();
+        let batch_heavy = fleet(0.1).perf_per_tco();
+        assert!(batch_heavy > latency_heavy);
+    }
+
+    #[test]
+    fn blend_interpolates_between_pools() {
+        let all_latency = fleet(1.0).perf_per_tco();
+        let all_batch = fleet(0.0).perf_per_tco();
+        let mid = fleet(0.5).perf_per_tco();
+        assert!(mid > all_latency.min(all_batch));
+        assert!(mid < all_latency.max(all_batch));
+    }
+
+    #[test]
+    #[should_panic(expected = "latency fraction")]
+    fn bad_fraction_panics() {
+        fleet(1.5);
+    }
+}

@@ -1,0 +1,119 @@
+//! Sensitivity of the chapter-5 conclusions to the TCO model's knobs.
+//!
+//! §5.3.3 sweeps processor price explicitly; this module generalizes the
+//! exercise to the other first-order inputs — electricity price, server
+//! utilization, and hardware lifetime — so the robustness of the
+//! performance/TCO ordering can be checked rather than assumed.
+
+use crate::datacenter::Datacenter;
+use crate::params::TcoParams;
+use sop_core::designs::DesignKind;
+
+/// One sensitivity sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityPoint {
+    /// The knob's value at this point.
+    pub value: f64,
+    /// Performance/TCO for every design in [`DesignKind::table_5_1`] order.
+    pub perf_per_tco: Vec<f64>,
+}
+
+fn sweep<F>(values: &[f64], memory_gb: u32, mutate: F) -> Vec<SensitivityPoint>
+where
+    F: Fn(&mut TcoParams, f64),
+{
+    values
+        .iter()
+        .map(|&v| {
+            let mut params = TcoParams::thesis();
+            mutate(&mut params, v);
+            let perf_per_tco = DesignKind::table_5_1()
+                .into_iter()
+                .map(|d| Datacenter::for_design(d, &params, memory_gb).perf_per_tco())
+                .collect();
+            SensitivityPoint { value: v, perf_per_tco }
+        })
+        .collect()
+}
+
+/// Sweeps the electricity price (the thesis assumes $0.07/kWh; real
+/// datacenters range roughly $0.03–$0.15).
+pub fn electricity_sweep(memory_gb: u32) -> Vec<SensitivityPoint> {
+    sweep(&[0.03, 0.07, 0.11, 0.15], memory_gb, |p, v| p.usd_per_kwh = v)
+}
+
+/// Sweeps the server amortization horizon (the thesis assumes 3 years).
+pub fn lifetime_sweep(memory_gb: u32) -> Vec<SensitivityPoint> {
+    sweep(&[2.0, 3.0, 4.0, 5.0], memory_gb, |p, v| p.server_years = v)
+}
+
+/// Sweeps rack power density (the thesis compares 17kW racks against
+/// 6.6kW and reports identical trends, §5.2.3). Lower-density racks are
+/// populated with proportionally fewer 1U servers, as a real facility
+/// would leave slots empty rather than starve every server.
+pub fn rack_power_sweep(memory_gb: u32) -> Vec<SensitivityPoint> {
+    sweep(&[6_600.0, 12_000.0, 17_000.0], memory_gb, |p, v| {
+        p.servers_per_rack = ((v / p.rack_power_w) * f64::from(p.servers_per_rack))
+            .floor()
+            .max(1.0) as u32;
+        p.rack_power_w = v;
+    })
+}
+
+/// Whether the Scale-Out designs (last rows of the Table 5.1 roster) stay
+/// ahead of the conventional design (first row) at every swept point.
+pub fn ordering_is_robust(points: &[SensitivityPoint]) -> bool {
+    points.iter().all(|pt| {
+        let conv = pt.perf_per_tco[0];
+        let sop_ooo = pt.perf_per_tco[3];
+        let sop_io = pt.perf_per_tco[6];
+        sop_ooo > conv && sop_io > sop_ooo * 0.95
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_survives_electricity_prices() {
+        assert!(ordering_is_robust(&electricity_sweep(64)));
+    }
+
+    #[test]
+    fn ordering_survives_lifetimes() {
+        assert!(ordering_is_robust(&lifetime_sweep(64)));
+    }
+
+    #[test]
+    fn ordering_survives_rack_density() {
+        // §5.2.3: "we found the trends to be identical across the two
+        // rack configurations."
+        assert!(ordering_is_robust(&rack_power_sweep(64)));
+    }
+
+    #[test]
+    fn cheaper_electricity_raises_perf_per_tco() {
+        let pts = electricity_sweep(64);
+        // Cheaper energy -> lower TCO -> higher perf/TCO for everyone.
+        for design in 0..pts[0].perf_per_tco.len() {
+            assert!(pts[0].perf_per_tco[design] > pts.last().unwrap().perf_per_tco[design]);
+        }
+    }
+
+    #[test]
+    fn longer_amortization_raises_perf_per_tco() {
+        let pts = lifetime_sweep(64);
+        let first = pts.first().expect("non-empty");
+        let last = pts.last().expect("non-empty");
+        for design in 0..first.perf_per_tco.len() {
+            assert!(last.perf_per_tco[design] > first.perf_per_tco[design]);
+        }
+    }
+
+    #[test]
+    fn sweeps_cover_requested_values() {
+        assert_eq!(electricity_sweep(64).len(), 4);
+        assert_eq!(rack_power_sweep(64).len(), 3);
+    }
+}

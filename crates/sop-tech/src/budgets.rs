@@ -1,0 +1,138 @@
+//! Chip-level physical budgets.
+//!
+//! A server die is constrained on three axes (§2.4.1, §6.5.1): die area
+//! (250–280mm² per logic die), thermal design power (95W for 2D chips; 250W
+//! for liquid-cooled 3D stacks), and pin bandwidth (at most six
+//! single-channel memory interfaces).
+
+use crate::node::TechnologyNode;
+
+/// Area, power, and bandwidth constraints for composing a chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipBudget {
+    /// Maximum die area in mm² (per logic die for 3D stacks).
+    pub max_die_mm2: f64,
+    /// Minimum die area the designer is willing to ship, in mm². Used only
+    /// for reporting; a chip may come in under this if another budget binds.
+    pub min_die_mm2: f64,
+    /// Thermal design power ceiling in watts.
+    pub max_power_w: f64,
+    /// Maximum number of memory channels (pin limited).
+    pub max_memory_channels: u32,
+}
+
+impl ChipBudget {
+    /// The 2D server-chip budget of §2.4.1: 250–280mm², 95W, six channels.
+    pub fn server_2d(_node: TechnologyNode) -> Self {
+        ChipBudget {
+            max_die_mm2: 280.0,
+            min_die_mm2: 250.0,
+            max_power_w: 95.0,
+            max_memory_channels: 6,
+        }
+    }
+
+    /// The 3D stacked budget of §6.5.1: 250–280mm² per die, 250W (liquid
+    /// cooling), six DDR4 channels.
+    pub fn stacked_3d() -> Self {
+        ChipBudget {
+            max_die_mm2: 280.0,
+            min_die_mm2: 250.0,
+            max_power_w: 250.0,
+            max_memory_channels: 6,
+        }
+    }
+
+    /// Whether a design with the given totals fits every budget axis.
+    pub fn admits(&self, die_mm2: f64, power_w: f64, channels: u32) -> bool {
+        die_mm2 <= self.max_die_mm2
+            && power_w <= self.max_power_w
+            && channels <= self.max_memory_channels
+    }
+
+    /// Which constraint binds first for a design at the budget edge,
+    /// reported the way the thesis annotates its tables ("area-limited",
+    /// "power-limited", "bandwidth-limited").
+    pub fn binding_constraint(
+        &self,
+        die_mm2: f64,
+        power_w: f64,
+        channels: u32,
+    ) -> BindingConstraint {
+        let area_head = (self.max_die_mm2 - die_mm2) / self.max_die_mm2;
+        let power_head = (self.max_power_w - power_w) / self.max_power_w;
+        let bw_head = (f64::from(self.max_memory_channels) - f64::from(channels))
+            / f64::from(self.max_memory_channels);
+        if area_head <= power_head && area_head <= bw_head {
+            BindingConstraint::Area
+        } else if power_head <= bw_head {
+            BindingConstraint::Power
+        } else {
+            BindingConstraint::Bandwidth
+        }
+    }
+}
+
+/// The budget axis with the least headroom in a composed chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingConstraint {
+    /// Die area binds (most 40nm designs).
+    Area,
+    /// TDP binds (the 20nm conventional and tiled in-order chips).
+    Power,
+    /// Memory channels bind (the 20nm in-order designs).
+    Bandwidth,
+}
+
+impl std::fmt::Display for BindingConstraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindingConstraint::Area => f.write_str("area-limited"),
+            BindingConstraint::Power => f.write_str("power-limited"),
+            BindingConstraint::Bandwidth => f.write_str("bandwidth-limited"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_budget_matches_section_2_4_1() {
+        let b = ChipBudget::server_2d(TechnologyNode::N40);
+        assert_eq!(b.max_die_mm2, 280.0);
+        assert_eq!(b.max_power_w, 95.0);
+        assert_eq!(b.max_memory_channels, 6);
+    }
+
+    #[test]
+    fn stacked_budget_lifts_power_only() {
+        let b2 = ChipBudget::server_2d(TechnologyNode::N40);
+        let b3 = ChipBudget::stacked_3d();
+        assert_eq!(b2.max_die_mm2, b3.max_die_mm2);
+        assert!(b3.max_power_w > b2.max_power_w);
+    }
+
+    #[test]
+    fn admits_checks_all_axes() {
+        let b = ChipBudget::server_2d(TechnologyNode::N40);
+        assert!(b.admits(260.0, 90.0, 5));
+        assert!(!b.admits(281.0, 90.0, 5));
+        assert!(!b.admits(260.0, 96.0, 5));
+        assert!(!b.admits(260.0, 90.0, 7));
+    }
+
+    #[test]
+    fn binding_constraint_identifies_tightest_axis() {
+        let b = ChipBudget::server_2d(TechnologyNode::N40);
+        assert_eq!(b.binding_constraint(279.0, 60.0, 2), BindingConstraint::Area);
+        assert_eq!(b.binding_constraint(200.0, 94.0, 2), BindingConstraint::Power);
+        assert_eq!(b.binding_constraint(200.0, 60.0, 6), BindingConstraint::Bandwidth);
+    }
+
+    #[test]
+    fn binding_constraint_display() {
+        assert_eq!(BindingConstraint::Area.to_string(), "area-limited");
+    }
+}

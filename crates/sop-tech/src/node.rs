@@ -1,0 +1,141 @@
+//! Process technology nodes.
+//!
+//! The thesis evaluates three nodes: 40nm (the chapter 2/3/5 baseline), 32nm
+//! (the chapter 4 NOC-Out pod study), and 20nm (the scaling projection).
+//! Cores and caches are assumed to scale perfectly with feature size
+//! (§2.4.1), while memory-interface PHYs do not scale at all because of
+//! their analog circuitry.
+
+use std::fmt;
+
+/// A manufacturing process node used in the thesis' evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TechnologyNode {
+    /// 40nm: baseline for chapters 2, 3, 5, and 6 (0.9V, 2GHz, DDR3).
+    N40,
+    /// 32nm: the chapter-4 pod microarchitecture study (0.9V, 2GHz).
+    N32,
+    /// 20nm: the scaling projection (0.8V, 2GHz, DDR4).
+    N20,
+}
+
+impl TechnologyNode {
+    /// All nodes, coarsest first.
+    pub const ALL: [TechnologyNode; 3] =
+        [TechnologyNode::N40, TechnologyNode::N32, TechnologyNode::N20];
+
+    /// Feature size in nanometres.
+    pub fn feature_nm(self) -> f64 {
+        match self {
+            TechnologyNode::N40 => 40.0,
+            TechnologyNode::N32 => 32.0,
+            TechnologyNode::N20 => 20.0,
+        }
+    }
+
+    /// On-chip supply voltage in volts (§2.4.1: 0.9V at 40nm, 0.8V at 20nm
+    /// per ITRS; 32nm runs at 0.9V per §4.3.2).
+    pub fn supply_v(self) -> f64 {
+        match self {
+            TechnologyNode::N40 | TechnologyNode::N32 => 0.9,
+            TechnologyNode::N20 => 0.8,
+        }
+    }
+
+    /// Core clock frequency in GHz. The thesis holds frequency at 2GHz in
+    /// every node to bound power (§2.4.1).
+    pub fn frequency_ghz(self) -> f64 {
+        2.0
+    }
+
+    /// Logic/SRAM area scaling factor relative to the 40nm baseline.
+    ///
+    /// The thesis assumes *perfect area scaling of cores and caches* over
+    /// technology generations (§2.4.1), i.e. area scales with the square of
+    /// the feature-size ratio.
+    pub fn area_scale_from_40nm(self) -> f64 {
+        let f = self.feature_nm() / 40.0;
+        f * f
+    }
+
+    /// Dynamic power scaling factor for logic relative to 40nm.
+    ///
+    /// Power scales with capacitance (~linear in feature size) and the
+    /// square of the supply voltage; frequency is constant. This matches the
+    /// thesis' observed chip budgets: the 20nm conventional chip doubles its
+    /// core count within roughly the same 95W envelope.
+    pub fn power_scale_from_40nm(self) -> f64 {
+        let cap = self.feature_nm() / 40.0;
+        let v = self.supply_v() / TechnologyNode::N40.supply_v();
+        cap * v * v
+    }
+
+    /// The DRAM interface generation commercially paired with this node in
+    /// the thesis (DDR3 at 40/32nm; DDR4 at 20nm, §2.4.1).
+    pub fn memory_gen(self) -> crate::memory::MemoryGen {
+        match self {
+            TechnologyNode::N40 | TechnologyNode::N32 => crate::memory::MemoryGen::Ddr3,
+            TechnologyNode::N20 => crate::memory::MemoryGen::Ddr4,
+        }
+    }
+
+    /// Main-memory access latency in core cycles: 45ns (Tables 2.2/3.1) at
+    /// the 2GHz clock used in every node.
+    pub fn memory_latency_cycles(self) -> u32 {
+        (45.0 * self.frequency_ghz()).round() as u32
+    }
+}
+
+impl fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.feature_nm() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_sizes() {
+        assert_eq!(TechnologyNode::N40.feature_nm(), 40.0);
+        assert_eq!(TechnologyNode::N32.feature_nm(), 32.0);
+        assert_eq!(TechnologyNode::N20.feature_nm(), 20.0);
+    }
+
+    #[test]
+    fn area_scaling_is_quadratic() {
+        assert!((TechnologyNode::N20.area_scale_from_40nm() - 0.25).abs() < 1e-12);
+        assert!((TechnologyNode::N32.area_scale_from_40nm() - 0.64).abs() < 1e-12);
+        assert_eq!(TechnologyNode::N40.area_scale_from_40nm(), 1.0);
+    }
+
+    #[test]
+    fn memory_latency_is_90_cycles_at_2ghz() {
+        for node in TechnologyNode::ALL {
+            assert_eq!(node.memory_latency_cycles(), 90);
+        }
+    }
+
+    #[test]
+    fn ddr_generation_follows_node() {
+        use crate::memory::MemoryGen;
+        assert_eq!(TechnologyNode::N40.memory_gen(), MemoryGen::Ddr3);
+        assert_eq!(TechnologyNode::N20.memory_gen(), MemoryGen::Ddr4);
+    }
+
+    #[test]
+    fn power_scale_drops_with_node() {
+        let p40 = TechnologyNode::N40.power_scale_from_40nm();
+        let p32 = TechnologyNode::N32.power_scale_from_40nm();
+        let p20 = TechnologyNode::N20.power_scale_from_40nm();
+        assert_eq!(p40, 1.0);
+        assert!(p32 < p40);
+        assert!(p20 < p32);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(TechnologyNode::N40.to_string(), "40nm");
+    }
+}

@@ -1,0 +1,105 @@
+//! On-die wire and repeater model (§4.3.2).
+//!
+//! The thesis models semi-global wires with a 200nm pitch and power-delay-
+//! optimized repeaters yielding 125ps/mm of link latency and 50fJ/bit/mm of
+//! energy on random data, with repeaters responsible for 19% of link energy.
+//! Wires route over logic, so only repeater area counts against the die.
+
+/// Semi-global wire parameters at the chapter-4 32nm design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Link propagation latency in picoseconds per millimetre.
+    pub latency_ps_per_mm: f64,
+    /// Link energy in femtojoules per bit per millimetre (random data).
+    pub energy_fj_per_bit_mm: f64,
+    /// Fraction of link energy dissipated in repeaters.
+    pub repeater_energy_fraction: f64,
+    /// Repeater area per wire-millimetre per bit, in mm². Derived so a
+    /// 128-bit mesh's link repeaters land around 1mm² for a 64-tile pod,
+    /// consistent with the Fig 4.7 mesh link bar.
+    pub repeater_area_mm2_per_bit_mm: f64,
+    /// Clock frequency the latency is converted against, in GHz.
+    pub frequency_ghz: f64,
+}
+
+impl WireModel {
+    /// The §4.3.2 wire model (32nm, 2GHz).
+    pub fn new() -> Self {
+        WireModel {
+            latency_ps_per_mm: 125.0,
+            energy_fj_per_bit_mm: 50.0,
+            repeater_energy_fraction: 0.19,
+            repeater_area_mm2_per_bit_mm: 5.5e-5,
+            frequency_ghz: 2.0,
+        }
+    }
+
+    /// Distance (mm) a signal covers in one clock cycle.
+    ///
+    /// At 125ps/mm and 2GHz (500ps cycles) this is 4mm — which is why a
+    /// flattened-butterfly flit can cover up to two ~2mm tiles per cycle
+    /// (Table 4.1).
+    pub fn mm_per_cycle(&self) -> f64 {
+        let cycle_ps = 1000.0 / self.frequency_ghz;
+        cycle_ps / self.latency_ps_per_mm
+    }
+
+    /// Cycles needed to traverse `mm` of wire (at least 1).
+    pub fn link_cycles(&self, mm: f64) -> u32 {
+        assert!(mm >= 0.0, "distance must be non-negative");
+        (mm / self.mm_per_cycle()).ceil().max(1.0) as u32
+    }
+
+    /// Repeater area in mm² for a link of `bits` width and `mm` length.
+    pub fn repeater_area_mm2(&self, bits: u32, mm: f64) -> f64 {
+        f64::from(bits) * mm * self.repeater_area_mm2_per_bit_mm
+    }
+
+    /// Energy in joules to move `bits` over `mm` of wire.
+    pub fn link_energy_j(&self, bits: u32, mm: f64) -> f64 {
+        f64::from(bits) * mm * self.energy_fj_per_bit_mm * 1e-15
+    }
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        WireModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_mm_per_cycle_at_2ghz() {
+        assert!((WireModel::new().mm_per_cycle() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_tiles_per_cycle_for_fbfly() {
+        // Table 4.1: an FBfly link covers up to 2 tiles per cycle. With
+        // ~1.9mm tiles, two tiles are 3.8mm < 4mm/cycle.
+        assert_eq!(WireModel::new().link_cycles(3.8), 1);
+        assert_eq!(WireModel::new().link_cycles(4.1), 2);
+    }
+
+    #[test]
+    fn link_energy_scales_with_width_and_length() {
+        let w = WireModel::new();
+        let e1 = w.link_energy_j(128, 2.0);
+        assert!((w.link_energy_j(256, 2.0) - 2.0 * e1).abs() < 1e-24);
+        assert!((w.link_energy_j(128, 4.0) - 2.0 * e1).abs() < 1e-24);
+    }
+
+    #[test]
+    fn minimum_one_cycle() {
+        assert_eq!(WireModel::new().link_cycles(0.0), 1);
+    }
+
+    #[test]
+    fn repeater_area_is_small_but_positive() {
+        let a = WireModel::new().repeater_area_mm2(128, 16.0);
+        assert!(a > 0.0 && a < 1.0, "got {a}");
+    }
+}

@@ -1,0 +1,134 @@
+//! What the seven workloads actually are (§2.4.2, CloudSuite 1.0).
+//!
+//! The statistical profiles in [`crate::profile`] capture *how the
+//! workloads behave*; this module records *what they are* — the software
+//! stack, the dataset, and the request pattern each one models — so that
+//! downstream users know what a result generalizes to.
+
+use crate::profile::{QosClass, Workload};
+
+/// Descriptive metadata for one CloudSuite workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadInfo {
+    /// The workload.
+    pub workload: Workload,
+    /// The server software CloudSuite 1.0 runs.
+    pub software: &'static str,
+    /// What the dataset is.
+    pub dataset: &'static str,
+    /// What one request does.
+    pub request: &'static str,
+    /// Service class (drives the chapter-5 pool assignment).
+    pub qos: QosClass,
+    /// Largest core count the thesis' full-system setup scaled it to in
+    /// the chapter-4 pod study (§4.3.3).
+    pub pod_scalability: u32,
+}
+
+/// Metadata for every workload, in figure order.
+pub fn all() -> [WorkloadInfo; 7] {
+    [
+        WorkloadInfo {
+            workload: Workload::DataServing,
+            software: "Cassandra NoSQL store under a YCSB driver",
+            dataset: "sharded key-value store held in DRAM",
+            request: "single-key reads and writes with Zipfian popularity",
+            qos: QosClass::LatencySensitive,
+            pod_scalability: 64,
+        },
+        WorkloadInfo {
+            workload: Workload::MapReduceC,
+            software: "Hadoop MapReduce: text classification",
+            dataset: "Wikipedia-scale text corpus in HDFS",
+            request: "map/reduce tasks over input splits (batch)",
+            qos: QosClass::Batch,
+            pod_scalability: 64,
+        },
+        WorkloadInfo {
+            workload: Workload::MapReduceW,
+            software: "Hadoop MapReduce: word count",
+            dataset: "text corpus in HDFS",
+            request: "map/reduce tasks over input splits (batch)",
+            qos: QosClass::Batch,
+            pod_scalability: 64,
+        },
+        WorkloadInfo {
+            workload: Workload::MediaStreaming,
+            software: "Darwin streaming server",
+            dataset: "video library streamed at fixed bitrates",
+            request: "long-lived RTSP sessions pushing media segments",
+            qos: QosClass::LatencySensitive,
+            pod_scalability: 16,
+        },
+        WorkloadInfo {
+            workload: Workload::SatSolver,
+            software: "Cloud9 distributed SAT solver",
+            dataset: "CNF problem instances",
+            request: "symbolic-execution subtasks (batch)",
+            qos: QosClass::Batch,
+            pod_scalability: 64,
+        },
+        WorkloadInfo {
+            workload: Workload::WebFrontend,
+            software: "SPECweb2009 e-banking front end (PHP/Apache)",
+            dataset: "session state plus backing database",
+            request: "dynamic page generation per user action",
+            qos: QosClass::LatencySensitive,
+            pod_scalability: 16,
+        },
+        WorkloadInfo {
+            workload: Workload::WebSearch,
+            software: "Nutch/Lucene index-serving node",
+            dataset: "inverted web index, memory resident",
+            request: "index lookups scored and ranked per query",
+            qos: QosClass::LatencySensitive,
+            pod_scalability: 16,
+        },
+    ]
+}
+
+/// Metadata for one workload.
+pub fn info(workload: Workload) -> WorkloadInfo {
+    *all()
+        .iter()
+        .find(|i| i.workload == workload)
+        .expect("every workload has metadata")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+
+    #[test]
+    fn every_workload_is_described() {
+        for w in Workload::ALL {
+            assert_eq!(info(w).workload, w);
+        }
+    }
+
+    #[test]
+    fn metadata_agrees_with_profiles() {
+        for w in Workload::ALL {
+            let meta = info(w);
+            let profile = WorkloadProfile::of(w);
+            assert_eq!(meta.qos, profile.qos, "{w}");
+            assert_eq!(meta.pod_scalability, profile.scalability.pod_cores, "{w}");
+        }
+    }
+
+    #[test]
+    fn batch_set_matches_section_4_3_3() {
+        // §4.3.3: "Two of the workloads — SAT Solver and MapReduce — are
+        // batch, while the rest are latency-sensitive."
+        let batch: Vec<Workload> = all()
+            .iter()
+            .filter(|i| i.qos == QosClass::Batch)
+            .map(|i| i.workload)
+            .collect();
+        assert_eq!(
+            batch,
+            vec![Workload::MapReduceC, Workload::MapReduceW, Workload::SatSolver]
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The scale-out workloads of CloudSuite 1.0, as statistical models.
+//!
+//! The thesis evaluates seven workloads (§2.4.2): Data Serving, two
+//! MapReduce variants (text classification and word count), Media
+//! Streaming, SAT Solver, Web Frontend (SPECweb2009 e-banking), and Web
+//! Search. We cannot run the original full-system Flexus/Simics traces, so
+//! each workload is represented by the statistics the thesis itself reports
+//! and reasons from:
+//!
+//! * base ILP ([`WorkloadProfile::ipc_infinite`], Fig 2.1),
+//! * L1-I / L1-D miss rates (the "large instruction footprint" trait),
+//! * an LLC miss-rate-versus-capacity curve ([`profile::MissCurve`],
+//!   Fig 2.2),
+//! * memory-level parallelism bounds (the "low MLP" trait, §4.2.2),
+//! * coherence (snoop) activity ([`WorkloadProfile::snoop_fraction`],
+//!   Fig 4.3),
+//! * off-chip traffic intensity ([`profile::TrafficCurve`], used to
+//!   provision memory channels as §2.5 does), and
+//! * software scalability limits ([`profile::Scalability`], §3.4.1/§4.3.3).
+//!
+//! The analytic model (`sop-model`) consumes these statistics directly;
+//! the cycle-level simulator (`sop-sim`) consumes synthetic instruction
+//! traces drawn from them ([`trace::TraceGenerator`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sop_workloads::{Workload, WorkloadProfile};
+//!
+//! let ds = WorkloadProfile::of(Workload::DataServing);
+//! // Scale-out workloads rarely snoop: Fig 4.3 reports a 2.7% average.
+//! assert!(ds.snoop_fraction < 0.06);
+//! // The miss curve flattens once the instruction footprint is captured.
+//! let m2 = ds.miss_curve.misses_per_kilo_instr(2.0, 4);
+//! let m16 = ds.miss_curve.misses_per_kilo_instr(16.0, 4);
+//! assert!(m16 < m2);
+//! ```
+
+pub mod cloudsuite;
+pub mod profile;
+pub mod trace;
+pub mod zipf;
+
+pub use cloudsuite::{info as workload_info, WorkloadInfo};
+pub use profile::{MissCurve, QosClass, Scalability, TrafficCurve, Workload, WorkloadProfile};
+pub use trace::{CoreEvent, TraceConfig, TraceGenerator};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,106 @@
+//! A lightweight Zipf-like popularity sampler.
+//!
+//! Instruction fetch streams and OS data are not uniformly spread over
+//! their footprint: a hot head (dispatch loops, allocator, syscall paths)
+//! absorbs a disproportionate share of accesses. We model popularity with
+//! the standard inverse-power transform: for skew `s` in `[0, 1)`,
+//! drawing `u ~ U(0,1)` and mapping to `floor(N * u^(1/(1-s)))`
+//! approximates a Zipf(s) rank distribution over `N` items — rank 0 the
+//! hottest — without per-item state or harmonic-number tables.
+
+/// Zipf-approximating index sampler over `[0, n)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfSampler {
+    n: u64,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` items with skew `s` (0 = uniform; values toward
+    /// 1 concentrate mass on the lowest ranks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is outside `[0, 1)`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!((0.0..1.0).contains(&s), "skew must be in [0, 1)");
+        ZipfSampler { n, exponent: 1.0 / (1.0 - s) }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the domain is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Maps a uniform draw `u` in `[0, 1)` to an item index.
+    pub fn index(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        ((self.n as f64) * u.powf(self.exponent)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(sampler: &ZipfSampler, draws: u32, buckets: usize) -> Vec<u64> {
+        // Deterministic low-discrepancy sequence stands in for RNG.
+        let mut counts = vec![0u64; buckets];
+        let golden = 0.618_033_988_749_895_f64;
+        let mut u = 0.5;
+        for _ in 0..draws {
+            u = (u + golden) % 1.0;
+            let idx = sampler.index(u);
+            counts[(idx * buckets as u64 / sampler.len()) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let s = ZipfSampler::new(10_000, 0.0);
+        let h = histogram(&s, 100_000, 10);
+        for &c in &h {
+            assert!((8_000..12_000).contains(&c), "uniform bucket {c}");
+        }
+    }
+
+    #[test]
+    fn high_skew_concentrates_on_the_head() {
+        let s = ZipfSampler::new(10_000, 0.8);
+        let h = histogram(&s, 100_000, 10);
+        assert!(h[0] > 50_000, "head bucket {}", h[0]);
+        assert!(h[9] < 5_000, "tail bucket {}", h[9]);
+    }
+
+    #[test]
+    fn indices_stay_in_range() {
+        let s = ZipfSampler::new(7, 0.6);
+        for i in 0..1000 {
+            let u = f64::from(i) / 1000.0;
+            assert!(s.index(u) < 7);
+        }
+        assert!(s.index(1.0) < 7, "u=1 must clamp into range");
+    }
+
+    #[test]
+    fn more_skew_means_hotter_head() {
+        let n = 100_000;
+        let mild = ZipfSampler::new(n, 0.3);
+        let hot = ZipfSampler::new(n, 0.9);
+        // The same median draw lands much earlier under higher skew.
+        assert!(hot.index(0.5) < mild.index(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "skew")]
+    fn skew_of_one_panics() {
+        ZipfSampler::new(10, 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Provision a mixed-QoS facility: out-of-order Scale-Out chips for the
+//! latency-sensitive pool, in-order for batch (§5.3.1's guidance).
+//!
+//! ```text
+//! cargo run --release --example qos_fleet [latency_fraction]
+//! ```
+
+use scale_out_processors::tco::{MixedFleet, TcoParams};
+use scale_out_processors::workloads::QosClass;
+
+fn main() {
+    let fraction: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.6);
+    let params = TcoParams::thesis();
+    println!("mixed fleet: {:.0}% latency-sensitive, {:.0}% batch\n", fraction * 100.0, (1.0 - fraction) * 100.0);
+    let fleet = MixedFleet::provision(fraction, &params, 64);
+    for pool in &fleet.pools {
+        println!(
+            "  {:18} {:>4.0}%  {:22} perf/TCO {:.3}",
+            format!("{:?}", pool.qos),
+            pool.fraction * 100.0,
+            pool.datacenter.chip.label,
+            pool.datacenter.perf_per_tco()
+        );
+    }
+    println!("\n  blended perf/TCO: {:.3}", fleet.perf_per_tco());
+    println!(
+        "  ({} serves the tight-latency tier; {} mops up throughput)",
+        fleet.chip_for(QosClass::LatencySensitive),
+        fleet.chip_for(QosClass::Batch)
+    );
+    println!("\nsweep of the mix:");
+    for pct in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let f = MixedFleet::provision(pct, &params, 64);
+        println!("  {:>3.0}% latency -> blended perf/TCO {:.3}", pct * 100.0, f.perf_per_tco());
+    }
+}

@@ -1,0 +1,179 @@
+//! `sop` — interactive design-space explorer.
+//!
+//! ```text
+//! sop pod    <ooo|io> [--node 40|20]          derive the PD-optimal pod
+//! sop chip   <design> [--node 40|20]          compose a reference chip
+//! sop dc     <design> [--mem GB]              size a 20MW datacenter
+//! sop stack  <ooo|io> <dies> [--fixed-distance]   evaluate a 3D pod
+//! sop list                                    list design names
+//! ```
+
+use scale_out_processors::core::designs::{reference_chip, DesignKind};
+use scale_out_processors::core::pod::{optimal_pod, preferred_pod, PodSearchSpace};
+use scale_out_processors::tco::{Datacenter, TcoParams};
+use scale_out_processors::tech::{CoreKind, TechnologyNode};
+use scale_out_processors::threed::{
+    compose_3d, CoolingTechnology, Pod3d, StackStrategy, ThermalModel,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "pod" => pod(&args),
+        "chip" => chip(&args),
+        "dc" => dc(&args),
+        "stack" => stack(&args),
+        "list" => list(),
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!("usage: sop pod <ooo|io> [--node 40|20]");
+    eprintln!("       sop chip <design> [--node 40|20]");
+    eprintln!("       sop dc <design> [--mem GB]");
+    eprintln!("       sop stack <ooo|io> <dies> [--fixed-distance]");
+    eprintln!("       sop list");
+    std::process::exit(2);
+}
+
+fn core_kind(args: &[String]) -> CoreKind {
+    match args.get(1).map(String::as_str) {
+        Some("ooo") => CoreKind::OutOfOrder,
+        Some("io") => CoreKind::InOrder,
+        Some("conv") => CoreKind::Conventional,
+        _ => {
+            eprintln!("expected a core type: ooo | io | conv");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn node(args: &[String]) -> TechnologyNode {
+    match args.iter().position(|a| a == "--node").and_then(|i| args.get(i + 1)) {
+        Some(v) if v == "20" => TechnologyNode::N20,
+        Some(v) if v == "32" => TechnologyNode::N32,
+        _ => TechnologyNode::N40,
+    }
+}
+
+fn design(args: &[String]) -> DesignKind {
+    let name = args.get(1).map(String::as_str).unwrap_or("");
+    let all = roster();
+    all.iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, d)| *d)
+        .unwrap_or_else(|| {
+            eprintln!("unknown design {name:?}; try `sop list`");
+            std::process::exit(2);
+        })
+}
+
+fn roster() -> Vec<(&'static str, DesignKind)> {
+    vec![
+        ("conventional", DesignKind::Conventional),
+        ("tiled-ooo", DesignKind::Tiled(CoreKind::OutOfOrder)),
+        ("tiled-io", DesignKind::Tiled(CoreKind::InOrder)),
+        ("llcopt-ooo", DesignKind::LlcOptimalTiled(CoreKind::OutOfOrder)),
+        ("llcopt-io", DesignKind::LlcOptimalTiled(CoreKind::InOrder)),
+        ("ir-ooo", DesignKind::LlcOptimalTiledIr(CoreKind::OutOfOrder)),
+        ("ir-io", DesignKind::LlcOptimalTiledIr(CoreKind::InOrder)),
+        ("ideal-ooo", DesignKind::Ideal(CoreKind::OutOfOrder)),
+        ("ideal-io", DesignKind::Ideal(CoreKind::InOrder)),
+        ("1pod-ooo", DesignKind::OnePod(CoreKind::OutOfOrder)),
+        ("1pod-io", DesignKind::OnePod(CoreKind::InOrder)),
+        ("scaleout-ooo", DesignKind::ScaleOut(CoreKind::OutOfOrder)),
+        ("scaleout-io", DesignKind::ScaleOut(CoreKind::InOrder)),
+    ]
+}
+
+fn list() {
+    for (name, _) in roster() {
+        println!("{name}");
+    }
+}
+
+fn pod(args: &[String]) {
+    let kind = core_kind(args);
+    let node = node(args);
+    let space = PodSearchSpace::thesis_chapter3(kind, node);
+    let peak = optimal_pod(&space);
+    let pick = preferred_pod(&space, 0.05);
+    println!("PD-optimal {kind:?} pod at {node}:");
+    println!(
+        "  peak:     {} cores + {}MB  (PD {:.4})",
+        peak.config.cores, peak.config.llc_mb, peak.performance_density
+    );
+    println!(
+        "  adopted:  {} cores + {}MB  ({:.1}mm2, {:.1}W, {:.1}GB/s)",
+        pick.config.cores,
+        pick.config.llc_mb,
+        pick.area_mm2,
+        pick.power_w,
+        pick.bandwidth_gbps
+    );
+}
+
+fn chip(args: &[String]) {
+    let d = design(args);
+    let node = node(args);
+    let c = reference_chip(d, node);
+    println!("{} at {node}:", c.label);
+    println!("  cores             {}", c.cores);
+    println!("  LLC               {:.1} MB", c.llc_mb);
+    println!("  memory channels   {}", c.memory_channels);
+    println!("  die               {:.1} mm2 ({})", c.die_mm2, c.binding);
+    println!("  power             {:.1} W", c.power_w);
+    println!("  perf density      {:.4} IPC/mm2", c.performance_density);
+    println!("  perf/W            {:.3}", c.perf_per_watt);
+}
+
+fn dc(args: &[String]) {
+    let d = design(args);
+    let mem: u32 = args
+        .iter()
+        .position(|a| a == "--mem")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let params = TcoParams::thesis();
+    let dc = Datacenter::for_design(d, &params, mem);
+    println!("20MW datacenter of {} servers ({}GB each):", dc.chip.label, mem);
+    println!("  sockets per 1U    {}", dc.sockets_per_server);
+    println!("  total chips       {}", dc.total_chips());
+    println!("  chip price        ${:.0}", dc.chip_price_usd);
+    println!("  TCO               ${:.2}M/month", dc.tco.total_usd() / 1e6);
+    println!("  perf/TCO          {:.3}", dc.perf_per_tco());
+    println!("  perf/W            {:.4}", dc.perf_per_watt());
+}
+
+fn stack(args: &[String]) {
+    let kind = core_kind(args);
+    let dies: u32 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(2);
+    let strategy = if args.iter().any(|a| a == "--fixed-distance") {
+        StackStrategy::FixedDistance
+    } else {
+        StackStrategy::FixedPod
+    };
+    let (cores, mb) = match kind {
+        CoreKind::InOrder => (64, 2.0),
+        _ => (32, 2.0),
+    };
+    let pod = Pod3d::new(kind, cores, mb, dies, strategy);
+    let chip = compose_3d(&pod);
+    let thermal = ThermalModel::datacenter(CoolingTechnology::LiquidCooled);
+    println!("{kind:?} 3D pod, {dies} die(s), {strategy:?}:");
+    println!("  pod               {} cores + {:.0}MB", pod.total_cores(), pod.total_llc_mb());
+    println!("  footprint         {:.1} mm2/die", pod.footprint_mm2());
+    println!("  chip              {} pods, {} channels", chip.pods, chip.memory_channels);
+    println!("  PD (per volume)   {:.4}", chip.performance_density_3d);
+    println!(
+        "  junction temp     {:.0}C (limit {:.0}C, liquid cooled)",
+        thermal.junction_c(chip.power_w, dies),
+        thermal.t_max_c
+    );
+    if !thermal.admits(chip.power_w, dies) {
+        println!("  WARNING: thermally infeasible at this power");
+    }
+}

@@ -1,0 +1,63 @@
+//! # Scale-Out Processors
+//!
+//! A reproduction of *Scale-Out Processors* (ISCA 2012; EPFL thesis
+//! no. 5906, 2013): a design methodology for server chips that run
+//! scale-out workloads — web search, media streaming, data serving —
+//! whose traits (independent requests, huge instruction footprints, vast
+//! memory-resident datasets, negligible inter-thread communication) make
+//! conventional server chips inefficient.
+//!
+//! ## The methodology in five steps
+//!
+//! 1. **Measure the workloads** ([`workloads`]): each of the seven
+//!    CloudSuite-style workloads is a statistical profile — base ILP, L1
+//!    miss rates, an LLC miss-versus-capacity curve, MLP, snoop rates,
+//!    off-chip traffic, software scalability — plus a synthetic trace
+//!    generator for cycle-level simulation.
+//! 2. **Model candidate organizations** ([`model`]): an
+//!    average-memory-access-time extension predicts per-core performance
+//!    for any (core type, core count, LLC capacity, interconnect)
+//!    combination, validated against the cycle-level simulator.
+//! 3. **Derive the pod** ([`core`]): *performance density* — aggregate
+//!    throughput per mm² — peaks at a small, crossbar-coupled grouping of
+//!    cores and cache (16 out-of-order cores with 4MB, or 32 in-order
+//!    cores with 2MB at 40nm). The pod is a complete server: its own OS,
+//!    no coherence with its neighbours.
+//! 4. **Tile pods onto a die** ([`core::chip`]) under area, power, and
+//!    memory-bandwidth budgets ([`tech`]): the result is a Scale-Out
+//!    Processor, and it beats conventional, tiled, and LLC-optimized
+//!    organizations on performance density at every node.
+//! 5. **Check it where it matters** — the 64-core pod's on-chip network
+//!    ([`noc`], the NOC-Out topology), the datacenter's total cost of
+//!    ownership ([`tco`]), and the post-Moore 3D-stacked future
+//!    ([`threed`]).
+//!
+//! ## Where to start
+//!
+//! ```no_run
+//! use scale_out_processors::core::designs::{reference_chip, DesignKind};
+//! use scale_out_processors::tech::{CoreKind, TechnologyNode};
+//!
+//! let sop = reference_chip(
+//!     DesignKind::ScaleOut(CoreKind::OutOfOrder),
+//!     TechnologyNode::N40,
+//! );
+//! println!(
+//!     "{}: {} cores, {:.0}mm2, PD {:.3}",
+//!     sop.label, sop.cores, sop.die_mm2, sop.performance_density
+//! );
+//! ```
+//!
+//! The `repro` binary in `sop-bench` regenerates every table and figure
+//! of the thesis' evaluation; `EXPERIMENTS.md` records how each compares
+//! to the published numbers; `DESIGN.md` maps every subsystem to the
+//! crate that implements it.
+
+pub use sop_3d as threed;
+pub use sop_core as core;
+pub use sop_model as model;
+pub use sop_noc as noc;
+pub use sop_sim as sim;
+pub use sop_tco as tco;
+pub use sop_tech as tech;
+pub use sop_workloads as workloads;

@@ -1,0 +1,133 @@
+//! Golden-value regression tests.
+//!
+//! EXPERIMENTS.md records where this reproduction landed relative to the
+//! thesis. These tests pin those landing points (with modest slack) so
+//! future refactors cannot silently drift the calibration. If a test here
+//! fails after an intentional model change, re-run
+//! `cargo run --release -p sop-bench --bin repro -- all` and update both
+//! the golden values and EXPERIMENTS.md together.
+
+use scale_out_processors::core::designs::{reference_chip, DesignKind};
+use scale_out_processors::core::PodConfig;
+use scale_out_processors::model::{DesignPoint, Interconnect};
+use scale_out_processors::noc::{NocAreaBreakdown, NocConfig, TopologyKind};
+use scale_out_processors::tco::{estimated_price_usd, Datacenter, TcoParams};
+use scale_out_processors::tech::{CoreKind, TechnologyNode};
+use scale_out_processors::workloads::Workload;
+
+fn within(value: f64, golden: f64, tol: f64) -> bool {
+    (value - golden).abs() <= golden.abs() * tol
+}
+
+#[test]
+fn golden_fig2_1_ipc_values() {
+    let expect = [
+        (Workload::DataServing, 1.26),
+        (Workload::MapReduceC, 1.02),
+        (Workload::MapReduceW, 1.66),
+        (Workload::MediaStreaming, 0.91),
+        (Workload::SatSolver, 1.50),
+        (Workload::WebFrontend, 1.65),
+        (Workload::WebSearch, 1.81),
+    ];
+    for (w, golden) in expect {
+        let ipc = DesignPoint::new(CoreKind::Conventional, 4, 8.0, Interconnect::Ideal)
+            .evaluate(w)
+            .per_core_ipc;
+        assert!(within(ipc, golden, 0.05), "{w}: {ipc:.2} vs {golden}");
+    }
+}
+
+#[test]
+fn golden_pod_metrics() {
+    let ooo = PodConfig::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar).metrics();
+    assert!(within(ooo.area_mm2, 92.6, 0.02), "area {}", ooo.area_mm2);
+    assert!(within(ooo.power_w, 20.3, 0.03), "power {}", ooo.power_w);
+    assert!(within(ooo.bandwidth_gbps, 9.2, 0.10), "bw {}", ooo.bandwidth_gbps);
+    let io = PodConfig::new(CoreKind::InOrder, 32, 2.0, Interconnect::Crossbar).metrics();
+    assert!(within(io.area_mm2, 54.2, 0.02), "area {}", io.area_mm2);
+    assert!(within(io.power_w, 18.0, 0.05), "power {}", io.power_w);
+}
+
+#[test]
+fn golden_table_3_2_scale_out_rows() {
+    struct Row {
+        design: DesignKind,
+        node: TechnologyNode,
+        pd: f64,
+        cores: u32,
+        channels: u32,
+    }
+    let rows = [
+        Row {
+            design: DesignKind::ScaleOut(CoreKind::OutOfOrder),
+            node: TechnologyNode::N40,
+            pd: 0.106,
+            cores: 32,
+            channels: 3,
+        },
+        Row {
+            design: DesignKind::ScaleOut(CoreKind::InOrder),
+            node: TechnologyNode::N40,
+            pd: 0.185,
+            cores: 96,
+            channels: 6,
+        },
+        Row {
+            design: DesignKind::ScaleOut(CoreKind::OutOfOrder),
+            node: TechnologyNode::N20,
+            pd: 0.385,
+            cores: 112,
+            channels: 4,
+        },
+        Row {
+            design: DesignKind::ScaleOut(CoreKind::InOrder),
+            node: TechnologyNode::N20,
+            pd: 0.522,
+            cores: 192,
+            channels: 6,
+        },
+    ];
+    for r in rows {
+        let c = reference_chip(r.design, r.node);
+        assert_eq!(c.cores, r.cores, "{} at {}", c.label, r.node);
+        assert_eq!(c.memory_channels, r.channels, "{} at {}", c.label, r.node);
+        assert!(
+            within(c.performance_density, r.pd, 0.05),
+            "{} at {}: PD {:.3} vs {:.3}",
+            c.label,
+            r.node,
+            c.performance_density,
+            r.pd
+        );
+    }
+}
+
+#[test]
+fn golden_fig4_7_noc_areas() {
+    let area = |kind| {
+        let cfg = NocConfig::pod_64(kind);
+        NocAreaBreakdown::of(&cfg.build_topology(), cfg.link_bits).total_mm2()
+    };
+    assert!(within(area(TopologyKind::Mesh), 3.24, 0.05));
+    assert!(within(area(TopologyKind::FlattenedButterfly), 29.2, 0.05));
+    assert!(within(area(TopologyKind::NocOut), 2.89, 0.05));
+}
+
+#[test]
+fn golden_table_5_1_prices() {
+    assert!(within(estimated_price_usd(158.6, 200_000.0), 312.0, 0.03));
+    assert!(within(estimated_price_usd(263.3, 200_000.0), 365.0, 0.03));
+}
+
+#[test]
+fn golden_datacenter_headlines() {
+    let params = TcoParams::thesis();
+    let conv = Datacenter::for_design(DesignKind::Conventional, &params, 64);
+    let one_pod = Datacenter::for_design(DesignKind::OnePod(CoreKind::OutOfOrder), &params, 64);
+    let sop_io = Datacenter::for_design(DesignKind::ScaleOut(CoreKind::InOrder), &params, 64);
+    let perf_gain = one_pod.performance / conv.performance;
+    assert!(within(perf_gain, 4.47, 0.05), "1pod perf gain {perf_gain:.2}");
+    let tco_gain = sop_io.perf_per_tco() / conv.perf_per_tco();
+    assert!(within(tco_gain, 7.7, 0.08), "SOP-IO perf/TCO gain {tco_gain:.2}");
+}

@@ -1,0 +1,361 @@
+//! Property-based tests (proptest) over the core data structures and
+//! model invariants.
+
+use proptest::prelude::*;
+use scale_out_processors::core::PodConfig;
+use scale_out_processors::model::{DesignPoint, Interconnect};
+use scale_out_processors::noc::{MessageClass, Network, NocConfig, TopologyKind};
+use scale_out_processors::sim::{DirectoryState, LlcBank};
+use scale_out_processors::tco::estimated_price_usd;
+use scale_out_processors::tech::{CacheGeometry, CoreKind, TechnologyNode};
+use scale_out_processors::threed::{Pod3d, StackStrategy};
+use scale_out_processors::workloads::{Workload, WorkloadProfile};
+
+fn any_workload() -> impl Strategy<Value = Workload> {
+    prop::sample::select(Workload::ALL.to_vec())
+}
+
+fn any_core_kind() -> impl Strategy<Value = CoreKind> {
+    prop::sample::select(CoreKind::ALL.to_vec())
+}
+
+proptest! {
+    // Network-building cases are expensive; 48 cases per property keeps
+    // the suite fast while still exploring the space.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The network never loses or duplicates packets, whatever the
+    /// injection pattern.
+    #[test]
+    fn noc_conserves_packets(
+        seed in 0u64..1000,
+        kind in prop::sample::select(vec![
+            TopologyKind::Mesh,
+            TopologyKind::NocOut,
+            TopologyKind::Crossbar,
+        ]),
+        n_packets in 1usize..120,
+    ) {
+        let mut net = Network::new(NocConfig::pod_64(kind));
+        let cores = net.core_endpoints().to_vec();
+        let llcs = net.llc_endpoints().to_vec();
+        let mut state = seed;
+        let mut injected = 0u64;
+        for i in 0..n_packets {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = cores[(state >> 33) as usize % cores.len()];
+            let dst = llcs[(state >> 17) as usize % llcs.len()];
+            let class = MessageClass::ALL[i % 3];
+            net.inject(src, dst, class, 0, 0);
+            injected += 1;
+        }
+        let delivered = net.drain(200_000);
+        prop_assert_eq!(delivered.len() as u64, injected);
+        prop_assert_eq!(net.in_flight(), 0);
+        // No duplicates.
+        let mut ids: Vec<_> = delivered.iter().map(|d| d.packet).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, injected);
+    }
+
+    /// Directory coherence: after any access sequence, a write leaves the
+    /// line owned by the writer, and stats never overcount.
+    #[test]
+    fn llc_bank_directory_invariants(
+        ops in prop::collection::vec((0u32..8, 0u64..200, prop::bool::ANY), 1..300)
+    ) {
+        let mut bank = LlcBank::new(64 * 64, 4); // small: forces evictions
+        // Track the last access of each line; only a line whose final
+        // access was a write is guaranteed to be exclusively owned.
+        let mut last_access = std::collections::HashMap::new();
+        for &(core, line, write) in &ops {
+            bank.access(core, line, write);
+            last_access.insert(line, (core, write));
+        }
+        let (acc, miss, _snoops) = bank.stats();
+        prop_assert_eq!(acc, ops.len() as u64);
+        prop_assert!(miss <= acc);
+        // Re-writing a line as its most recent (writing) accessor never
+        // snoops anyone: single-owner invariant.
+        for (&line, &(core, write)) in last_access.iter().take(8) {
+            if !write {
+                continue;
+            }
+            match bank.access(core, line, true) {
+                scale_out_processors::sim::cache::BankOutcome::Hit { snoop } => {
+                    prop_assert!(snoop.is_empty(), "owner re-write snooped {snoop:?}")
+                }
+                scale_out_processors::sim::cache::BankOutcome::Miss { .. } => {}
+            }
+        }
+    }
+
+    /// Directory states are well-formed: shared lists never contain
+    /// duplicates (checked via the public API by re-reading).
+    #[test]
+    fn repeated_reads_do_not_duplicate_sharers(core in 0u32..6, line in 0u64..50) {
+        let mut bank = LlcBank::new(1 << 16, 16);
+        for _ in 0..5 {
+            bank.access(core, line, false);
+        }
+        // A write by another core snoops `core` exactly once.
+        match bank.access(core + 100, line, true) {
+            scale_out_processors::sim::cache::BankOutcome::Hit { snoop } => {
+                let hits = snoop.iter().filter(|&&c| c == core).count();
+                prop_assert_eq!(hits, 1);
+            }
+            _ => prop_assert!(false, "line must be resident"),
+        }
+        let _ = DirectoryState::Owned(0); // type is exercised above
+    }
+
+    /// The analytic model is monotone: more network latency never helps,
+    /// and the ideal fabric upper-bounds every realizable one.
+    #[test]
+    fn model_latency_monotonicity(
+        w in any_workload(),
+        kind in any_core_kind(),
+        // From 4 cores up: a 1-2 tile "mesh" degenerates to a wire and
+        // legitimately beats the fixed-4-cycle ideal fabric.
+        cores_pow in 2u32..8,
+        llc in prop::sample::select(vec![1.0, 2.0, 4.0, 8.0]),
+    ) {
+        let cores = 1u32 << cores_pow;
+        for ic in [Interconnect::Crossbar, Interconnect::Mesh] {
+            let real = DesignPoint::new(kind, cores, llc, ic).evaluate(w);
+            // Compare against an ideal fabric with the SAME banking, so
+            // only network latency differs.
+            let banks = DesignPoint::new(kind, cores, llc, ic).llc_banks;
+            let ideal = DesignPoint::new(kind, cores, llc, Interconnect::Ideal)
+                .with_banks(banks)
+                .evaluate(w);
+            prop_assert!(real.per_core_ipc <= ideal.per_core_ipc * 1.0001,
+                "{ic} beat ideal at {cores} cores");
+            prop_assert!(real.per_core_ipc > 0.0);
+        }
+    }
+
+    /// Miss curves are monotone non-increasing in capacity and
+    /// non-decreasing in sharer count.
+    #[test]
+    fn miss_curve_monotonicity(
+        w in any_workload(),
+        c1 in 1.0f64..32.0,
+        c2 in 1.0f64..32.0,
+        n1 in 1u32..256,
+        n2 in 1u32..256,
+    ) {
+        let (lo_c, hi_c) = if c1 < c2 { (c1, c2) } else { (c2, c1) };
+        let (lo_n, hi_n) = if n1 < n2 { (n1, n2) } else { (n2, n1) };
+        let curve = WorkloadProfile::of(w).miss_curve;
+        prop_assert!(curve.misses_per_kilo_instr(hi_c, lo_n)
+            <= curve.misses_per_kilo_instr(lo_c, lo_n) + 1e-12);
+        prop_assert!(curve.misses_per_kilo_instr(lo_c, hi_n) + 1e-12
+            >= curve.misses_per_kilo_instr(lo_c, lo_n));
+    }
+
+    /// Pod metrics are internally consistent: PD equals aggregate over
+    /// area, and both components are positive.
+    #[test]
+    fn pod_metrics_consistency(
+        kind in any_core_kind(),
+        cores_pow in 0u32..8,
+        llc in prop::sample::select(vec![1.0, 2.0, 4.0, 8.0]),
+    ) {
+        let m = PodConfig::new(kind, 1 << cores_pow, llc, Interconnect::Crossbar).metrics();
+        prop_assert!(m.area_mm2 > 0.0 && m.aggregate_ipc > 0.0);
+        prop_assert!((m.performance_density - m.aggregate_ipc / m.area_mm2).abs() < 1e-12);
+    }
+
+    /// Cache bank latency is monotone in capacity.
+    #[test]
+    fn bank_latency_monotone(a in 0.01f64..64.0, b in 0.01f64..64.0) {
+        let g = CacheGeometry::new();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(g.bank_latency_cycles(lo) <= g.bank_latency_cycles(hi));
+    }
+
+    /// Chip price falls with volume and rises with die area.
+    #[test]
+    fn price_monotonicity(
+        die in 50.0f64..400.0,
+        v1 in 10_000.0f64..2_000_000.0,
+        v2 in 10_000.0f64..2_000_000.0,
+    ) {
+        let (lo_v, hi_v) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(estimated_price_usd(die, hi_v) <= estimated_price_usd(die, lo_v));
+        prop_assert!(estimated_price_usd(die + 50.0, lo_v) > estimated_price_usd(die, lo_v));
+    }
+
+    /// 3D identities: footprint x dies equals total silicon, and one die
+    /// reduces PD3D to plain perf/area.
+    #[test]
+    fn pod3d_identities(
+        kind in any_core_kind(),
+        dies in 1u32..5,
+        strategy in prop::sample::select(vec![
+            StackStrategy::FixedPod,
+            StackStrategy::FixedDistance,
+        ]),
+    ) {
+        let pod = Pod3d::new(kind, 16, 2.0, dies, strategy);
+        let m = pod.metrics();
+        prop_assert!(
+            (m.footprint_mm2 * f64::from(dies) - pod.total_area_mm2()).abs() < 1e-9
+        );
+        if dies == 1 {
+            prop_assert!(
+                (m.performance_density_3d - m.aggregate_ipc / m.footprint_mm2).abs() < 1e-12
+            );
+        }
+    }
+
+    /// Software efficiency is in (0, 1] and non-increasing in cores.
+    #[test]
+    fn scalability_efficiency_bounds(w in any_workload(), n in 1u32..512) {
+        let s = WorkloadProfile::of(w).scalability;
+        let e = s.efficiency(n);
+        prop_assert!(e > 0.0 && e <= 1.0);
+        prop_assert!(s.efficiency(n.saturating_mul(2).max(n)) <= e + 1e-12);
+    }
+
+    /// Traffic curves are monotone non-increasing in LLC capacity.
+    #[test]
+    fn traffic_monotone(w in any_workload(), c1 in 0.5f64..64.0, c2 in 0.5f64..64.0) {
+        let (lo, hi) = if c1 < c2 { (c1, c2) } else { (c2, c1) };
+        let t = WorkloadProfile::of(w).traffic;
+        prop_assert!(t.bytes_per_instr(hi) <= t.bytes_per_instr(lo) + 1e-12);
+    }
+
+    /// Delivered packet latency is never below the topology's zero-load
+    /// latency plus serialization.
+    #[test]
+    fn noc_latency_lower_bound(
+        kind in prop::sample::select(vec![
+            TopologyKind::Mesh,
+            TopologyKind::NocOut,
+            TopologyKind::FlattenedButterfly,
+        ]),
+        core_sel in 0usize..64,
+        llc_sel in 0usize..64,
+        class in prop::sample::select(MessageClass::ALL.to_vec()),
+    ) {
+        let mut net = Network::new(NocConfig::pod_64(kind));
+        let src = net.core_endpoints()[core_sel % net.core_endpoints().len()];
+        let dst = net.llc_endpoints()[llc_sel % net.llc_endpoints().len()];
+        prop_assume!(src != dst);
+        let zero_load = net.topology().zero_load_latency(src, dst);
+        let serialization = class.flits(net.config().link_bits) - 1;
+        let id = net.inject(src, dst, class, 0, 0);
+        let done = net.drain(100_000);
+        let d = done.iter().find(|d| d.packet == id).expect("delivered");
+        prop_assert!(d.latency() >= u64::from(zero_load + serialization));
+    }
+
+    /// The whole machine is deterministic: identical configurations give
+    /// identical results.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..50) {
+        use scale_out_processors::sim::{Machine, SimConfig};
+        let mut cfg = SimConfig::validation(
+            scale_out_processors::workloads::Workload::MapReduceW,
+            4,
+            TopologyKind::Crossbar,
+        );
+        cfg.seed = seed;
+        let a = Machine::new(cfg).run(500, 1_500);
+        let b = Machine::new(cfg).run(500, 1_500);
+        prop_assert_eq!(a.instructions, b.instructions);
+        prop_assert_eq!(a.llc_accesses, b.llc_accesses);
+        prop_assert_eq!(a.snoops, b.snoops);
+    }
+
+    /// Histogram invariants: the mean lies within [0, max], quantiles are
+    /// monotone in q, and merging preserves counts.
+    #[test]
+    fn histogram_invariants(samples in prop::collection::vec(0u64..100_000, 1..200)) {
+        use scale_out_processors::sim::Histogram;
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let max = *samples.iter().max().expect("non-empty");
+        prop_assert_eq!(h.max(), max);
+        prop_assert!(h.mean() <= max as f64);
+        let mut prev = 0;
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            let v = h.quantile_upper(q);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        prop_assert!(h.quantile_upper(1.0) >= max);
+    }
+
+    /// Pareto frontier properties: nothing on the frontier is dominated,
+    /// and everything off it is dominated by something on it.
+    #[test]
+    fn pareto_frontier_is_sound(
+        points in prop::collection::vec((0.01f64..10.0, 0.01f64..10.0), 1..40)
+    ) {
+        use scale_out_processors::core::{pareto_frontier, FrontierPoint};
+        let pts: Vec<FrontierPoint> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(pd, ppw))| FrontierPoint {
+                label: format!("p{i}"),
+                performance_density: pd,
+                perf_per_watt: ppw,
+            })
+            .collect();
+        let frontier = pareto_frontier(&pts);
+        prop_assert!(!frontier.is_empty());
+        for f in &frontier {
+            prop_assert!(!pts.iter().any(|q| q.dominates(f)));
+        }
+        for p in &pts {
+            let on_frontier = frontier.iter().any(|f| {
+                f.performance_density == p.performance_density
+                    && f.perf_per_watt == p.perf_per_watt
+            });
+            if !on_frontier {
+                prop_assert!(frontier.iter().any(|f| f.dominates(p)));
+            }
+        }
+    }
+
+    /// Zipf sampling stays in range and is monotone in the uniform draw.
+    #[test]
+    fn zipf_is_monotone_and_bounded(n in 1u64..1_000_000, s in 0.0f64..0.99) {
+        use scale_out_processors::workloads::ZipfSampler;
+        let z = ZipfSampler::new(n, s);
+        let mut prev = 0;
+        for i in 0..=20 {
+            let u = f64::from(i) / 20.0;
+            let idx = z.index(u);
+            prop_assert!(idx < n);
+            prop_assert!(idx >= prev);
+            prev = idx;
+        }
+    }
+
+    /// Node scaling shrinks everything consistently: the same design at
+    /// 20nm is smaller and at least as performant per area.
+    #[test]
+    fn node_scaling_improves_density(
+        kind in any_core_kind(),
+        cores_pow in 2u32..7,
+    ) {
+        let cores = 1u32 << cores_pow;
+        let at = |node: TechnologyNode| {
+            PodConfig::new(kind, cores, 4.0, Interconnect::Crossbar)
+                .at_node(node)
+                .metrics()
+        };
+        let m40 = at(TechnologyNode::N40);
+        let m20 = at(TechnologyNode::N20);
+        prop_assert!(m20.area_mm2 < m40.area_mm2 * 0.3);
+        prop_assert!(m20.performance_density > m40.performance_density * 2.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: each checks that a full experiment
+//! pipeline reproduces a qualitative result the thesis reports.
+
+use scale_out_processors::core::designs::{reference_chip, DesignKind};
+use scale_out_processors::core::pod::{optimal_pod, preferred_pod, PodSearchSpace};
+use scale_out_processors::noc::{NocAreaBreakdown, NocConfig, TopologyKind};
+use scale_out_processors::sim::{Machine, SimConfig};
+use scale_out_processors::tco::{Datacenter, TcoParams};
+use scale_out_processors::tech::{CoreKind, TechnologyNode};
+use scale_out_processors::threed::{Pod3d, StackStrategy};
+use scale_out_processors::workloads::Workload;
+
+/// Table 3.2's PD ordering holds at both nodes and for both core types:
+/// conventional < tiled < LLC-optimal < Scale-Out < ideal.
+#[test]
+fn performance_density_ordering_is_reproduced() {
+    for node in [TechnologyNode::N40, TechnologyNode::N20] {
+        let conv = reference_chip(DesignKind::Conventional, node).performance_density;
+        for kind in [CoreKind::OutOfOrder, CoreKind::InOrder] {
+            let tiled = reference_chip(DesignKind::Tiled(kind), node).performance_density;
+            let opt =
+                reference_chip(DesignKind::LlcOptimalTiled(kind), node).performance_density;
+            let sop = reference_chip(DesignKind::ScaleOut(kind), node).performance_density;
+            let ideal = reference_chip(DesignKind::Ideal(kind), node).performance_density;
+            assert!(conv < tiled, "{node} {kind:?}");
+            assert!(tiled < opt, "{node} {kind:?}");
+            assert!(opt < sop * 1.06, "{node} {kind:?}: opt {opt} sop {sop}");
+            assert!(sop < ideal, "{node} {kind:?}");
+        }
+    }
+}
+
+/// The derived pods match §3.4.2/§3.4.3: 16c/4MB (OoO, 5% rule) and
+/// 32c/2MB (in-order, 3.5% rule — see EXPERIMENTS.md).
+#[test]
+fn pod_derivation_matches_chapter_3() {
+    let ooo = PodSearchSpace::thesis_chapter3(CoreKind::OutOfOrder, TechnologyNode::N40);
+    assert_eq!(preferred_pod(&ooo, 0.05).config.cores, 16);
+    assert_eq!(preferred_pod(&ooo, 0.05).config.llc_mb, 4.0);
+    assert_eq!(optimal_pod(&ooo).config.cores, 32);
+    let io = PodSearchSpace::thesis_chapter3(CoreKind::InOrder, TechnologyNode::N40);
+    let pick = preferred_pod(&io, 0.035);
+    assert_eq!((pick.config.cores, pick.config.llc_mb), (32, 2.0));
+}
+
+/// Technology scaling (§3.4.4): Scale-Out Processors double their pods
+/// from 40nm to 20nm and keep their PD lead.
+#[test]
+fn scale_out_chips_scale_with_technology() {
+    let sop40 = reference_chip(DesignKind::ScaleOut(CoreKind::OutOfOrder), TechnologyNode::N40);
+    let sop20 = reference_chip(DesignKind::ScaleOut(CoreKind::OutOfOrder), TechnologyNode::N20);
+    assert!(sop20.cores >= 3 * sop40.cores, "{} -> {}", sop40.cores, sop20.cores);
+    assert!(sop20.performance_density > 2.5 * sop40.performance_density);
+}
+
+/// The chapter-4 headline: NOC-Out delivers flattened-butterfly-class
+/// performance at roughly a tenth of its area and beats the mesh.
+#[test]
+fn nocout_performance_and_area_headline() {
+    let area = |kind| {
+        let cfg = NocConfig::pod_64(kind);
+        NocAreaBreakdown::of(&cfg.build_topology(), cfg.link_bits).total_mm2()
+    };
+    assert!(area(TopologyKind::FlattenedButterfly) / area(TopologyKind::NocOut) > 7.0);
+    assert!(area(TopologyKind::NocOut) < area(TopologyKind::Mesh));
+
+    let run = |kind| {
+        Machine::new(SimConfig::pod_64(Workload::WebSearch, kind))
+            .run(4_000, 10_000)
+            .aggregate_ipc()
+    };
+    let mesh = run(TopologyKind::Mesh);
+    let nocout = run(TopologyKind::NocOut);
+    let fbfly = run(TopologyKind::FlattenedButterfly);
+    assert!(nocout > mesh * 1.03, "nocout {nocout} vs mesh {mesh}");
+    assert!(nocout > fbfly * 0.90, "nocout {nocout} vs fbfly {fbfly}");
+}
+
+/// The chapter-5 headline: 4.4x-7.1x-class performance/TCO gains over
+/// conventional-processor datacenters.
+#[test]
+fn datacenter_efficiency_headline() {
+    let params = TcoParams::thesis();
+    let conv = Datacenter::for_design(DesignKind::Conventional, &params, 64);
+    let ooo = Datacenter::for_design(DesignKind::ScaleOut(CoreKind::OutOfOrder), &params, 64);
+    let io = Datacenter::for_design(DesignKind::ScaleOut(CoreKind::InOrder), &params, 64);
+    let lo = ooo.perf_per_tco() / conv.perf_per_tco();
+    let hi = io.perf_per_tco() / conv.perf_per_tco();
+    assert!(lo > 3.5 && lo < hi && hi < 9.5, "gains {lo:.1}x / {hi:.1}x");
+}
+
+/// The chapter-6 headline: stacking improves volume-normalised PD under
+/// both strategies, for both core types.
+#[test]
+fn stacked_pods_beat_planar_pods() {
+    for (kind, cores) in [(CoreKind::OutOfOrder, 32), (CoreKind::InOrder, 64)] {
+        let flat = Pod3d::new(kind, cores, 2.0, 1, StackStrategy::FixedPod)
+            .metrics()
+            .performance_density_3d;
+        for dies in [2, 4] {
+            let stacked = Pod3d::new(kind, cores, 2.0, dies, StackStrategy::FixedPod)
+                .metrics()
+                .performance_density_3d;
+            assert!(stacked > flat, "{kind:?} {dies} dies");
+        }
+    }
+}
+
+/// The software-scalability effect of Fig 3.3: the cycle simulator shows
+/// sub-linear scaling at 64 cores for knee-limited workloads, while the
+/// analytic model (which ignores software) does not.
+#[test]
+fn simulation_captures_software_scalability() {
+    let run = |cores| {
+        Machine::new(SimConfig::validation(Workload::DataServing, cores, TopologyKind::Crossbar))
+            .run(2_000, 6_000)
+            .per_core_ipc()
+    };
+    let at16 = run(16);
+    let at64 = run(64);
+    assert!(at64 < at16, "per-core perf should erode: {at16} -> {at64}");
+}
+
+/// End-to-end energy sanity: every composed chip respects its budgets.
+#[test]
+fn all_reference_chips_respect_budgets() {
+    for node in [TechnologyNode::N40, TechnologyNode::N20] {
+        for design in DesignKind::table_3_2() {
+            let c = reference_chip(design, node);
+            assert!(c.die_mm2 <= 280.0, "{} at {node}: {}mm2", c.label, c.die_mm2);
+            assert!(c.power_w <= 95.0, "{} at {node}: {}W", c.label, c.power_w);
+            assert!(c.memory_channels <= 6, "{} at {node}", c.label);
+            assert!(c.performance_density > 0.0);
+        }
+    }
+}
