@@ -66,8 +66,7 @@ pub fn compose_3d(pod: &Pod3d) -> Chip3dSpec {
             memory_channels: channels,
             die_mm2: die,
             power_w: power,
-            performance_density_3d: metrics.aggregate_ipc * n
-                / (die * f64::from(pod.dies)),
+            performance_density_3d: metrics.aggregate_ipc * n / (die * f64::from(pod.dies)),
         });
     }
     best.expect("at least one pod must fit the 3D budget")
@@ -84,8 +83,14 @@ mod tests {
         // Fig 6.1 / §6.6.1: 1, 2, and 4 stacked dies afford one, two, and
         // four OoO pods respectively... (subject to the same footprint).
         let pods_at = |dies: u32| {
-            compose_3d(&Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, dies, StackStrategy::FixedPod))
-                .pods
+            compose_3d(&Pod3d::new(
+                CoreKind::OutOfOrder,
+                32,
+                2.0,
+                dies,
+                StackStrategy::FixedPod,
+            ))
+            .pods
         };
         let p1 = pods_at(1);
         let p2 = pods_at(2);
@@ -110,18 +115,33 @@ mod tests {
 
     #[test]
     fn stacking_raises_chip_level_density() {
-        let flat =
-            compose_3d(&Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 1, StackStrategy::FixedPod));
-        let stacked =
-            compose_3d(&Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 4, StackStrategy::FixedPod));
+        let flat = compose_3d(&Pod3d::new(
+            CoreKind::OutOfOrder,
+            32,
+            2.0,
+            1,
+            StackStrategy::FixedPod,
+        ));
+        let stacked = compose_3d(&Pod3d::new(
+            CoreKind::OutOfOrder,
+            32,
+            2.0,
+            4,
+            StackStrategy::FixedPod,
+        ));
         assert!(stacked.performance_density_3d > flat.performance_density_3d);
         assert!(stacked.cores > flat.cores);
     }
 
     #[test]
     fn composition_is_internally_consistent() {
-        let chip =
-            compose_3d(&Pod3d::new(CoreKind::InOrder, 64, 2.0, 2, StackStrategy::FixedDistance));
+        let chip = compose_3d(&Pod3d::new(
+            CoreKind::InOrder,
+            64,
+            2.0,
+            2,
+            StackStrategy::FixedDistance,
+        ));
         assert_eq!(chip.cores, 128 * chip.pods);
         assert!(chip.die_mm2 <= 280.0);
         assert!(chip.power_w <= 250.0);

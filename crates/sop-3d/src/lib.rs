@@ -27,5 +27,5 @@ pub mod stack;
 pub mod thermal;
 
 pub use chip::{compose_3d, Chip3dSpec};
-pub use thermal::{CoolingTechnology, ThermalModel};
 pub use stack::{sweep_3d, Pod3d, Pod3dMetrics, StackStrategy, Sweep3dPoint};
+pub use thermal::{CoolingTechnology, ThermalModel};

@@ -52,7 +52,14 @@ impl Pod3d {
     ) -> Self {
         assert!(dies > 0, "need at least one die");
         assert!(base_cores > 0, "need at least one core");
-        Pod3d { core_kind, base_cores, base_llc_mb, dies, strategy, node: TechnologyNode::N40 }
+        Pod3d {
+            core_kind,
+            base_cores,
+            base_llc_mb,
+            dies,
+            strategy,
+            node: TechnologyNode::N40,
+        }
     }
 
     /// Total cores across all dies.
@@ -203,8 +210,7 @@ mod tests {
     #[test]
     fn strategies_agree_at_one_die() {
         let a = Pod3d::new(CoreKind::InOrder, 64, 2.0, 1, StackStrategy::FixedPod).metrics();
-        let b =
-            Pod3d::new(CoreKind::InOrder, 64, 2.0, 1, StackStrategy::FixedDistance).metrics();
+        let b = Pod3d::new(CoreKind::InOrder, 64, 2.0, 1, StackStrategy::FixedDistance).metrics();
         assert!((a.performance_density_3d - b.performance_density_3d).abs() < 1e-12);
     }
 
@@ -227,8 +233,20 @@ mod tests {
 
     #[test]
     fn fixed_distance_keeps_footprint_constant() {
-        let d1 = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 1, StackStrategy::FixedDistance);
-        let d4 = Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 4, StackStrategy::FixedDistance);
+        let d1 = Pod3d::new(
+            CoreKind::OutOfOrder,
+            32,
+            2.0,
+            1,
+            StackStrategy::FixedDistance,
+        );
+        let d4 = Pod3d::new(
+            CoreKind::OutOfOrder,
+            32,
+            2.0,
+            4,
+            StackStrategy::FixedDistance,
+        );
         let rel = d4.footprint_mm2() / d1.footprint_mm2();
         assert!((0.95..1.1).contains(&rel), "footprints {rel}");
         assert_eq!(d4.total_cores(), 128);
@@ -242,10 +260,15 @@ mod tests {
         let flat = Pod3d::new(CoreKind::OutOfOrder, 128, 8.0, 1, StackStrategy::FixedPod)
             .metrics()
             .per_core_ipc;
-        let stacked =
-            Pod3d::new(CoreKind::OutOfOrder, 32, 2.0, 4, StackStrategy::FixedDistance)
-                .metrics()
-                .per_core_ipc;
+        let stacked = Pod3d::new(
+            CoreKind::OutOfOrder,
+            32,
+            2.0,
+            4,
+            StackStrategy::FixedDistance,
+        )
+        .metrics()
+        .per_core_ipc;
         assert!(stacked > flat);
     }
 

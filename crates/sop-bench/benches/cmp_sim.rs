@@ -11,9 +11,7 @@ fn pod_sim(c: &mut Criterion) {
     group.sample_size(10);
     for kind in [TopologyKind::Mesh, TopologyKind::NocOut] {
         group.bench_function(format!("{kind:?}"), |b| {
-            b.iter(|| {
-                Machine::new(SimConfig::pod_64(Workload::MapReduceW, kind)).run(1_000, 3_000)
-            })
+            b.iter(|| Machine::new(SimConfig::pod_64(Workload::MapReduceW, kind)).run(1_000, 3_000))
         });
     }
     group.finish();
@@ -24,8 +22,12 @@ fn validation_sim(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("crossbar", |b| {
         b.iter(|| {
-            Machine::new(SimConfig::validation(Workload::WebSearch, 16, TopologyKind::Crossbar))
-                .run(1_000, 3_000)
+            Machine::new(SimConfig::validation(
+                Workload::WebSearch,
+                16,
+                TopologyKind::Crossbar,
+            ))
+            .run(1_000, 3_000)
         })
     });
     group.finish();

@@ -26,7 +26,11 @@ fn drive(kind: TopologyKind, cycles: u64) -> u64 {
 fn noc_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("noc/2k_cycles_under_load");
     group.sample_size(10);
-    for kind in [TopologyKind::Mesh, TopologyKind::FlattenedButterfly, TopologyKind::NocOut] {
+    for kind in [
+        TopologyKind::Mesh,
+        TopologyKind::FlattenedButterfly,
+        TopologyKind::NocOut,
+    ] {
         group.bench_function(format!("{kind:?}"), |b| {
             b.iter_batched(|| (), |_| drive(kind, 2_000), BatchSize::PerIteration)
         });

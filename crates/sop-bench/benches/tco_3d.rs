@@ -9,9 +9,7 @@ use sop_tech::CoreKind;
 fn datacenter_build(c: &mut Criterion) {
     c.bench_function("tco/datacenter_for_scale_out", |b| {
         let params = TcoParams::thesis();
-        b.iter(|| {
-            Datacenter::for_design(DesignKind::ScaleOut(CoreKind::InOrder), &params, 64)
-        })
+        b.iter(|| Datacenter::for_design(DesignKind::ScaleOut(CoreKind::InOrder), &params, 64))
     });
 }
 
@@ -28,7 +26,13 @@ fn pd3d_sweep(c: &mut Criterion) {
     });
     c.bench_function("3d/compose_chip", |b| {
         b.iter(|| {
-            compose_3d(&Pod3d::new(CoreKind::InOrder, 64, 2.0, 3, StackStrategy::FixedDistance))
+            compose_3d(&Pod3d::new(
+                CoreKind::InOrder,
+                64,
+                2.0,
+                3,
+                StackStrategy::FixedDistance,
+            ))
         })
     });
 }

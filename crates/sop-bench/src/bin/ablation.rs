@@ -9,35 +9,70 @@
 //! * instruction replication — what IR buys a mesh at each LLC size.
 //!
 //! ```text
-//! cargo run --release -p sop-bench --bin ablation [pods|llcrow|links|ir]
+//! cargo run --release -p sop-bench --bin ablation [pods|llcrow|links|ir] [--json <path>]
 //! ```
+//!
+//! With `--json <path>` the run also writes a schema-versioned report:
+//! one section of rows per ablation, a span per section, and
+//! `ablation.*` gauges for the simulation-backed sweeps.
 
 use sop_core::chip::try_compose_pods;
 use sop_core::PodConfig;
 use sop_model::{DesignPoint, Interconnect};
 use sop_noc::{NocAreaBreakdown, TopologyKind};
+use sop_obs::{Json, Registry, Report, SpanLog};
 use sop_sim::{Machine, SimConfig};
 use sop_tech::{ChipBudget, CoreKind, TechnologyNode};
 use sop_workloads::Workload;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let which = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0 || args.get(i - 1).map(String::as_str) != Some("--json"))
+        })
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| "all".to_owned());
+
+    let mut spans = SpanLog::new();
+    let mut metrics = Registry::new();
+    let mut report = Report::new("ablation", "Design-choice ablations");
     if matches!(which.as_str(), "pods" | "all") {
-        pods();
+        let rows = spans.time("pods", |_| pods());
+        report.set("pods", rows);
     }
     if matches!(which.as_str(), "llcrow" | "all") {
-        llc_row();
+        let rows = spans.time("llcrow", |_| llc_row(&mut metrics));
+        report.set("llcrow", rows);
     }
     if matches!(which.as_str(), "links" | "all") {
-        links();
+        let rows = spans.time("links", |_| links(&mut metrics));
+        report.set("links", rows);
     }
     if matches!(which.as_str(), "ir" | "all") {
-        instruction_replication();
+        let rows = spans.time("ir", |_| instruction_replication());
+        report.set("ir", rows);
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = report.write_to(&path, &spans, &metrics) {
+            eprintln!("ablation: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
     }
 }
 
 /// Chip-level PD when the pod deviates from the chosen 16-core/4MB point.
-fn pods() {
+fn pods() -> Json {
     println!("== Ablation: pod granularity (OoO, 40nm chip composition) ==");
     println!(
         "  {:>6} {:>6} {:>6} {:>6} {:>9} {:>8}",
@@ -45,30 +80,48 @@ fn pods() {
     );
     let node = TechnologyNode::N40;
     let budget = ChipBudget::server_2d(node);
+    let mut rows = Vec::new();
     for (cores, mb) in [(8u32, 2.0), (16, 4.0), (32, 4.0), (32, 8.0), (64, 8.0)] {
-        let pod = PodConfig::new(CoreKind::OutOfOrder, cores, mb, Interconnect::Crossbar)
-            .metrics();
+        let pod = PodConfig::new(CoreKind::OutOfOrder, cores, mb, Interconnect::Crossbar).metrics();
+        let row = Json::object().with("pod_cores", cores).with("llc_mb", mb);
         match try_compose_pods("ablation", &pod, node, &budget) {
-            Some(chip) => println!(
-                "  {:>6} {:>6.1} {:>6} {:>6} {:>9.1} {:>8.4}",
-                cores,
-                mb,
-                chip.cores / cores,
-                chip.cores,
-                chip.die_mm2,
-                chip.performance_density
-            ),
-            None => println!("  {cores:>6} {mb:>6.1}   does not fit the die"),
+            Some(chip) => {
+                println!(
+                    "  {:>6} {:>6.1} {:>6} {:>6} {:>9.1} {:>8.4}",
+                    cores,
+                    mb,
+                    chip.cores / cores,
+                    chip.cores,
+                    chip.die_mm2,
+                    chip.performance_density
+                );
+                rows.push(
+                    row.with("fits", true)
+                        .with("pods", chip.cores / cores)
+                        .with("chip_cores", chip.cores)
+                        .with("die_mm2", chip.die_mm2)
+                        .with("chip_pd", chip.performance_density),
+                );
+            }
+            None => {
+                println!("  {cores:>6} {mb:>6.1}   does not fit the die");
+                rows.push(row.with("fits", false));
+            }
         }
     }
     println!("  -> the 16c/4MB pod maximizes chip PD; bigger pods lose to");
     println!("     distance, smaller ones to cache fragmentation.");
+    Json::Arr(rows)
 }
 
 /// NOC-Out with a narrower or wider LLC row.
-fn llc_row() {
+fn llc_row(metrics: &mut Registry) -> Json {
     println!("== Ablation: NOC-Out LLC-row width (64-core pod, Web Search) ==");
-    println!("  {:>9} {:>8} {:>9} {:>9}", "LLC tiles", "agg IPC", "pkt lat", "NOC mm2");
+    println!(
+        "  {:>9} {:>8} {:>9} {:>9}",
+        "LLC tiles", "agg IPC", "pkt lat", "NOC mm2"
+    );
+    let mut rows = Vec::new();
     for tiles in [4u32, 8, 16] {
         let mut cfg = SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut);
         cfg.noc.llc_tiles = tiles;
@@ -81,38 +134,94 @@ fn llc_row() {
             r.mean_packet_latency,
             area.total_mm2()
         );
+        metrics.gauge_set(
+            &format!("ablation.llcrow.tiles{tiles}.ipc"),
+            r.aggregate_ipc(),
+        );
+        metrics.gauge_set(
+            &format!("ablation.llcrow.tiles{tiles}.packet_latency"),
+            r.mean_packet_latency,
+        );
+        metrics.gauge_set(
+            &format!("ablation.llcrow.tiles{tiles}.noc_mm2"),
+            area.total_mm2(),
+        );
+        rows.push(
+            Json::object()
+                .with("llc_tiles", tiles)
+                .with("aggregate_ipc", r.aggregate_ipc())
+                .with("packet_latency", r.mean_packet_latency)
+                .with("noc_mm2", area.total_mm2()),
+        );
     }
     println!("  -> 8 tiles (2 banks each) balance bank contention against");
     println!("     spine area, as §4.3.1 chooses.");
+    Json::Arr(rows)
 }
 
 /// The latency/area frontier as links narrow (Fig 4.8's mechanism).
-fn links() {
+fn links(metrics: &mut Registry) -> Json {
     println!("== Ablation: link width (mesh pod, MapReduce-W) ==");
     println!("  {:>6} {:>9} {:>8}", "bits", "NOC mm2", "agg IPC");
+    let mut rows = Vec::new();
     for bits in [128u32, 64, 32, 16] {
         let mut cfg = SimConfig::pod_64(Workload::MapReduceW, TopologyKind::Mesh);
         cfg.noc = cfg.noc.with_link_bits(bits);
         let area = NocAreaBreakdown::of(&cfg.noc.build_topology(), bits);
         let r = Machine::new(cfg).run(3_000, 8_000);
-        println!("  {:>6} {:>9.2} {:>8.2}", bits, area.total_mm2(), r.aggregate_ipc());
+        println!(
+            "  {:>6} {:>9.2} {:>8.2}",
+            bits,
+            area.total_mm2(),
+            r.aggregate_ipc()
+        );
+        metrics.gauge_set(&format!("ablation.links.bits{bits}.ipc"), r.aggregate_ipc());
+        metrics.gauge_set(
+            &format!("ablation.links.bits{bits}.noc_mm2"),
+            area.total_mm2(),
+        );
+        rows.push(
+            Json::object()
+                .with("link_bits", bits)
+                .with("noc_mm2", area.total_mm2())
+                .with("aggregate_ipc", r.aggregate_ipc()),
+        );
     }
     println!("  -> serialization latency eats narrow-linked fabrics, which is");
     println!("     why the equal-area butterfly of Fig 4.8 collapses.");
+    Json::Arr(rows)
 }
 
 /// What R-NUCA-style instruction replication buys a mesh per LLC size.
-fn instruction_replication() {
+fn instruction_replication() -> Json {
     println!("== Ablation: instruction replication on the 32-core mesh ==");
-    println!("  {:>6} {:>10} {:>10} {:>7}", "LLC MB", "base IPC", "+IR IPC", "gain");
+    println!(
+        "  {:>6} {:>10} {:>10} {:>7}",
+        "LLC MB", "base IPC", "+IR IPC", "gain"
+    );
+    let mut rows = Vec::new();
     for mb in [4.0, 8.0, 16.0, 32.0] {
-        let base = DesignPoint::new(CoreKind::OutOfOrder, 32, mb, Interconnect::Mesh)
-            .mean_aggregate_ipc();
+        let base =
+            DesignPoint::new(CoreKind::OutOfOrder, 32, mb, Interconnect::Mesh).mean_aggregate_ipc();
         let ir = DesignPoint::new(CoreKind::OutOfOrder, 32, mb, Interconnect::Mesh)
             .with_instruction_replication()
             .mean_aggregate_ipc();
-        println!("  {:>6.0} {:>10.2} {:>10.2} {:>6.1}%", mb, base, ir, (ir / base - 1.0) * 100.0);
+        println!(
+            "  {:>6.0} {:>10.2} {:>10.2} {:>6.1}%",
+            mb,
+            base,
+            ir,
+            (ir / base - 1.0) * 100.0
+        );
+        rows.push(
+            Json::object()
+                .with("llc_mb", mb)
+                .with("base_ipc", base)
+                .with("ir_ipc", ir)
+                .with("gain", ir / base - 1.0),
+        );
     }
     println!("  -> replication helps more as capacity grows (§2.2.3: in small");
     println!("     LLCs the replicas' capacity pressure eats the latency win).");
+    Json::Arr(rows)
 }

@@ -9,29 +9,181 @@
 //! repro all            everything (simulation-backed figures take minutes)
 //! repro all --quick    everything with shortened simulation windows
 //! ```
+//!
+//! Flags:
+//!
+//! * `--json <path>` — also write a schema-versioned run report
+//!   (`sop-report/v1`): per-chapter/per-figure timing spans, the golden
+//!   check results, and named metrics (`sim.llc.*`, `sim.l1.*`, `noc.*`,
+//!   `mem.*`) from a sample pod simulation.
+//! * `--quiet` — suppress the figure text; print only the report path
+//!   (requires `--json`).
+//!
+//! After the requested figures, every run re-verifies the pinned golden
+//! values (see `tests/golden.rs` and EXPERIMENTS.md) and exits non-zero
+//! if any reproduced value deviates beyond tolerance.
 
+use sop_bench::report::{checks_json, golden_checks, pod_sample_metrics};
 use sop_bench::{ch2, ch3, ch4, ch5, ch6};
+use sop_obs::{Json, Registry, Report, SpanLog};
 use sop_tech::{CoreKind, TechnologyNode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let json_path = flag_value(&args, "--json");
+    let ids = experiment_ids(&args);
     if ids.is_empty() {
-        eprintln!("usage: repro <experiment id>... | all [--quick]");
+        eprintln!("usage: repro <experiment id>... | all [--quick] [--json <path>] [--quiet]");
         eprintln!("see DESIGN.md for the experiment index");
         std::process::exit(2);
     }
+    if quiet {
+        let Some(path) = json_path else {
+            eprintln!("repro: --quiet requires --json <path> (nothing would be printed)");
+            std::process::exit(2);
+        };
+        rerun_quietly(&path);
+    }
+
     let all = [
-        "fig2.1", "fig2.2", "fig2.3", "tab2.1", "tab2.3", "tab2.4", "fig3.1", "fig3.3",
-        "fig3.4", "fig3.5", "fig3.6", "tab3.2", "sec3.4.5", "fig4.3", "tab4.1", "fig4.6", "fig4.7",
-        "fig4.8", "fig4.9", "sec4.5", "tab5.1", "tab5.2", "fig5.1", "fig5.2", "fig5.3",
-        "fig5.5", "fig6.4", "fig6.5", "fig6.6", "fig6.7", "tab6.2",
+        "fig2.1", "fig2.2", "fig2.3", "tab2.1", "tab2.3", "tab2.4", "fig3.1", "fig3.3", "fig3.4",
+        "fig3.5", "fig3.6", "tab3.2", "sec3.4.5", "fig4.3", "tab4.1", "fig4.6", "fig4.7", "fig4.8",
+        "fig4.9", "sec4.5", "tab5.1", "tab5.2", "fig5.1", "fig5.2", "fig5.3", "fig5.5", "fig6.4",
+        "fig6.5", "fig6.6", "fig6.7", "tab6.2",
     ];
-    let run: Vec<&str> = if ids.contains(&"all") { all.to_vec() } else { ids };
-    for id in run {
-        dispatch(id, quick);
-        println!();
+    let run: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        all.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    // Time every figure, grouped under a span per chapter.
+    let mut spans = SpanLog::new();
+    let mut i = 0;
+    while i < run.len() {
+        let chapter = chapter_of(run[i]);
+        spans.start(&chapter);
+        while i < run.len() && chapter_of(run[i]) == chapter {
+            let id = run[i];
+            spans.time(id, |_| {
+                dispatch(id, quick);
+                println!();
+            });
+            i += 1;
+        }
+        spans.end();
+    }
+
+    // Re-verify the pinned golden values; any deviation fails the run.
+    let checks = spans.time("golden", |_| golden_checks());
+    let failed = checks.iter().filter(|c| !c.ok()).count();
+    println!(
+        "Golden checks: {}/{} ok",
+        checks.len() - failed,
+        checks.len()
+    );
+    for c in checks.iter().filter(|c| !c.ok()) {
+        println!(
+            "  FAIL {:32} {:.4} vs golden {:.4} (tol {:.0}%)",
+            c.name,
+            c.value,
+            c.golden,
+            c.tol * 100.0
+        );
+    }
+
+    if let Some(path) = json_path {
+        // A sample pod window gives the report real simulation metrics.
+        let metrics: Registry = spans.time("pod_sample", |_| pod_sample_metrics(quick));
+        let mut report = Report::new("repro", "Scale-Out Processors: reproduced figures");
+        report.set(
+            "experiments",
+            Json::Arr(run.iter().map(|id| Json::from(*id)).collect()),
+        );
+        report.set("quick", Json::from(quick));
+        report.set("golden", checks_json(&checks));
+        if let Err(e) = report.write_to(&path, &spans, &metrics) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The value following `flag`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Positional experiment ids: everything that is not a flag or a flag's
+/// value.
+fn experiment_ids(args: &[String]) -> Vec<String> {
+    let mut ids = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match a.as_str() {
+            "--json" => skip = true,
+            "--quick" | "--quiet" => {}
+            _ => ids.push(a.clone()),
+        }
+    }
+    ids
+}
+
+/// `"fig4.6"` -> `"ch4"`; chapter spans group the per-figure spans.
+fn chapter_of(id: &str) -> String {
+    match id.chars().find(char::is_ascii_digit) {
+        Some(d) => format!("ch{d}"),
+        None => "misc".to_owned(),
+    }
+}
+
+/// Re-runs this binary with the same arguments minus `--quiet`, stdout
+/// discarded, then prints only the report path. `println!` writes to
+/// stdout unconditionally, so silencing the figure text from inside the
+/// process would mean threading a writer through every chapter module;
+/// a child process with a null stdout gets the same effect for free.
+fn rerun_quietly(json_path: &str) -> ! {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("repro: cannot locate own executable: {e}");
+        std::process::exit(1);
+    });
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--quiet")
+        .collect();
+    match std::process::Command::new(exe)
+        .args(&args)
+        .stdout(std::process::Stdio::null())
+        .status()
+    {
+        Ok(status) => {
+            if status.success() {
+                println!("{json_path}");
+            } else {
+                // The report (with its failing golden rows) was still
+                // written; point at it before propagating the failure.
+                eprintln!("repro: golden checks failed; see {json_path}");
+            }
+            std::process::exit(status.code().unwrap_or(1));
+        }
+        Err(e) => {
+            eprintln!("repro: cannot re-exec for --quiet: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -50,7 +50,10 @@ pub fn fig2_2() -> Vec<(Workload, Vec<f64>)> {
 /// Prints Fig 2.2.
 pub fn print_fig2_2() {
     println!("Fig 2.2 — 4-core performance vs LLC size (normalised to 1MB)");
-    println!("{:24} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}", "workload", 1, 2, 4, 8, 16, 32);
+    println!(
+        "{:24} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "workload", 1, 2, 4, 8, 16, 32
+    );
     for (w, series) in fig2_2() {
         println!("  {}", fmt_series(w.label(), &series));
     }
@@ -79,7 +82,10 @@ pub fn fig2_3() -> Vec<(u32, f64, f64)> {
 /// Prints Fig 2.3 (both panels).
 pub fn print_fig2_3() {
     println!("Fig 2.3 — per-core perf (a) and aggregate perf (b) vs cores, 4MB LLC");
-    println!("  {:>6} {:>12} {:>12} {:>12} {:>12}", "cores", "ideal/core", "mesh/core", "ideal agg", "mesh agg");
+    println!(
+        "  {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "cores", "ideal/core", "mesh/core", "ideal agg", "mesh agg"
+    );
     for (n, i, m) in fig2_3() {
         println!(
             "  {n:>6} {i:>12.3} {m:>12.3} {:>12.1} {:>12.1}",
@@ -102,11 +108,24 @@ pub fn print_tab2_1() {
         );
     }
     let llc = LlcParams::at(node);
-    println!("  {:14} {:6.1} mm2/MB {:4.2} W/MB", "LLC (16-way)", llc.area_mm2_per_mb, llc.power_w_per_mb);
+    println!(
+        "  {:14} {:6.1} mm2/MB {:4.2} W/MB",
+        "LLC (16-way)", llc.area_mm2_per_mb, llc.power_w_per_mb
+    );
     let mem = MemoryInterface::at(node);
-    println!("  {:14} {:6.1} mm2 {:6.2} W ({} @ {:.1}GB/s useful)", "DDR interface", mem.area_mm2, mem.power_w, mem.gen, mem.useful_gbps());
+    println!(
+        "  {:14} {:6.1} mm2 {:6.2} W ({} @ {:.1}GB/s useful)",
+        "DDR interface",
+        mem.area_mm2,
+        mem.power_w,
+        mem.gen,
+        mem.useful_gbps()
+    );
     let soc = SocParams::at(node);
-    println!("  {:14} {:6.1} mm2 {:6.2} W", "SoC components", soc.area_mm2, soc.power_w);
+    println!(
+        "  {:14} {:6.1} mm2 {:6.2} W",
+        "SoC components", soc.area_mm2, soc.power_w
+    );
 }
 
 /// The designs of Tables 2.3/2.4, in row order.
@@ -125,7 +144,11 @@ pub fn table_2_designs() -> Vec<DesignKind> {
 
 /// Prints Table 2.3 (40nm) or Table 2.4 (20nm).
 pub fn print_tab2_3(node: TechnologyNode) {
-    let which = if node == TechnologyNode::N40 { "2.3" } else { "2.4" };
+    let which = if node == TechnologyNode::N40 {
+        "2.3"
+    } else {
+        "2.4"
+    };
     println!("Table {which} — processor designs at {node}");
     println!(
         "  {:34} {:>6} {:>5} {:>6} {:>3} {:>7} {:>6} {:>6}",
@@ -169,7 +192,10 @@ mod tests {
     #[test]
     fn fig2_2_mapreduce_c_gains_12_to_24_percent_at_16mb() {
         let rows = fig2_2();
-        let (_, mrc) = rows.iter().find(|(w, _)| *w == Workload::MapReduceC).expect("present");
+        let (_, mrc) = rows
+            .iter()
+            .find(|(w, _)| *w == Workload::MapReduceC)
+            .expect("present");
         let g16 = mrc[4];
         assert!((1.10..1.26).contains(&g16), "got {g16}");
         // 32MB is no better than 16MB.

@@ -17,8 +17,7 @@ pub fn fig3_1() -> Vec<(u32, f64, f64, f64)> {
     [1u32, 2, 4, 8, 16, 32, 64, 128, 256]
         .iter()
         .map(|&n| {
-            let m = PodConfig::new(CoreKind::OutOfOrder, n, 4.0, Interconnect::Crossbar)
-                .metrics();
+            let m = PodConfig::new(CoreKind::OutOfOrder, n, 4.0, Interconnect::Crossbar).metrics();
             (n, m.per_core_ipc, m.aggregate_ipc, m.performance_density)
         })
         .collect()
@@ -27,7 +26,10 @@ pub fn fig3_1() -> Vec<(u32, f64, f64, f64)> {
 /// Prints Fig 3.1.
 pub fn print_fig3_1() {
     println!("Fig 3.1 — perf/core, perf/chip, perf/mm2 vs core count (4MB, crossbar)");
-    println!("  {:>6} {:>10} {:>10} {:>10}", "cores", "per-core", "per-chip", "PD");
+    println!(
+        "  {:>6} {:>10} {:>10} {:>10}",
+        "cores", "per-core", "per-chip", "PD"
+    );
     for (n, u, agg, pd) in fig3_1() {
         println!("  {n:>6} {u:>10.3} {agg:>10.2} {pd:>10.4}");
     }
@@ -78,15 +80,24 @@ fn model_interconnect(topology: TopologyKind) -> Interconnect {
 /// workload/fabric pair across core counts. `quick` shrinks the windows
 /// for smoke tests.
 pub fn fig3_3(workload: Workload, topology: TopologyKind, quick: bool) -> Vec<ValidationPoint> {
-    let (warm, measure) = if quick { (1_500, 3_000) } else { (6_000, 12_000) };
+    let (warm, measure) = if quick {
+        (1_500, 3_000)
+    } else {
+        (6_000, 12_000)
+    };
     fig3_3_core_counts(workload)
         .into_iter()
         .map(|cores| {
-            let sim = Machine::new(SimConfig::validation(workload, cores, topology))
-                .run(warm, measure);
-            let model = DesignPoint::new(CoreKind::OutOfOrder, cores, 4.0, model_interconnect(topology))
-                .at_node(TechnologyNode::N40)
-                .evaluate(workload);
+            let sim =
+                Machine::new(SimConfig::validation(workload, cores, topology)).run(warm, measure);
+            let model = DesignPoint::new(
+                CoreKind::OutOfOrder,
+                cores,
+                4.0,
+                model_interconnect(topology),
+            )
+            .at_node(TechnologyNode::N40)
+            .evaluate(workload);
             ValidationPoint {
                 workload,
                 topology,
@@ -104,7 +115,11 @@ pub fn print_fig3_3(quick: bool) {
     println!("          per-core application IPC, 4MB LLC, OoO cores");
     let mut small = sop_model::ErrorStats::new();
     let mut large = sop_model::ErrorStats::new();
-    for topology in [TopologyKind::Ideal, TopologyKind::Crossbar, TopologyKind::Mesh] {
+    for topology in [
+        TopologyKind::Ideal,
+        TopologyKind::Crossbar,
+        TopologyKind::Mesh,
+    ] {
         println!("  == {topology:?} ==");
         for w in Workload::ALL {
             let pts = fig3_3(w, topology, quick);
@@ -115,10 +130,14 @@ pub fn print_fig3_3(quick: bool) {
                     large.record(p.modeled_ipc, p.simulated_ipc);
                 }
             }
-            let sim: Vec<String> =
-                pts.iter().map(|p| format!("{}c:{:.2}", p.cores, p.simulated_ipc)).collect();
-            let model: Vec<String> =
-                pts.iter().map(|p| format!("{:.2}", p.modeled_ipc)).collect();
+            let sim: Vec<String> = pts
+                .iter()
+                .map(|p| format!("{}c:{:.2}", p.cores, p.simulated_ipc))
+                .collect();
+            let model: Vec<String> = pts
+                .iter()
+                .map(|p| format!("{:.2}", p.modeled_ipc))
+                .collect();
             println!("    {:16} sim   {}", w.label(), sim.join(" "));
             println!("    {:16} model {}", "", model.join("    "));
         }
@@ -150,7 +169,11 @@ pub fn pd_sweep(kind: CoreKind, llc_mb: f64, interconnect: Interconnect) -> Vec<
 
 /// Prints Fig 3.4 (OoO) or Fig 3.6 (in-order).
 pub fn print_pd_sweep(kind: CoreKind) {
-    let fig = if kind == CoreKind::OutOfOrder { "3.4" } else { "3.6" };
+    let fig = if kind == CoreKind::OutOfOrder {
+        "3.4"
+    } else {
+        "3.6"
+    };
     println!("Fig {fig} — performance density, {kind:?} cores, 40nm");
     for ic in Interconnect::POD_CANDIDATES {
         println!("  == {ic} ==");
@@ -287,6 +310,9 @@ mod tests {
 
     #[test]
     fn media_streaming_only_simulates_to_16() {
-        assert_eq!(fig3_3_core_counts(Workload::MediaStreaming).last(), Some(&16));
+        assert_eq!(
+            fig3_3_core_counts(Workload::MediaStreaming).last(),
+            Some(&16)
+        );
     }
 }

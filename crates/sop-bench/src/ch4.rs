@@ -7,14 +7,26 @@ use sop_sim::{Machine, SimConfig, SimResult};
 use sop_workloads::Workload;
 
 /// The fabrics compared in chapter 4.
-pub const FABRICS: [TopologyKind; 3] =
-    [TopologyKind::Mesh, TopologyKind::FlattenedButterfly, TopologyKind::NocOut];
+pub const FABRICS: [TopologyKind; 3] = [
+    TopologyKind::Mesh,
+    TopologyKind::FlattenedButterfly,
+    TopologyKind::NocOut,
+];
 
 /// Runs the 64-core pod for one workload/fabric (Fig 4.6 machinery).
-pub fn run_pod(workload: Workload, topology: TopologyKind, link_bits: u32, quick: bool) -> SimResult {
+pub fn run_pod(
+    workload: Workload,
+    topology: TopologyKind,
+    link_bits: u32,
+    quick: bool,
+) -> SimResult {
     let mut cfg = SimConfig::pod_64(workload, topology);
     cfg.noc = cfg.noc.with_link_bits(link_bits);
-    let (warm, measure) = if quick { (2_000, 4_000) } else { (8_000, 16_000) };
+    let (warm, measure) = if quick {
+        (2_000, 4_000)
+    } else {
+        (8_000, 16_000)
+    };
     Machine::new(cfg).run(warm, measure)
 }
 
@@ -22,7 +34,12 @@ pub fn run_pod(workload: Workload, topology: TopologyKind, link_bits: u32, quick
 pub fn fig4_3(quick: bool) -> Vec<(Workload, f64)> {
     Workload::ALL
         .iter()
-        .map(|&w| (w, run_pod(w, TopologyKind::Mesh, 128, quick).snoop_fraction()))
+        .map(|&w| {
+            (
+                w,
+                run_pod(w, TopologyKind::Mesh, 128, quick).snoop_fraction(),
+            )
+        })
         .collect()
 }
 
@@ -71,15 +88,17 @@ pub fn equal_area_widths() -> [u32; 3] {
             .find(|&bits| NocAreaBreakdown::of(&topo, bits).total_mm2() <= target)
             .unwrap_or(8)
     };
-    [squeeze(TopologyKind::Mesh), squeeze(TopologyKind::FlattenedButterfly), 128]
+    [
+        squeeze(TopologyKind::Mesh),
+        squeeze(TopologyKind::FlattenedButterfly),
+        128,
+    ]
 }
 
 /// Prints Fig 4.8 (equal-area links).
 pub fn print_fig4_8(quick: bool) {
     let widths = equal_area_widths();
-    println!(
-        "Fig 4.8 — pod performance normalised to mesh under NOC-Out's area budget"
-    );
+    println!("Fig 4.8 — pod performance normalised to mesh under NOC-Out's area budget");
     println!(
         "  equal-area link widths: mesh {}b, fbfly {}b, NOC-Out {}b",
         widths[0], widths[1], widths[2]
@@ -88,18 +107,36 @@ pub fn print_fig4_8(quick: bool) {
 }
 
 fn print_noc_rows(rows: &[(Workload, [f64; 3])]) {
-    println!("  {:16} {:>7} {:>7} {:>7}", "workload", "mesh", "fbfly", "nocout");
+    println!(
+        "  {:16} {:>7} {:>7} {:>7}",
+        "workload", "mesh", "fbfly", "nocout"
+    );
     for (w, r) in rows {
-        println!("  {:16} {:>7.3} {:>7.3} {:>7.3}", w.label(), r[0], r[1], r[2]);
+        println!(
+            "  {:16} {:>7.3} {:>7.3} {:>7.3}",
+            w.label(),
+            r[0],
+            r[1],
+            r[2]
+        );
     }
     let gm = |i: usize| geomean(&rows.iter().map(|(_, r)| r[i]).collect::<Vec<_>>());
-    println!("  {:16} {:>7.3} {:>7.3} {:>7.3}", "GMean", gm(0), gm(1), gm(2));
+    println!(
+        "  {:16} {:>7.3} {:>7.3} {:>7.3}",
+        "GMean",
+        gm(0),
+        gm(1),
+        gm(2)
+    );
 }
 
 /// Prints Fig 4.7: the NOC area breakdown per fabric.
 pub fn print_fig4_7() {
     println!("Fig 4.7 — NOC area breakdown at 32nm (mm2)");
-    println!("  {:22} {:>7} {:>8} {:>9} {:>7}", "fabric", "links", "buffers", "crossbars", "total");
+    println!(
+        "  {:22} {:>7} {:>8} {:>9} {:>7}",
+        "fabric", "links", "buffers", "crossbars", "total"
+    );
     for kind in FABRICS {
         let cfg = NocConfig::pod_64(kind);
         let a = NocAreaBreakdown::of(&cfg.build_topology(), cfg.link_bits);
@@ -122,15 +159,18 @@ pub fn print_fig4_9_power(quick: bool) {
         for w in Workload::ALL {
             let mut cfg = SimConfig::pod_64(w, kind);
             cfg.noc = cfg.noc.with_link_bits(128);
-            let (warm, measure) = if quick { (1_000, 3_000) } else { (4_000, 12_000) };
+            let (warm, measure) = if quick {
+                (1_000, 3_000)
+            } else {
+                (4_000, 12_000)
+            };
             let machine = Machine::new(cfg);
             let topo = cfg.noc.build_topology();
             let r = machine.run(warm, measure);
             let counters = sop_noc::sim::TrafficCounters {
                 flit_hops: r.noc_flit_hops,
                 flit_mm: r.noc_flit_mm,
-                packets: 0,
-                total_latency: 0,
+                ..Default::default()
             };
             let p = NocPowerEstimate::of(&topo, &counters, measure, 2.0, 128);
             per_workload.push(p.total_w());

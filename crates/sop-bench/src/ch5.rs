@@ -37,16 +37,39 @@ pub fn print_tab5_1() {
 pub fn print_tab5_2() {
     let p = TcoParams::thesis();
     println!("Table 5.2 — TCO parameters");
-    println!("  infrastructure        {:.0} $/m2", p.infrastructure_usd_per_m2);
+    println!(
+        "  infrastructure        {:.0} $/m2",
+        p.infrastructure_usd_per_m2
+    );
     println!("  cooling+power equip.  {:.1} $/W", p.equipment_usd_per_w);
     println!("  SPUE / PUE            {} / {}", p.spue, p.pue);
-    println!("  personnel             {:.0} $/rack/month", p.personnel_usd_per_rack_month);
-    println!("  network gear          {:.0}W, {:.0}$ per rack", p.network_w_per_rack, p.network_usd_per_rack);
-    println!("  motherboard           {:.0}W, {:.0}$ per 1U", p.motherboard_w, p.motherboard_usd);
-    println!("  disk                  {:.0}W, {:.0}$, {:.0}y MTTF", p.disk_w, p.disk_usd, p.disk_mttf_years);
-    println!("  DRAM                  {:.0}W, {:.0}$, {:.0}y MTTF per GB", p.dram_w_per_gb, p.dram_usd_per_gb, p.dram_mttf_years);
+    println!(
+        "  personnel             {:.0} $/rack/month",
+        p.personnel_usd_per_rack_month
+    );
+    println!(
+        "  network gear          {:.0}W, {:.0}$ per rack",
+        p.network_w_per_rack, p.network_usd_per_rack
+    );
+    println!(
+        "  motherboard           {:.0}W, {:.0}$ per 1U",
+        p.motherboard_w, p.motherboard_usd
+    );
+    println!(
+        "  disk                  {:.0}W, {:.0}$, {:.0}y MTTF",
+        p.disk_w, p.disk_usd, p.disk_mttf_years
+    );
+    println!(
+        "  DRAM                  {:.0}W, {:.0}$, {:.0}y MTTF per GB",
+        p.dram_w_per_gb, p.dram_usd_per_gb, p.dram_mttf_years
+    );
     println!("  electricity           {} $/kWh", p.usd_per_kwh);
-    println!("  facility              {:.0}MW, {:.0}kW racks, {} 1U/rack", p.datacenter_power_w / 1e6, p.rack_power_w / 1e3, p.servers_per_rack);
+    println!(
+        "  facility              {:.0}MW, {:.0}kW racks, {} 1U/rack",
+        p.datacenter_power_w / 1e6,
+        p.rack_power_w / 1e3,
+        p.servers_per_rack
+    );
 }
 
 /// Prints Fig 5.1: datacenter performance normalised to conventional.
@@ -81,14 +104,22 @@ pub fn print_fig5_3_and_5_4() {
         "  {:22} {:>23} | {:>23}",
         "", "perf/TCO 32/64/128GB", "perf/W 32/64/128GB"
     );
-    let sweep: Vec<Vec<Datacenter>> =
-        MEMORY_SWEEP_GB.iter().map(|&gb| datacenters(gb)).collect();
+    let sweep: Vec<Vec<Datacenter>> = MEMORY_SWEEP_GB.iter().map(|&gb| datacenters(gb)).collect();
     for i in 0..sweep[0].len() {
-        let tco: Vec<String> =
-            sweep.iter().map(|dcs| format!("{:7.3}", dcs[i].perf_per_tco())).collect();
-        let watt: Vec<String> =
-            sweep.iter().map(|dcs| format!("{:7.4}", dcs[i].perf_per_watt())).collect();
-        println!("  {:22} {} | {}", sweep[0][i].chip.label, tco.join(""), watt.join(""));
+        let tco: Vec<String> = sweep
+            .iter()
+            .map(|dcs| format!("{:7.3}", dcs[i].perf_per_tco()))
+            .collect();
+        let watt: Vec<String> = sweep
+            .iter()
+            .map(|dcs| format!("{:7.4}", dcs[i].perf_per_watt()))
+            .collect();
+        println!(
+            "  {:22} {} | {}",
+            sweep[0][i].chip.label,
+            tco.join(""),
+            watt.join("")
+        );
     }
     let conv = &sweep[1][0];
     let sop_io = sweep[1].last().expect("non-empty roster");
@@ -108,7 +139,9 @@ pub fn print_fig5_5() {
             let dc = Datacenter::for_design(d, &params, 64);
             println!(
                 "  {:22} market ${:>4.0} -> {:.3}",
-                dc.chip.label, dc.chip_price_usd, dc.perf_per_tco()
+                dc.chip.label,
+                dc.chip_price_usd,
+                dc.perf_per_tco()
             );
             continue;
         }
@@ -141,7 +174,11 @@ mod tests {
             .iter()
             .max_by(|a, b| a.performance.total_cmp(&b.performance))
             .expect("non-empty");
-        assert!(best.chip.label.contains("Scale-Out (IO)"), "leader {}", best.chip.label);
+        assert!(
+            best.chip.label.contains("Scale-Out (IO)"),
+            "leader {}",
+            best.chip.label
+        );
     }
 
     #[test]

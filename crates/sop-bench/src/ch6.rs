@@ -11,7 +11,11 @@ pub const LLC_SWEEP: [f64; 5] = [2.0, 4.0, 8.0, 16.0, 32.0];
 
 /// Prints Fig 6.4 (OoO) or Fig 6.6 (in-order): PD3D sweeps per die count.
 pub fn print_pd3d_sweep(kind: CoreKind) {
-    let fig = if kind == CoreKind::OutOfOrder { "6.4" } else { "6.6" };
+    let fig = if kind == CoreKind::OutOfOrder {
+        "6.4"
+    } else {
+        "6.6"
+    };
     println!("Fig {fig} — volume-normalised PD, {kind:?} cores, 1/2/4 dies");
     for dies in [1u32, 2, 4] {
         println!("  == {dies} die(s) ==");
@@ -39,7 +43,11 @@ pub fn base_pod(kind: CoreKind) -> (u32, f64) {
 /// fixed-distance strategies across die counts.
 pub fn print_strategy_comparison(kind: CoreKind) {
     let (cores, mb) = base_pod(kind);
-    let fig = if kind == CoreKind::OutOfOrder { "6.5" } else { "6.7" };
+    let fig = if kind == CoreKind::OutOfOrder {
+        "6.5"
+    } else {
+        "6.7"
+    };
     let max_dies = if kind == CoreKind::InOrder { 3 } else { 4 };
     println!("Fig {fig} — fixed-pod vs fixed-distance, base {cores}c/{mb}MB");
     for dies in 1..=max_dies {
@@ -69,7 +77,11 @@ pub fn print_tab6_2() {
     );
     for kind in [CoreKind::OutOfOrder, CoreKind::InOrder] {
         let (cores, mb) = base_pod(kind);
-        let max_dies: &[u32] = if kind == CoreKind::InOrder { &[1, 2, 3] } else { &[1, 2, 4] };
+        let max_dies: &[u32] = if kind == CoreKind::InOrder {
+            &[1, 2, 3]
+        } else {
+            &[1, 2, 4]
+        };
         for &dies in max_dies {
             for strategy in [StackStrategy::FixedPod, StackStrategy::FixedDistance] {
                 if dies == 1 && strategy == StackStrategy::FixedDistance {

@@ -10,6 +10,7 @@ pub mod ch3;
 pub mod ch4;
 pub mod ch5;
 pub mod ch6;
+pub mod report;
 
 /// Formats a ratio row for figure-style output.
 pub fn fmt_series(label: &str, values: &[f64]) -> String {

@@ -1,0 +1,255 @@
+//! Machine-readable run support for the bench binaries: the golden
+//! checks behind `repro`'s exit code and the sample pod simulation that
+//! populates a report's `metrics` block.
+//!
+//! The golden values here mirror `tests/golden.rs` at the workspace
+//! root: those tests pin the calibration for CI, while this module lets
+//! a `repro` run verify the same numbers at run time and record the
+//! outcome in its `--json` report. Update both together (and
+//! EXPERIMENTS.md) after an intentional model change.
+
+use sop_core::designs::{reference_chip, DesignKind};
+use sop_core::PodConfig;
+use sop_model::{DesignPoint, Interconnect};
+use sop_noc::{NocAreaBreakdown, NocConfig, TopologyKind};
+use sop_obs::{Json, Registry};
+use sop_sim::{Machine, SimConfig};
+use sop_tco::{estimated_price_usd, Datacenter, TcoParams};
+use sop_tech::{CoreKind, TechnologyNode};
+use sop_workloads::Workload;
+
+/// One reproduced value compared against its pinned golden target.
+#[derive(Debug, Clone)]
+pub struct GoldenCheck {
+    /// Which figure/table value this pins, e.g. `"fig2.1/Web Search"`.
+    pub name: String,
+    /// The value this build reproduces.
+    pub value: f64,
+    /// The pinned landing point from EXPERIMENTS.md.
+    pub golden: f64,
+    /// Relative tolerance; `0.0` demands exact equality (integer rows).
+    pub tol: f64,
+}
+
+impl GoldenCheck {
+    fn new(name: impl Into<String>, value: f64, golden: f64, tol: f64) -> Self {
+        GoldenCheck {
+            name: name.into(),
+            value,
+            golden,
+            tol,
+        }
+    }
+
+    /// Whether the reproduced value lands within tolerance of the golden.
+    pub fn ok(&self) -> bool {
+        (self.value - self.golden).abs() <= self.golden.abs() * self.tol
+    }
+}
+
+/// Recomputes every pinned headline value (all analytic — no cycle-level
+/// simulation, so this takes milliseconds).
+pub fn golden_checks() -> Vec<GoldenCheck> {
+    let mut checks = Vec::new();
+
+    // Fig 2.1: per-workload IPC on the aggressive conventional core.
+    for (w, golden) in [
+        (Workload::DataServing, 1.26),
+        (Workload::MapReduceC, 1.02),
+        (Workload::MapReduceW, 1.66),
+        (Workload::MediaStreaming, 0.91),
+        (Workload::SatSolver, 1.50),
+        (Workload::WebFrontend, 1.65),
+        (Workload::WebSearch, 1.81),
+    ] {
+        let ipc = DesignPoint::new(CoreKind::Conventional, 4, 8.0, Interconnect::Ideal)
+            .evaluate(w)
+            .per_core_ipc;
+        checks.push(GoldenCheck::new(
+            format!("fig2.1/{}", w.label()),
+            ipc,
+            golden,
+            0.05,
+        ));
+    }
+
+    // Chapter 3: the adopted pods.
+    let ooo = PodConfig::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar).metrics();
+    checks.push(GoldenCheck::new(
+        "pod/ooo/area_mm2",
+        ooo.area_mm2,
+        92.6,
+        0.02,
+    ));
+    checks.push(GoldenCheck::new("pod/ooo/power_w", ooo.power_w, 20.3, 0.03));
+    checks.push(GoldenCheck::new(
+        "pod/ooo/bandwidth_gbps",
+        ooo.bandwidth_gbps,
+        9.2,
+        0.10,
+    ));
+    let io = PodConfig::new(CoreKind::InOrder, 32, 2.0, Interconnect::Crossbar).metrics();
+    checks.push(GoldenCheck::new("pod/io/area_mm2", io.area_mm2, 54.2, 0.02));
+    checks.push(GoldenCheck::new("pod/io/power_w", io.power_w, 18.0, 0.05));
+
+    // Table 3.2: the scale-out reference chips.
+    for (label, kind, node, pd, cores, channels) in [
+        (
+            "n40/ooo",
+            CoreKind::OutOfOrder,
+            TechnologyNode::N40,
+            0.106,
+            32u32,
+            3u32,
+        ),
+        (
+            "n40/io",
+            CoreKind::InOrder,
+            TechnologyNode::N40,
+            0.185,
+            96,
+            6,
+        ),
+        (
+            "n20/ooo",
+            CoreKind::OutOfOrder,
+            TechnologyNode::N20,
+            0.385,
+            112,
+            4,
+        ),
+        (
+            "n20/io",
+            CoreKind::InOrder,
+            TechnologyNode::N20,
+            0.522,
+            192,
+            6,
+        ),
+    ] {
+        let c = reference_chip(DesignKind::ScaleOut(kind), node);
+        checks.push(GoldenCheck::new(
+            format!("tab3.2/{label}/pd"),
+            c.performance_density,
+            pd,
+            0.05,
+        ));
+        checks.push(GoldenCheck::new(
+            format!("tab3.2/{label}/cores"),
+            f64::from(c.cores),
+            f64::from(cores),
+            0.0,
+        ));
+        checks.push(GoldenCheck::new(
+            format!("tab3.2/{label}/channels"),
+            f64::from(c.memory_channels),
+            f64::from(channels),
+            0.0,
+        ));
+    }
+
+    // Fig 4.7: NOC fabric areas.
+    for (kind, golden) in [
+        (TopologyKind::Mesh, 3.24),
+        (TopologyKind::FlattenedButterfly, 29.2),
+        (TopologyKind::NocOut, 2.89),
+    ] {
+        let cfg = NocConfig::pod_64(kind);
+        let area = NocAreaBreakdown::of(&cfg.build_topology(), cfg.link_bits).total_mm2();
+        checks.push(GoldenCheck::new(
+            format!("fig4.7/{kind:?}/mm2"),
+            area,
+            golden,
+            0.05,
+        ));
+    }
+
+    // Table 5.1: chip prices.
+    checks.push(GoldenCheck::new(
+        "tab5.1/price_158mm2",
+        estimated_price_usd(158.6, 200_000.0),
+        312.0,
+        0.03,
+    ));
+    checks.push(GoldenCheck::new(
+        "tab5.1/price_263mm2",
+        estimated_price_usd(263.3, 200_000.0),
+        365.0,
+        0.03,
+    ));
+
+    // Chapter 5: datacenter headlines.
+    let params = TcoParams::thesis();
+    let conv = Datacenter::for_design(DesignKind::Conventional, &params, 64);
+    let one_pod = Datacenter::for_design(DesignKind::OnePod(CoreKind::OutOfOrder), &params, 64);
+    let sop_io = Datacenter::for_design(DesignKind::ScaleOut(CoreKind::InOrder), &params, 64);
+    checks.push(GoldenCheck::new(
+        "dc/1pod_perf_gain",
+        one_pod.performance / conv.performance,
+        4.47,
+        0.05,
+    ));
+    checks.push(GoldenCheck::new(
+        "dc/sop_io_perf_per_tco_gain",
+        sop_io.perf_per_tco() / conv.perf_per_tco(),
+        7.7,
+        0.08,
+    ));
+
+    checks
+}
+
+/// Serializes checks as `[{name, value, golden, tol, ok}, ...]`.
+pub fn checks_json(checks: &[GoldenCheck]) -> Json {
+    Json::Arr(
+        checks
+            .iter()
+            .map(|c| {
+                Json::object()
+                    .with("name", c.name.as_str())
+                    .with("value", c.value)
+                    .with("golden", c.golden)
+                    .with("tol", c.tol)
+                    .with("ok", c.ok())
+            })
+            .collect(),
+    )
+}
+
+/// Runs one 64-core NOC-Out pod window and returns its metric registry —
+/// the `sim.llc.*`, `sim.l1.*`, `noc.*`, and `mem.*` keys that give a
+/// report's `metrics` block real simulation content.
+pub fn pod_sample_metrics(quick: bool) -> Registry {
+    let cfg = SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut);
+    let (warm, measure) = if quick {
+        (1_000, 3_000)
+    } else {
+        (4_000, 12_000)
+    };
+    Machine::new(cfg).run(warm, measure).metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_checks_all_pass_on_the_shipped_calibration() {
+        let checks = golden_checks();
+        assert!(
+            checks.len() >= 20,
+            "expected a broad sweep, got {}",
+            checks.len()
+        );
+        let failing: Vec<&GoldenCheck> = checks.iter().filter(|c| !c.ok()).collect();
+        assert!(failing.is_empty(), "failing golden checks: {failing:?}");
+    }
+
+    #[test]
+    fn checks_serialize_with_ok_flags() {
+        let checks = vec![GoldenCheck::new("a", 1.0, 1.0, 0.0)];
+        let j = checks_json(&checks);
+        let row = &j.as_arr().expect("array")[0];
+        assert_eq!(row.get("ok"), Some(&Json::Bool(true)));
+    }
+}

@@ -1,0 +1,82 @@
+//! Pins the `--json` report layout.
+//!
+//! Consumers parse these documents (dashboards, regression tooling), so
+//! the schema version and the top-level shape are golden: if this test
+//! fails after an intentional layout change, bump
+//! `sop_obs::SCHEMA_VERSION` and update the consumers together.
+
+use sop_bench::report::{checks_json, golden_checks, pod_sample_metrics};
+use sop_obs::{json, Json, Report, SpanLog, SCHEMA_VERSION};
+
+#[test]
+fn schema_version_is_pinned() {
+    // A rename here is a breaking change for every report consumer.
+    assert_eq!(SCHEMA_VERSION, "sop-report/v1");
+}
+
+#[test]
+fn repro_report_has_the_documented_shape() {
+    let mut spans = SpanLog::new();
+    let metrics = spans.time("pod_sample", |_| pod_sample_metrics(true));
+    let checks = golden_checks();
+    let mut report = Report::new("repro", "schema golden");
+    report.set("experiments", Json::Arr(vec![Json::from("fig4.7")]));
+    report.set("golden", checks_json(&checks));
+
+    // Round-trip through the serialized text: the golden is the
+    // document consumers actually read, not the in-memory tree.
+    let text = report.to_json(&spans, &metrics).to_pretty_string();
+    let doc = json::parse(&text).expect("report is valid JSON");
+
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("sop-report/v1")
+    );
+    assert_eq!(doc.get("tool").and_then(Json::as_str), Some("repro"));
+    assert!(doc.get("title").and_then(Json::as_str).is_some());
+
+    // Spans: an array of {name, start_us, duration_us, depth}.
+    let span_rows = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .expect("spans array");
+    assert!(!span_rows.is_empty());
+    for row in span_rows {
+        for field in ["start_us", "duration_us", "depth"] {
+            assert!(
+                row.get(field).and_then(Json::as_f64).is_some(),
+                "span field {field}"
+            );
+        }
+        assert!(row.get("name").and_then(Json::as_str).is_some());
+    }
+
+    // Metrics: the sample pod run must surface every subsystem.
+    let Json::Obj(metric_rows) = doc.get("metrics").expect("metrics object") else {
+        panic!("metrics is not an object");
+    };
+    for prefix in ["sim.llc.", "sim.l1.", "noc.", "mem."] {
+        assert!(
+            metric_rows.iter().any(|(k, _)| k.starts_with(prefix)),
+            "no {prefix}* metric in the report"
+        );
+    }
+
+    // Sections: golden rows carry {name, value, golden, tol, ok}.
+    let golden_rows = doc
+        .get("sections")
+        .and_then(|s| s.get("golden"))
+        .and_then(Json::as_arr)
+        .expect("golden section");
+    assert_eq!(golden_rows.len(), checks.len());
+    for row in golden_rows {
+        assert!(row.get("name").and_then(Json::as_str).is_some());
+        for field in ["value", "golden", "tol"] {
+            assert!(
+                row.get(field).and_then(Json::as_f64).is_some(),
+                "golden field {field}"
+            );
+        }
+        assert!(matches!(row.get("ok"), Some(Json::Bool(_))));
+    }
+}

@@ -168,7 +168,10 @@ pub fn try_compose_pods(
     let mut best: Option<ChipSpec> = None;
     for count in 1..=64u32 {
         let cand = Candidate {
-            composition: Composition::Pods { pod: pod.config, count },
+            composition: Composition::Pods {
+                pod: pod.config,
+                count,
+            },
             cores: pod.config.cores * count,
             llc_mb: pod.config.llc_mb * f64::from(count),
             compute_area_mm2: pod.area_mm2 * f64::from(count),
@@ -178,8 +181,10 @@ pub fn try_compose_pods(
             channel_override: None,
         };
         if let Some(spec) = cand.finalize(label, node, budget) {
-            let better =
-                best.as_ref().map(|b| spec.aggregate_ipc > b.aggregate_ipc).unwrap_or(true);
+            let better = best
+                .as_ref()
+                .map(|b| spec.aggregate_ipc > b.aggregate_ipc)
+                .unwrap_or(true);
             if better {
                 best = Some(spec);
             }
@@ -201,7 +206,10 @@ pub fn compose_pods(
     budget: &ChipBudget,
 ) -> ChipSpec {
     compose_largest(label, node, budget, 64, |count| Candidate {
-        composition: Composition::Pods { pod: pod.config, count },
+        composition: Composition::Pods {
+            pod: pod.config,
+            count,
+        },
         cores: pod.config.cores * count,
         llc_mb: pod.config.llc_mb * f64::from(count),
         compute_area_mm2: pod.area_mm2 * f64::from(count),
@@ -265,9 +273,7 @@ mod tests {
             &ChipBudget::server_2d(TechnologyNode::N40),
         );
         let mem = MemoryInterface::at(TechnologyNode::N40);
-        assert!(
-            chip.bandwidth_gbps <= mem.useful_gbps() * f64::from(chip.memory_channels)
-        );
+        assert!(chip.bandwidth_gbps <= mem.useful_gbps() * f64::from(chip.memory_channels));
     }
 
     #[test]
@@ -278,15 +284,16 @@ mod tests {
             TechnologyNode::N40,
             &ChipBudget::server_2d(TechnologyNode::N40),
         );
-        assert!(
-            (chip.performance_density - chip.aggregate_ipc / chip.die_mm2).abs() < 1e-12
-        );
+        assert!((chip.performance_density - chip.aggregate_ipc / chip.die_mm2).abs() < 1e-12);
     }
 
     #[test]
     fn infeasible_candidate_is_rejected() {
         let cand = Candidate {
-            composition: Composition::Pods { pod: ooo_pod().config, count: 1 },
+            composition: Composition::Pods {
+                pod: ooo_pod().config,
+                count: 1,
+            },
             cores: 16,
             llc_mb: 4.0,
             compute_area_mm2: 400.0, // over any die budget
@@ -296,14 +303,21 @@ mod tests {
             channel_override: None,
         };
         assert!(cand
-            .finalize("x", TechnologyNode::N40, &ChipBudget::server_2d(TechnologyNode::N40))
+            .finalize(
+                "x",
+                TechnologyNode::N40,
+                &ChipBudget::server_2d(TechnologyNode::N40)
+            )
             .is_none());
     }
 
     #[test]
     fn over_bandwidth_candidate_is_rejected() {
         let cand = Candidate {
-            composition: Composition::Pods { pod: ooo_pod().config, count: 1 },
+            composition: Composition::Pods {
+                pod: ooo_pod().config,
+                count: 1,
+            },
             cores: 16,
             llc_mb: 4.0,
             compute_area_mm2: 90.0,
@@ -313,7 +327,11 @@ mod tests {
             channel_override: None,
         };
         assert!(cand
-            .finalize("x", TechnologyNode::N40, &ChipBudget::server_2d(TechnologyNode::N40))
+            .finalize(
+                "x",
+                TechnologyNode::N40,
+                &ChipBudget::server_2d(TechnologyNode::N40)
+            )
             .is_none());
     }
 }

@@ -166,7 +166,11 @@ pub fn reference_chip_with_budget(
         DesignKind::Conventional => {
             // 2MB of LLC per core at 40nm; vendors' roadmaps double that
             // at 20nm (§1.2). One channel per four cores.
-            let llc_per_core = if node == TechnologyNode::N20 { 4.0 } else { 2.0 };
+            let llc_per_core = if node == TechnologyNode::N20 {
+                4.0
+            } else {
+                2.0
+            };
             compose_largest(&label, node, budget, 128, |i| {
                 let cores = 2 * i;
                 monolithic_candidate(
@@ -229,7 +233,10 @@ pub fn reference_chip_with_budget(
         DesignKind::OnePod(kind) => {
             let pod = thesis_pod(kind, node).metrics();
             compose_largest(&label, node, budget, 1, |_| Candidate {
-                composition: Composition::Pods { pod: pod.config, count: 1 },
+                composition: Composition::Pods {
+                    pod: pod.config,
+                    count: 1,
+                },
                 cores: pod.config.cores,
                 llc_mb: pod.config.llc_mb,
                 compute_area_mm2: pod.area_mm2,
@@ -276,15 +283,20 @@ mod tests {
         // The thesis reports 32 cores; our composer finds one more grid row
         // fits (36 tiles at 276mm²) under the same budgets. Both satisfy the
         // 256KB-per-tile sizing rule.
-        let chip =
-            reference_chip(DesignKind::LlcOptimalTiled(CoreKind::OutOfOrder), TechnologyNode::N40);
+        let chip = reference_chip(
+            DesignKind::LlcOptimalTiled(CoreKind::OutOfOrder),
+            TechnologyNode::N40,
+        );
         assert!((32..=36).contains(&chip.cores), "got {} cores", chip.cores);
         assert_eq!(chip.llc_mb / f64::from(chip.cores), 0.25);
     }
 
     #[test]
     fn scale_out_ooo_40nm_has_two_pods() {
-        let chip = reference_chip(DesignKind::ScaleOut(CoreKind::OutOfOrder), TechnologyNode::N40);
+        let chip = reference_chip(
+            DesignKind::ScaleOut(CoreKind::OutOfOrder),
+            TechnologyNode::N40,
+        );
         assert_eq!(chip.cores, 32);
         match chip.composition {
             Composition::Pods { count, .. } => assert_eq!(count, 2),
@@ -301,7 +313,10 @@ mod tests {
 
     #[test]
     fn one_pod_chips_match_table_5_1() {
-        let ooo = reference_chip(DesignKind::OnePod(CoreKind::OutOfOrder), TechnologyNode::N40);
+        let ooo = reference_chip(
+            DesignKind::OnePod(CoreKind::OutOfOrder),
+            TechnologyNode::N40,
+        );
         assert_eq!(ooo.cores, 16);
         assert!((ooo.die_mm2 - 158.0).abs() < 5.0, "die {}", ooo.die_mm2);
         assert!((ooo.power_w - 36.0).abs() < 3.0, "power {}", ooo.power_w);
@@ -345,7 +360,11 @@ mod tests {
     fn in_order_designs_out_density_ooo() {
         // Table 3.2: every in-order variant has higher PD than its OoO twin.
         let node = TechnologyNode::N40;
-        for mk in [DesignKind::Tiled, DesignKind::LlcOptimalTiled, DesignKind::ScaleOut] {
+        for mk in [
+            DesignKind::Tiled,
+            DesignKind::LlcOptimalTiled,
+            DesignKind::ScaleOut,
+        ] {
             let ooo = reference_chip(mk(CoreKind::OutOfOrder), node).performance_density;
             let io = reference_chip(mk(CoreKind::InOrder), node).performance_density;
             assert!(io > ooo, "{:?}", mk(CoreKind::InOrder));
@@ -369,7 +388,10 @@ mod tests {
 
     #[test]
     fn labels_match_tables() {
-        assert_eq!(DesignKind::ScaleOut(CoreKind::OutOfOrder).label(), "Scale-Out (OoO)");
+        assert_eq!(
+            DesignKind::ScaleOut(CoreKind::OutOfOrder).label(),
+            "Scale-Out (OoO)"
+        );
         assert_eq!(DesignKind::OnePod(CoreKind::InOrder).label(), "1Pod (IO)");
     }
 

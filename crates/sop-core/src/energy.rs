@@ -50,15 +50,18 @@ impl EnergyPerInstruction {
             Composition::Monolithic(dp) => {
                 (dp.core_kind, dp.cores, dp.llc_mb, dp.interconnect, 1u32)
             }
-            Composition::Pods { pod, count } => {
-                (pod.core_kind, pod.cores, pod.llc_mb, Interconnect::Crossbar, *count)
-            }
+            Composition::Pods { pod, count } => (
+                pod.core_kind,
+                pod.cores,
+                pod.llc_mb,
+                Interconnect::Crossbar,
+                *count,
+            ),
         };
         let core_w = core_kind.power_w(node) * f64::from(cores) * f64::from(units);
         let llc_w = LlcParams::at(node).power_w(llc_mb) * f64::from(units);
         let banks = cores.div_ceil(4);
-        let noc_w =
-            interconnect_power_w(interconnect, cores, banks, node) * f64::from(units);
+        let noc_w = interconnect_power_w(interconnect, cores, banks, node) * f64::from(units);
         let io_w = f64::from(chip.memory_channels) * MemoryInterface::at(node).power_w
             + SocParams::at(node).power_w;
         // Instructions per second = aggregate IPC x clock.

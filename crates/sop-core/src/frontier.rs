@@ -60,13 +60,21 @@ mod tests {
     use sop_tech::{CoreKind, TechnologyNode};
 
     fn pt(label: &str, pd: f64, ppw: f64) -> FrontierPoint {
-        FrontierPoint { label: label.to_owned(), performance_density: pd, perf_per_watt: ppw }
+        FrontierPoint {
+            label: label.to_owned(),
+            performance_density: pd,
+            perf_per_watt: ppw,
+        }
     }
 
     #[test]
     fn dominated_points_are_dropped() {
-        let points =
-            vec![pt("a", 1.0, 1.0), pt("b", 2.0, 2.0), pt("c", 1.5, 0.5), pt("d", 0.5, 3.0)];
+        let points = vec![
+            pt("a", 1.0, 1.0),
+            pt("b", 2.0, 2.0),
+            pt("c", 1.5, 0.5),
+            pt("d", 0.5, 3.0),
+        ];
         let f = pareto_frontier(&points);
         let labels: Vec<&str> = f.iter().map(|p| p.label.as_str()).collect();
         assert_eq!(labels, vec!["b", "d"]);
@@ -97,13 +105,18 @@ mod tests {
             DesignKind::LlcOptimalTiled(CoreKind::InOrder),
             DesignKind::ScaleOut(CoreKind::InOrder),
         ];
-        let points: Vec<FrontierPoint> =
-            designs.iter().map(|&d| FrontierPoint::from(&reference_chip(d, node))).collect();
+        let points: Vec<FrontierPoint> = designs
+            .iter()
+            .map(|&d| FrontierPoint::from(&reference_chip(d, node)))
+            .collect();
         let frontier = pareto_frontier(&points);
         assert!(
             frontier.iter().any(|p| p.label == "Scale-Out (IO)"),
             "frontier: {:?}",
-            frontier.iter().map(|p| p.label.as_str()).collect::<Vec<_>>()
+            frontier
+                .iter()
+                .map(|p| p.label.as_str())
+                .collect::<Vec<_>>()
         );
         // The conventional chip never makes the frontier.
         assert!(frontier.iter().all(|p| p.label != "Conventional"));

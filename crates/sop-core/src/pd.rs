@@ -90,7 +90,13 @@ pub struct PodConfig {
 impl PodConfig {
     /// A pod at 40nm.
     pub fn new(core_kind: CoreKind, cores: u32, llc_mb: f64, interconnect: Interconnect) -> Self {
-        PodConfig { core_kind, cores, llc_mb, interconnect, node: TechnologyNode::N40 }
+        PodConfig {
+            core_kind,
+            cores,
+            llc_mb,
+            interconnect,
+            node: TechnologyNode::N40,
+        }
     }
 
     /// Returns a copy at a different node.
@@ -180,8 +186,12 @@ mod tests {
     fn fbfly_costs_much_more_than_mesh() {
         // Fig 4.7: nearly 7x at 64 tiles.
         let mesh = interconnect_area_mm2(Interconnect::Mesh, 64, 64, TechnologyNode::N32);
-        let fb =
-            interconnect_area_mm2(Interconnect::FlattenedButterfly, 64, 64, TechnologyNode::N32);
+        let fb = interconnect_area_mm2(
+            Interconnect::FlattenedButterfly,
+            64,
+            64,
+            TechnologyNode::N32,
+        );
         let ratio = fb / mesh;
         assert!((5.0..9.0).contains(&ratio), "ratio {ratio}");
     }

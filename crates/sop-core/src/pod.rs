@@ -75,7 +75,10 @@ pub fn optimal_pod(space: &PodSearchSpace) -> PodMetrics {
 /// `tolerance` (e.g. 0.05) of the optimum (§3.4.2's "within 5% of the true
 /// optimum" rule).
 pub fn preferred_pod(space: &PodSearchSpace, tolerance: f64) -> PodMetrics {
-    assert!((0.0..1.0).contains(&tolerance), "tolerance must be a fraction");
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "tolerance must be a fraction"
+    );
     let best = optimal_pod(space);
     let floor = best.performance_density * (1.0 - tolerance);
     let qualifying: Vec<_> = space
@@ -155,7 +158,10 @@ mod tests {
     fn ideal_interconnect_upper_bounds_crossbar() {
         let space = PodSearchSpace::thesis_chapter3(CoreKind::OutOfOrder, TechnologyNode::N40);
         let all = space.evaluate();
-        for m in all.iter().filter(|m| m.config.interconnect == Interconnect::Crossbar) {
+        for m in all
+            .iter()
+            .filter(|m| m.config.interconnect == Interconnect::Crossbar)
+        {
             let ideal = all
                 .iter()
                 .find(|i| {

@@ -34,8 +34,11 @@ pub enum Interconnect {
 
 impl Interconnect {
     /// The interconnects compared in chapter 3's pod derivation.
-    pub const POD_CANDIDATES: [Interconnect; 3] =
-        [Interconnect::Ideal, Interconnect::Crossbar, Interconnect::Mesh];
+    pub const POD_CANDIDATES: [Interconnect; 3] = [
+        Interconnect::Ideal,
+        Interconnect::Crossbar,
+        Interconnect::Mesh,
+    ];
 
     /// Round-trip cycles a core pays to reach the LLC and get the response
     /// back, excluding the bank access itself, in a design with `cores`

@@ -136,9 +136,13 @@ impl DesignPoint {
         // Instruction replication pins instruction blocks one hop away
         // (§2.2.3): instruction fetches pay a single mesh hop each way
         // instead of the full network distance.
-        let l_net_instr = if self.instruction_replication { 6.0 } else { l_net };
-        let llc_time = l1i / 1000.0 * (l_bank + l_net_instr)
-            + l1d / 1000.0 / data_mlp * (l_bank + l_net);
+        let l_net_instr = if self.instruction_replication {
+            6.0
+        } else {
+            l_net
+        };
+        let llc_time =
+            l1i / 1000.0 * (l_bank + l_net_instr) + l1d / 1000.0 / data_mlp * (l_bank + l_net);
 
         // Replication consumes LLC capacity: the shared working set
         // competes with its own replicas, shrinking effective capacity.
@@ -149,7 +153,9 @@ impl DesignPoint {
         } else {
             self.llc_mb
         };
-        let mpki = profile.miss_curve.misses_per_kilo_instr(effective_mb, self.cores);
+        let mpki = profile
+            .miss_curve
+            .misses_per_kilo_instr(effective_mb, self.cores);
         let mem_time = mpki / 1000.0 / profile.mem_mlp_for(kind) * (l_net + l_mem);
 
         let total = compute + llc_time + mem_time;
@@ -187,7 +193,11 @@ impl DesignPoint {
     /// the thesis provisions memory channels against (§2.5).
     pub fn worst_case_bandwidth_gbps(&self) -> f64 {
         let ghz = self.node.frequency_ghz();
-        let mut traffic_mult = if self.instruction_replication { 1.35 } else { 1.0 };
+        let mut traffic_mult = if self.instruction_replication {
+            1.35
+        } else {
+            1.0
+        };
         // Blocking in-order pipelines coalesce fewer stores and expose
         // more fetch traffic per instruction than the OoO cores the
         // profiles were measured on.
@@ -256,7 +266,10 @@ mod tests {
         let mesh_drop = ws(256, 4.0, Interconnect::Mesh).per_core_ipc
             / ws(2, 4.0, Interconnect::Mesh).per_core_ipc;
         assert!(mesh_drop < ideal_drop);
-        assert!(ideal_drop > 0.70, "ideal sharing penalty should be small: {ideal_drop}");
+        assert!(
+            ideal_drop > 0.70,
+            "ideal sharing penalty should be small: {ideal_drop}"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn average_per_core_ipc(design: &DesignPoint, workloads: &[Workload]) -> f64
     assert!(!workloads.is_empty(), "need at least one workload");
     workloads
         .iter()
-        .map(|&w| design.evaluate_profile(&WorkloadProfile::of(w)).per_core_ipc)
+        .map(|&w| {
+            design
+                .evaluate_profile(&WorkloadProfile::of(w))
+                .per_core_ipc
+        })
         .sum::<f64>()
         / workloads.len() as f64
 }
@@ -94,8 +98,12 @@ mod tests {
 
     #[test]
     fn core_sweep_aggregate_grows_with_cores() {
-        let pts =
-            core_count_sweep(CoreKind::OutOfOrder, &[1, 4, 16, 64], 4.0, Interconnect::Ideal);
+        let pts = core_count_sweep(
+            CoreKind::OutOfOrder,
+            &[1, 4, 16, 64],
+            4.0,
+            Interconnect::Ideal,
+        );
         for pair in pts.windows(2) {
             assert!(pair[1].aggregate_ipc() > pair[0].aggregate_ipc());
         }

@@ -45,7 +45,10 @@ impl ErrorStats {
     /// Panics if no pairs were recorded.
     pub fn mean_abs_error(&self) -> f64 {
         assert!(!self.is_empty(), "no observations recorded");
-        self.pairs.iter().map(|(m, s)| ((m - s) / s).abs()).sum::<f64>()
+        self.pairs
+            .iter()
+            .map(|(m, s)| ((m - s) / s).abs())
+            .sum::<f64>()
             / self.pairs.len() as f64
     }
 

@@ -83,7 +83,11 @@ impl NocAreaBreakdown {
             let portbits = ports * bits;
             crossbars_mm2 += portbits * portbits * XBAR_MM2_PER_PORTBIT2;
         }
-        NocAreaBreakdown { links_mm2, buffers_mm2, crossbars_mm2 }
+        NocAreaBreakdown {
+            links_mm2,
+            buffers_mm2,
+            crossbars_mm2,
+        }
     }
 
     /// Total NOC area in mm².
@@ -123,7 +127,11 @@ impl NocPowerEstimate {
         let router_w = counters.flit_hops as f64 * bits * ROUTER_J_PER_BIT_HOP / seconds;
         let area = NocAreaBreakdown::of(topo, link_bits);
         let buffer_bits = area.buffers_mm2 / BUFFER_MM2_PER_BIT;
-        NocPowerEstimate { link_w, router_w, leakage_w: buffer_bits * LEAK_W_PER_BIT }
+        NocPowerEstimate {
+            link_w,
+            router_w,
+            leakage_w: buffer_bits * LEAK_W_PER_BIT,
+        }
     }
 
     /// Total NOC power in watts.
@@ -190,8 +198,11 @@ mod tests {
         // least (short distances), and the butterfly less than the mesh
         // (fewer hops).
         let mut results = Vec::new();
-        for kind in [TopologyKind::Mesh, TopologyKind::FlattenedButterfly, TopologyKind::NocOut]
-        {
+        for kind in [
+            TopologyKind::Mesh,
+            TopologyKind::FlattenedButterfly,
+            TopologyKind::NocOut,
+        ] {
             let mut net = Network::new(NocConfig::pod_64(kind));
             let cores = net.core_endpoints().to_vec();
             let llcs = net.llc_endpoints().to_vec();

@@ -35,5 +35,5 @@ pub mod topology;
 pub use area::{NocAreaBreakdown, NocPowerEstimate};
 pub use message::{Delivered, MessageClass, PacketId};
 pub use scaled::ScaledNocOut;
-pub use sim::{Network, NocConfig};
+pub use sim::{Network, NocConfig, TrafficCounters};
 pub use topology::{NodeRole, Topology, TopologyKind};

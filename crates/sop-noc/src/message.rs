@@ -17,8 +17,11 @@ pub enum MessageClass {
 
 impl MessageClass {
     /// All classes, lowest priority first.
-    pub const ALL: [MessageClass; 3] =
-        [MessageClass::Request, MessageClass::SnoopRequest, MessageClass::Response];
+    pub const ALL: [MessageClass; 3] = [
+        MessageClass::Request,
+        MessageClass::SnoopRequest,
+        MessageClass::Response,
+    ];
 
     /// Virtual-channel index of the class. Responses get the highest
     /// priority so replies can always drain (§4.2.2's static priority).
@@ -27,6 +30,16 @@ impl MessageClass {
             MessageClass::Request => 0,
             MessageClass::SnoopRequest => 1,
             MessageClass::Response => 2,
+        }
+    }
+
+    /// Lowercase metric-key segment for this class, used in telemetry
+    /// names such as `noc.class.response.packets`.
+    pub fn key(self) -> &'static str {
+        match self {
+            MessageClass::Request => "request",
+            MessageClass::SnoopRequest => "snoop",
+            MessageClass::Response => "response",
         }
     }
 

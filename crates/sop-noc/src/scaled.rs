@@ -68,9 +68,14 @@ impl ScaledNocOut {
     /// Panics if the cores do not divide evenly into the tree columns or
     /// the tiles into the rows.
     pub fn build(&self) -> Topology {
-        assert!(self.concentration >= 1, "concentration factor of at least 1");
-        assert!(self.llc_rows >= 1 && self.llc_tiles.is_multiple_of(self.llc_rows),
-            "tiles must split evenly into rows");
+        assert!(
+            self.concentration >= 1,
+            "concentration factor of at least 1"
+        );
+        assert!(
+            self.llc_rows >= 1 && self.llc_tiles.is_multiple_of(self.llc_rows),
+            "tiles must split evenly into rows"
+        );
         let ports = self.cores / self.concentration;
         assert_eq!(
             ports % (self.llc_tiles * 2),
@@ -115,8 +120,11 @@ impl ScaledNocOut {
                 for pos in 0..depth {
                     let node = tree_node(t, half, pos);
                     pipeline[node] = 1;
-                    let parent =
-                        if pos == 0 { t as usize } else { tree_node(t, half, pos - 1) };
+                    let parent = if pos == 0 {
+                        t as usize
+                    } else {
+                        tree_node(t, half, pos - 1)
+                    };
                     channels[node].push(Channel {
                         to: parent,
                         latency: 1,
@@ -314,6 +322,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "evenly")]
     fn uneven_rows_panic() {
-        ScaledNocOut { llc_rows: 3, ..ScaledNocOut::express_256() }.build();
+        ScaledNocOut {
+            llc_rows: 3,
+            ..ScaledNocOut::express_256()
+        }
+        .build();
     }
 }

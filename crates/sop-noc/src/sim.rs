@@ -129,7 +129,10 @@ struct CreditReturn {
 // BinaryHeap is a max-heap; order events so earliest-due pops first.
 impl Ord for Arrival {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.due.cmp(&self.due).then(other.flit.packet.cmp(&self.flit.packet))
+        other
+            .due
+            .cmp(&self.due)
+            .then(other.flit.packet.cmp(&self.flit.packet))
     }
 }
 impl PartialOrd for Arrival {
@@ -158,7 +161,8 @@ struct PacketMeta {
     received: u32,
 }
 
-/// Aggregate traffic counters for power estimation.
+/// Aggregate traffic counters for power estimation, with per-message-class
+/// breakdowns (indexed by [`MessageClass::vc`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TrafficCounters {
     /// Total flit-hops through router switches.
@@ -169,6 +173,12 @@ pub struct TrafficCounters {
     pub packets: u64,
     /// Sum of packet latencies (for averaging).
     pub total_latency: u64,
+    /// Flit-hops per message class.
+    pub class_flit_hops: [u64; VCS],
+    /// Packets delivered per message class.
+    pub class_packets: [u64; VCS],
+    /// Latency sums per message class.
+    pub class_latency: [u64; VCS],
 }
 
 impl TrafficCounters {
@@ -179,6 +189,61 @@ impl TrafficCounters {
         } else {
             self.total_latency as f64 / self.packets as f64
         }
+    }
+
+    /// Mean latency of one message class.
+    pub fn class_mean_latency(&self, class: MessageClass) -> f64 {
+        let vc = class.vc();
+        if self.class_packets[vc] == 0 {
+            0.0
+        } else {
+            self.class_latency[vc] as f64 / self.class_packets[vc] as f64
+        }
+    }
+
+    /// Publishes these counters under `prefix` (e.g. `"noc."`):
+    /// `<p>flit_hops`, `<p>flit_mm`, `<p>packets`, `<p>mean_latency`, and
+    /// per-class `<p>class.<name>.{packets,flit_hops,mean_latency}`.
+    pub fn export_metrics(&self, reg: &mut sop_obs::Registry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}flit_hops"), self.flit_hops);
+        reg.gauge_set(&format!("{prefix}flit_mm"), self.flit_mm);
+        reg.counter_add(&format!("{prefix}packets"), self.packets);
+        reg.gauge_set(&format!("{prefix}mean_latency"), self.mean_latency());
+        for class in MessageClass::ALL {
+            let vc = class.vc();
+            let name = class.key();
+            reg.counter_add(
+                &format!("{prefix}class.{name}.packets"),
+                self.class_packets[vc],
+            );
+            reg.counter_add(
+                &format!("{prefix}class.{name}.flit_hops"),
+                self.class_flit_hops[vc],
+            );
+            reg.gauge_set(
+                &format!("{prefix}class.{name}.mean_latency"),
+                self.class_mean_latency(class),
+            );
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot (for window
+    /// deltas). Means are recomputed from the deltas by the callers.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &TrafficCounters) -> TrafficCounters {
+        let mut d = TrafficCounters {
+            flit_hops: self.flit_hops - earlier.flit_hops,
+            flit_mm: self.flit_mm - earlier.flit_mm,
+            packets: self.packets - earlier.packets,
+            total_latency: self.total_latency - earlier.total_latency,
+            ..TrafficCounters::default()
+        };
+        for vc in 0..VCS {
+            d.class_flit_hops[vc] = self.class_flit_hops[vc] - earlier.class_flit_hops[vc];
+            d.class_packets[vc] = self.class_packets[vc] - earlier.class_packets[vc];
+            d.class_latency[vc] = self.class_latency[vc] - earlier.class_latency[vc];
+        }
+        d
     }
 }
 
@@ -225,7 +290,9 @@ impl Network {
         let mut routers = Vec::with_capacity(n);
         for node in 0..n {
             // +1 injection pseudo-port on every node (harmless where unused).
-            let inputs = (0..=in_count[node]).map(|_| InputBuffer::default()).collect();
+            let inputs = (0..=in_count[node])
+                .map(|_| InputBuffer::default())
+                .collect();
             let out_ports = topo.channels[node].len();
             routers.push(RouterState {
                 inputs,
@@ -313,14 +380,31 @@ impl Network {
     /// # Panics
     ///
     /// Panics if either node is out of range.
-    pub fn inject(&mut self, src: usize, dst: usize, class: MessageClass, _weight: u32, cycle: u64) -> PacketId {
-        assert!(src < self.topo.len() && dst < self.topo.len(), "node out of range");
+    pub fn inject(
+        &mut self,
+        src: usize,
+        dst: usize,
+        class: MessageClass,
+        _weight: u32,
+        cycle: u64,
+    ) -> PacketId {
+        assert!(
+            src < self.topo.len() && dst < self.topo.len(),
+            "node out of range"
+        );
         let id = self.next_packet;
         self.next_packet += 1;
         let flits = class.flits(self.cfg.link_bits);
         self.packets.insert(
             id,
-            PacketMeta { src, dst, class, injected_at: cycle, flits, received: 0 },
+            PacketMeta {
+                src,
+                dst,
+                class,
+                injected_at: cycle,
+                flits,
+                received: 0,
+            },
         );
         let inj_port = self.routers[src].inputs.len() - 1;
         for f in 0..flits {
@@ -359,8 +443,7 @@ impl Network {
                 break;
             }
             let a = self.arrivals.pop().expect("peeked");
-            self.routers[a.node].inputs[a.in_port].queues[a.flit.class.vc()]
-                .push_back(a.flit);
+            self.routers[a.node].inputs[a.in_port].queues[a.flit.class.vc()].push_back(a.flit);
         }
         // 3. Switch allocation: one flit per output port per node.
         let mut delivered = Vec::new();
@@ -374,9 +457,7 @@ impl Network {
                         .expect("picked head exists");
                     // Return a credit to the upstream router feeding this
                     // input buffer (injection ports have no upstream).
-                    if let Some(Some((u, uport))) =
-                        self.link_src[node].get(in_port).copied()
-                    {
+                    if let Some(Some((u, uport))) = self.link_src[node].get(in_port).copied() {
                         let latency = self.topo.channels[u][uport].latency;
                         self.credit_returns.push(CreditReturn {
                             due: cycle + u64::from(latency),
@@ -404,6 +485,7 @@ impl Network {
                         });
                         self.counters.flit_hops += 1;
                         self.counters.flit_mm += ch.length_mm;
+                        self.counters.class_flit_hops[flit.class.vc()] += 1;
                         self.channel_flits[node][out] += 1;
                     }
                 }
@@ -455,13 +537,18 @@ impl Network {
     }
 
     fn eject(&mut self, node: usize, flit: Flit, cycle: u64) -> Option<Delivered> {
-        let meta = self.packets.get_mut(&flit.packet).expect("packet meta exists");
+        let meta = self
+            .packets
+            .get_mut(&flit.packet)
+            .expect("packet meta exists");
         meta.received += 1;
         if meta.received == meta.flits {
             let meta = self.packets.remove(&flit.packet).expect("just seen");
             debug_assert_eq!(meta.dst, node);
             self.counters.packets += 1;
             self.counters.total_latency += cycle - meta.injected_at;
+            self.counters.class_packets[meta.class.vc()] += 1;
+            self.counters.class_latency[meta.class.vc()] += cycle - meta.injected_at;
             Some(Delivered {
                 packet: flit.packet,
                 class: meta.class,
@@ -492,8 +579,11 @@ mod tests {
 
     #[test]
     fn single_request_latency_tracks_zero_load() {
-        for kind in [TopologyKind::Mesh, TopologyKind::FlattenedButterfly, TopologyKind::NocOut]
-        {
+        for kind in [
+            TopologyKind::Mesh,
+            TopologyKind::FlattenedButterfly,
+            TopologyKind::NocOut,
+        ] {
             let cfg = NocConfig::pod_64(kind);
             let net = Network::new(cfg);
             let src = net.core_endpoints()[0];
@@ -518,9 +608,7 @@ mod tests {
 
     #[test]
     fn narrow_links_stretch_responses() {
-        let mut net = Network::new(
-            NocConfig::pod_64(TopologyKind::Mesh).with_link_bits(32),
-        );
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh).with_link_bits(32));
         let src = net.core_endpoints()[0];
         let dst = net.llc_endpoints()[63];
         net.inject(src, dst, MessageClass::Response, 0, 0);
@@ -593,6 +681,48 @@ mod tests {
     }
 
     #[test]
+    fn per_class_counters_partition_the_totals() {
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        let src = net.core_endpoints()[0];
+        let dst = net.llc_endpoints()[63];
+        net.inject(src, dst, MessageClass::Request, 0, 0);
+        net.inject(dst, src, MessageClass::Response, 0, 0);
+        net.inject(dst, src, MessageClass::SnoopRequest, 0, 0);
+        net.drain(10_000);
+        let c = net.counters();
+        assert_eq!(c.class_packets.iter().sum::<u64>(), c.packets);
+        assert_eq!(c.class_flit_hops.iter().sum::<u64>(), c.flit_hops);
+        assert_eq!(c.class_latency.iter().sum::<u64>(), c.total_latency);
+        assert_eq!(c.class_packets[MessageClass::Request.vc()], 1);
+        // Responses are 5 flits on 128-bit links, requests 1.
+        assert_eq!(
+            c.class_flit_hops[MessageClass::Response.vc()],
+            5 * c.class_flit_hops[MessageClass::Request.vc()]
+        );
+        assert!(c.class_mean_latency(MessageClass::Response) > 0.0);
+    }
+
+    #[test]
+    fn counters_export_named_metrics() {
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        let src = net.core_endpoints()[0];
+        let dst = net.llc_endpoints()[63];
+        net.inject(src, dst, MessageClass::Request, 0, 0);
+        net.drain(1000);
+        let before = net.counters();
+        net.inject(src, dst, MessageClass::Response, 0, net.counters().packets);
+        net.drain(1000);
+        let mut reg = sop_obs::Registry::new();
+        net.counters()
+            .delta_since(&before)
+            .export_metrics(&mut reg, "noc.");
+        assert_eq!(reg.counter("noc.packets"), 1);
+        assert_eq!(reg.counter("noc.class.response.packets"), 1);
+        assert_eq!(reg.counter("noc.class.request.packets"), 0);
+        assert!(reg.gauge("noc.mean_latency").expect("gauge") > 0.0);
+    }
+
+    #[test]
     fn channel_utilization_is_bounded_and_finds_hot_links() {
         let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
         let cores = net.core_endpoints().to_vec();
@@ -607,8 +737,14 @@ mod tests {
             net.step(cycle);
         }
         let max = net.max_channel_utilization(horizon);
-        assert!(max > 0.1, "hot-spotted traffic should load some channel: {max}");
-        assert!(max <= 1.0, "no channel can exceed one flit per cycle: {max}");
+        assert!(
+            max > 0.1,
+            "hot-spotted traffic should load some channel: {max}"
+        );
+        assert!(
+            max <= 1.0,
+            "no channel can exceed one flit per cycle: {max}"
+        );
         // Channels into the destination tile must be among the hottest.
         let hot: Vec<_> = net
             .channel_utilization(horizon)
@@ -619,7 +755,7 @@ mod tests {
     }
 
     #[test]
-    fn pod_networks_are_not_congested_under_realistic_load(){
+    fn pod_networks_are_not_congested_under_realistic_load() {
         // §4.4.1: differences in latency, not bandwidth, drive the fabric
         // comparison. At pod-like injection rates no channel saturates.
         let mut net = Network::new(NocConfig::pod_64(TopologyKind::NocOut));

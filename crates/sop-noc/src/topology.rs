@@ -144,8 +144,7 @@ impl Topology {
         for y in 0..height {
             for x in 0..width {
                 let mut add = |tx: i64, ty: i64| {
-                    if (0..i64::from(width)).contains(&tx) && (0..i64::from(height)).contains(&ty)
-                    {
+                    if (0..i64::from(width)).contains(&tx) && (0..i64::from(height)).contains(&ty) {
                         channels[idx(x, y)].push(Channel {
                             to: idx(tx as u32, ty as u32),
                             latency: 1,
@@ -201,7 +200,10 @@ impl Topology {
     /// 3-stage non-speculative pipeline; links cover two tiles per cycle
     /// (Table 4.1).
     pub fn flattened_butterfly(width: u32, height: u32, tile_mm: f64) -> Topology {
-        assert!(width > 0 && height > 0, "butterfly needs positive dimensions");
+        assert!(
+            width > 0 && height > 0,
+            "butterfly needs positive dimensions"
+        );
         let n = (width * height) as usize;
         let idx = |x: u32, y: u32| (y * width + x) as usize;
         let mut channels = vec![Vec::new(); n];
@@ -289,7 +291,7 @@ impl Topology {
         }
         for t in 0..llc_tiles {
             pipeline[t as usize] = 3; // LLC-row butterfly router
-            // Row links: fully connected 1-D butterfly.
+                                      // Row links: fully connected 1-D butterfly.
             for o in 0..llc_tiles {
                 if o != t {
                     // LLC tiles are ~2mm wide (two 0.5MB banks + router).
@@ -307,9 +309,17 @@ impl Topology {
                     let core_index = t * 2 * depth + half * depth + pos;
                     roles[node] = NodeRole::Core(core_index);
                     pipeline[node] = 1; // mux/demux + link, single cycle
-                    // Toward the LLC (reduction direction).
-                    let parent = if pos == 0 { t as usize } else { core_node(t, half, pos - 1) };
-                    channels[node].push(Channel { to: parent, latency: 1, length_mm: tile_mm });
+                                        // Toward the LLC (reduction direction).
+                    let parent = if pos == 0 {
+                        t as usize
+                    } else {
+                        core_node(t, half, pos - 1)
+                    };
+                    channels[node].push(Channel {
+                        to: parent,
+                        latency: 1,
+                        length_mm: tile_mm,
+                    });
                     // Away from the LLC (dispersion direction).
                     let child_port = Channel {
                         to: core_node(t, half, pos),
@@ -337,9 +347,7 @@ impl Topology {
                     NodeRole::Core(_) | NodeRole::TreeNode => 0, // toward the LLC row
                     NodeRole::Llc(t) => {
                         let (dtile, dhalf, dpos) = match roles[dst] {
-                            NodeRole::Core(ci) => {
-                                (ci / (2 * depth), (ci / depth) % 2, ci % depth)
-                            }
+                            NodeRole::Core(ci) => (ci / (2 * depth), (ci / depth) % 2, ci % depth),
                             NodeRole::Llc(o) => (o, 0, 0),
                             _ => unreachable!("NOC-Out has no other roles"),
                         };
@@ -367,8 +375,7 @@ impl Topology {
                 if let NodeRole::Core(ci) = roles[node] {
                     if let NodeRole::Core(di) = roles[dst] {
                         let (tile, half, pos) = (ci / (2 * depth), (ci / depth) % 2, ci % depth);
-                        let (dtile, dhalf, dpos) =
-                            (di / (2 * depth), (di / depth) % 2, di % depth);
+                        let (dtile, dhalf, dpos) = (di / (2 * depth), (di / depth) % 2, di % depth);
                         if tile == dtile && half == dhalf && dpos > pos {
                             // Dispersion continues down: port 1 is the child.
                             hops[dst] = channels[node]
@@ -428,8 +435,16 @@ impl Topology {
             roles.push(NodeRole::Llc(b));
         }
         for leaf in 1..n {
-            channels[0].push(Channel { to: leaf, latency: link_latency, length_mm: span_mm });
-            channels[leaf].push(Channel { to: 0, latency: link_latency, length_mm: span_mm });
+            channels[0].push(Channel {
+                to: leaf,
+                latency: link_latency,
+                length_mm: span_mm,
+            });
+            channels[leaf].push(Channel {
+                to: 0,
+                latency: link_latency,
+                length_mm: span_mm,
+            });
         }
         let mut next_hop = vec![vec![0usize; n]; n];
         for (dst, port) in next_hop[0].iter_mut().enumerate().skip(1) {
@@ -514,7 +529,12 @@ mod tests {
             }
             sum as f64 / count as f64
         };
-        assert!(avg(&t) < 0.7 * avg(&mesh), "nocout {} mesh {}", avg(&t), avg(&mesh));
+        assert!(
+            avg(&t) < 0.7 * avg(&mesh),
+            "nocout {} mesh {}",
+            avg(&t),
+            avg(&mesh)
+        );
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Ring-buffer event log with Chrome-trace export.
+//!
+//! `sop_sim::Machine` can optionally record transaction lifecycle events
+//! (issue → LLC → snoop → memory → retire) into this log. Capacity is
+//! bounded: once full, the oldest events are overwritten and a drop
+//! counter keeps the books honest. The log exports to the Chrome trace
+//! event format (`chrome://tracing` / Perfetto "JSON Array Format"), with
+//! simulated cycles mapped onto the `ts`/`dur` microsecond fields.
+
+use crate::json::Json;
+
+/// One recorded event. Names and categories are `&'static str` so
+/// recording never allocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in simulated cycles.
+    pub ts: u64,
+    /// Duration in cycles for complete ("X") events; `None` renders as an
+    /// instant ("i") event.
+    pub dur: Option<u64>,
+    /// Event name, e.g. `"llc_miss"`.
+    pub name: &'static str,
+    /// Category, e.g. `"coherence"` — Chrome's per-category filter.
+    pub cat: &'static str,
+    /// Track (rendered as the Chrome `tid`): core id, bank id, etc.
+    pub track: u64,
+    /// Small key/value payload rendered into Chrome's `args`.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// Fixed-capacity ring buffer of [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if the buffer is full.
+    pub fn record(&mut self, event: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Convenience: record an instant event with no payload.
+    pub fn instant(&mut self, ts: u64, name: &'static str, cat: &'static str, track: u64) {
+        self.record(Event {
+            ts,
+            dur: None,
+            name,
+            cat,
+            track,
+            args: Vec::new(),
+        });
+    }
+
+    /// Convenience: record a complete (duration) event with no payload.
+    pub fn complete(
+        &mut self,
+        ts: u64,
+        dur: u64,
+        name: &'static str,
+        cat: &'static str,
+        track: u64,
+    ) {
+        self.record(Event {
+            ts,
+            dur: Some(dur),
+            name,
+            cat,
+            track,
+            args: Vec::new(),
+        });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exports as a Chrome trace document:
+    /// `{"traceEvents": [...], "displayTimeUnit": "ns", ...}`.
+    /// One simulated cycle maps to one microsecond of trace time.
+    pub fn to_chrome_trace(&self, process_name: &str) -> Json {
+        let mut events: Vec<Json> = Vec::with_capacity(self.buf.len() + 1);
+        // Process-name metadata record so the trace viewer labels the row.
+        events.push(
+            Json::object()
+                .with("name", "process_name")
+                .with("ph", "M")
+                .with("pid", 1u64)
+                .with("tid", 0u64)
+                .with("args", Json::object().with("name", process_name)),
+        );
+        for e in self.events() {
+            let mut j = Json::object()
+                .with("name", e.name)
+                .with("cat", e.cat)
+                .with("ph", if e.dur.is_some() { "X" } else { "i" })
+                .with("ts", e.ts)
+                .with("pid", 1u64)
+                .with("tid", e.track);
+            if let Some(dur) = e.dur {
+                j.insert("dur", dur);
+            } else {
+                // Instant events need a scope; "t" = thread-scoped.
+                j.insert("s", "t");
+            }
+            if !e.args.is_empty() {
+                let mut args = Json::object();
+                for (k, v) in &e.args {
+                    args.insert(k, *v);
+                }
+                j.insert("args", args);
+            }
+            events.push(j);
+        }
+        Json::object()
+            .with("traceEvents", Json::Arr(events))
+            .with("displayTimeUnit", "ns")
+            .with("dropped_events", self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::new(3);
+        for ts in 0..5u64 {
+            log.instant(ts, "e", "test", 0);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let ts: Vec<u64> = log.events().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_shape() {
+        let mut log = EventLog::new(16);
+        log.complete(10, 5, "llc_miss", "coherence", 3);
+        log.record(Event {
+            ts: 20,
+            dur: None,
+            name: "retire",
+            cat: "core",
+            track: 1,
+            args: vec![("line", 0xdead)],
+        });
+        let trace = log.to_chrome_trace("pod64");
+        let text = trace.to_compact_string();
+        let parsed = crate::json::parse(&text).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        // Metadata + 2 events.
+        assert_eq!(events.len(), 3);
+        let complete = &events[1];
+        assert_eq!(complete.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(complete.get("dur").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(complete.get("tid").and_then(Json::as_f64), Some(3.0));
+        let instant = &events[2];
+        assert_eq!(instant.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(instant.get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(
+            instant
+                .get("args")
+                .and_then(|a| a.get("line"))
+                .and_then(Json::as_f64),
+            Some(0xdead as f64)
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut log = EventLog::new(0);
+        log.instant(1, "e", "c", 0);
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Structured telemetry for the Scale-Out Processors reproduction.
+//!
+//! Dependency-free observability primitives shared by every crate in
+//! the workspace:
+//!
+//! * [`Registry`] — named [`Counter`](Metric::Counter) /
+//!   [`Gauge`](Metric::Gauge) / [`Histogram`](Metric::Histogram) metrics
+//!   under hierarchical dotted keys (`sim.llc.bank3.misses`), cheap
+//!   enough to stay always-on and mergeable across windows and machines;
+//! * [`SpanLog`] — nested wall-clock phase timing for the repro /
+//!   ablation / calibrate binaries;
+//! * [`json`] — a hand-rolled JSON value tree, writer, and parser (the
+//!   hermetic build has no serde), used by the `--json` run reports;
+//! * [`Report`] — the schema-versioned ([`SCHEMA_VERSION`]) run-report
+//!   document those binaries emit;
+//! * [`EventLog`] — a bounded ring buffer of simulator lifecycle events
+//!   exportable in Chrome trace format (`chrome://tracing` / Perfetto).
+//!
+//! Key naming scheme: `<subsystem>.<component>[.<instance>].<what>`,
+//! all lowercase, dot-separated, with plural event names for counters
+//! (`misses`, `snoops`) — e.g. `sim.llc.bank3.misses`, `noc.class.
+//! response.packets`, `mem.chan0.lines`.
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use event::{Event, EventLog};
+pub use hist::Histogram;
+pub use json::Json;
+pub use registry::{Metric, Registry, RenameError};
+pub use report::{Report, SCHEMA_VERSION};
+pub use span::{SpanLog, SpanRecord};

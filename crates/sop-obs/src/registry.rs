@@ -1,0 +1,380 @@
+//! Named-metric registry.
+//!
+//! Every component of the stack publishes its counters under a
+//! hierarchical dotted key (`sim.llc.bank3.misses`, `noc.class.response.
+//! packets`), so a whole run collapses into one flat, mergeable map that
+//! the run report serializes verbatim. Keys sort lexicographically in
+//! the `BTreeMap`, which groups subsystems together for free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::hist::Histogram;
+use crate::json::Json;
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count; merges by addition.
+    Counter(u64),
+    /// Point-in-time measurement; merges last-writer-wins.
+    Gauge(f64),
+    /// Sample distribution; merges bucket-wise. Boxed so the common
+    /// counter/gauge entries don't pay for the histogram's bucket array.
+    Histogram(Box<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Metric::Counter(v) => Json::UInt(*v),
+            Metric::Gauge(v) => Json::Num(*v),
+            Metric::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+/// A rename attempt that would clobber an existing key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameError {
+    /// The key that could not be created.
+    pub to: String,
+}
+
+impl fmt::Display for RenameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rename target {:?} already exists", self.to)
+    }
+}
+
+impl std::error::Error for RenameError {}
+
+/// A flat map of hierarchical metric names to values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the counter at `key`, creating it at zero first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` already holds a non-counter metric.
+    pub fn counter_add(&mut self, key: &str, delta: u64) {
+        match self
+            .metrics
+            .entry(key.to_owned())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric {key:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Sets the gauge at `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` already holds a non-gauge metric.
+    pub fn gauge_set(&mut self, key: &str, value: f64) {
+        match self
+            .metrics
+            .entry(key.to_owned())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric {key:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records one sample into the histogram at `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` already holds a non-histogram metric.
+    pub fn histogram_record(&mut self, key: &str, sample: u64) {
+        match self
+            .metrics
+            .entry(key.to_owned())
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(h) => h.record(sample),
+            other => panic!("metric {key:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Merges a whole histogram into the one at `key` (creating it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` already holds a non-histogram metric.
+    pub fn histogram_merge(&mut self, key: &str, hist: &Histogram) {
+        match self
+            .metrics
+            .entry(key.to_owned())
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(h) => h.merge(hist),
+            other => panic!("metric {key:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Reads a counter; absent keys read 0.
+    pub fn counter(&self, key: &str) -> u64 {
+        match self.metrics.get(key) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Reads a gauge; absent keys read `None`.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        match self.metrics.get(key) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads a histogram by reference, if present.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        match self.metrics.get(key) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Raw metric lookup.
+    pub fn get(&self, key: &str) -> Option<&Metric> {
+        self.metrics.get(key)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sums all counters whose key starts with `prefix` — e.g.
+    /// `sum_counters("sim.llc.")` totals per-bank misses and accesses.
+    pub fn sum_counters(&self, prefix: &str) -> u64 {
+        self.metrics
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(_, m)| match m {
+                Metric::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Sums counters whose key starts with `prefix` AND ends with
+    /// `suffix` — e.g. `sum_counters_matching("sim.llc.", ".misses")`
+    /// totals misses across all banks.
+    pub fn sum_counters_matching(&self, prefix: &str, suffix: &str) -> u64 {
+        self.metrics
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter(|(k, _)| k.ends_with(suffix))
+            .filter_map(|(_, m)| match m {
+                Metric::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Merges `other` into `self`: counters add, gauges take the other's
+    /// value, histograms merge bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared key holds different metric kinds in the two
+    /// registries — that is a naming-scheme bug, not a runtime condition.
+    pub fn merge(&mut self, other: &Registry) {
+        for (key, metric) in &other.metrics {
+            match self.metrics.get_mut(key) {
+                None => {
+                    self.metrics.insert(key.clone(), metric.clone());
+                }
+                Some(existing) => match (existing, metric) {
+                    (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+                    (Metric::Gauge(a), Metric::Gauge(b)) => *a = *b,
+                    (Metric::Histogram(a), Metric::Histogram(b)) => a.merge(b),
+                    (existing, incoming) => panic!(
+                        "merge type collision on {key:?}: {} vs {}",
+                        existing.kind(),
+                        incoming.kind()
+                    ),
+                },
+            }
+        }
+    }
+
+    /// A copy of this registry with every key prefixed by `prefix`
+    /// (callers supply the trailing dot, e.g. `"sim."`).
+    #[must_use]
+    pub fn prefixed(&self, prefix: &str) -> Registry {
+        Registry {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|(k, v)| (format!("{prefix}{k}"), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Moves the metric at `from` to `to`. Renaming an absent key is a
+    /// no-op; renaming onto an existing key is an error (the metric stays
+    /// at `from`).
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), RenameError> {
+        if from == to || !self.metrics.contains_key(from) {
+            return Ok(());
+        }
+        if self.metrics.contains_key(to) {
+            return Err(RenameError { to: to.to_owned() });
+        }
+        let metric = self.metrics.remove(from).expect("checked above");
+        self.metrics.insert(to.to_owned(), metric);
+        Ok(())
+    }
+
+    /// All metrics as one flat JSON object, keys in sorted order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_zero_when_absent() {
+        let mut r = Registry::new();
+        r.counter_add("sim.llc.misses", 3);
+        r.counter_add("sim.llc.misses", 2);
+        assert_eq!(r.counter("sim.llc.misses"), 5);
+        assert_eq!(r.counter("nope"), 0);
+    }
+
+    #[test]
+    fn merge_adds_counters_overwrites_gauges_merges_histograms() {
+        let mut a = Registry::new();
+        a.counter_add("c", 1);
+        a.gauge_set("g", 1.0);
+        a.histogram_record("h", 10);
+        let mut b = Registry::new();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 9.0);
+        b.histogram_record("h", 20);
+        b.counter_add("only_b", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.histogram("h").map(Histogram::count), Some(2));
+        assert_eq!(a.counter("only_b"), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "type collision")]
+    fn merge_panics_on_kind_collision() {
+        let mut a = Registry::new();
+        a.counter_add("k", 1);
+        let mut b = Registry::new();
+        b.gauge_set("k", 1.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn counter_add_panics_on_kind_mismatch() {
+        let mut r = Registry::new();
+        r.gauge_set("k", 1.0);
+        r.counter_add("k", 1);
+    }
+
+    #[test]
+    fn prefixed_prepends_every_key() {
+        let mut r = Registry::new();
+        r.counter_add("llc.misses", 4);
+        let p = r.prefixed("sim.");
+        assert_eq!(p.counter("sim.llc.misses"), 4);
+        assert_eq!(p.counter("llc.misses"), 0);
+    }
+
+    #[test]
+    fn rename_moves_and_rejects_collisions() {
+        let mut r = Registry::new();
+        r.counter_add("old", 4);
+        r.counter_add("taken", 1);
+        assert!(r.rename("old", "new").is_ok());
+        assert_eq!(r.counter("new"), 4);
+        assert_eq!(r.counter("old"), 0);
+        // Absent source: no-op.
+        assert!(r.rename("missing", "anywhere").is_ok());
+        // Occupied target: error, metric stays put.
+        r.counter_add("src", 2);
+        let err = r.rename("src", "taken").expect_err("collision");
+        assert_eq!(err.to, "taken");
+        assert_eq!(r.counter("src"), 2);
+        assert_eq!(r.counter("taken"), 1);
+    }
+
+    #[test]
+    fn sum_counters_totals_a_subtree() {
+        let mut r = Registry::new();
+        r.counter_add("sim.llc.bank0.misses", 2);
+        r.counter_add("sim.llc.bank1.misses", 3);
+        r.counter_add("sim.l1.fills", 100);
+        r.gauge_set("sim.llc.util", 0.5); // gauges are excluded
+        assert_eq!(r.sum_counters("sim.llc."), 5);
+        assert_eq!(r.sum_counters("sim."), 105);
+        assert_eq!(r.sum_counters("noc."), 0);
+        assert_eq!(r.sum_counters_matching("sim.llc.", ".misses"), 5);
+        assert_eq!(r.sum_counters_matching("sim.", ".fills"), 100);
+        assert_eq!(r.sum_counters_matching("sim.llc.", ".fills"), 0);
+    }
+
+    #[test]
+    fn json_form_sorts_keys_and_is_wellformed() {
+        let mut r = Registry::new();
+        r.counter_add("z.last", 1);
+        r.counter_add("a.first", 2);
+        r.gauge_set("m.mid", 0.25);
+        let j = r.to_json();
+        let text = j.to_compact_string();
+        let keys: Vec<&str> = match &j {
+            Json::Obj(m) => m.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => panic!("object"),
+        };
+        assert_eq!(keys, vec!["a.first", "m.mid", "z.last"]);
+        crate::json::parse(&text).expect("valid JSON");
+    }
+}

@@ -1,0 +1,107 @@
+//! Schema-versioned machine-readable run reports.
+//!
+//! Every binary that accepts `--json <path>` writes one of these. The
+//! document layout is pinned by `SCHEMA_VERSION` and the golden test in
+//! `sop-bench`; bump the version whenever a field is renamed, removed, or
+//! changes meaning (adding fields is backward-compatible and does not
+//! require a bump).
+
+use std::io::Write as _;
+
+use crate::json::Json;
+use crate::registry::Registry;
+use crate::span::SpanLog;
+
+/// Identifies the report document layout. History:
+/// * `sop-report/v1` — initial: `schema`, `tool`, `title`, `spans`,
+///   `metrics`, `sections`.
+pub const SCHEMA_VERSION: &str = "sop-report/v1";
+
+/// A run report: tool identity, free-form sections, plus the standard
+/// `spans` and `metrics` blocks.
+#[derive(Debug)]
+pub struct Report {
+    tool: String,
+    title: String,
+    sections: Vec<(String, Json)>,
+}
+
+impl Report {
+    /// A report for tool `tool` (e.g. `"repro"`) describing `title`.
+    pub fn new(tool: &str, title: &str) -> Self {
+        Report {
+            tool: tool.to_owned(),
+            title: title.to_owned(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a named section.
+    pub fn set(&mut self, name: &str, value: Json) {
+        if let Some(slot) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.sections.push((name.to_owned(), value));
+        }
+    }
+
+    /// Assembles the full document: schema header, spans, metrics, then
+    /// the free-form sections in insertion order.
+    pub fn to_json(&self, spans: &SpanLog, metrics: &Registry) -> Json {
+        let mut doc = Json::object()
+            .with("schema", SCHEMA_VERSION)
+            .with("tool", self.tool.as_str())
+            .with("title", self.title.as_str())
+            .with("spans", spans.to_json())
+            .with("metrics", metrics.to_json());
+        let mut sections = Json::object();
+        for (name, value) in &self.sections {
+            sections.insert(name, value.clone());
+        }
+        doc.insert("sections", sections);
+        doc
+    }
+
+    /// Writes the pretty-printed document (plus trailing newline) to
+    /// `path`.
+    pub fn write_to(&self, path: &str, spans: &SpanLog, metrics: &Registry) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json(spans, metrics).to_pretty_string().as_bytes())?;
+        file.write_all(b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_carries_schema_spans_metrics_and_sections() {
+        let mut spans = SpanLog::new();
+        spans.time("phase", |_| ());
+        let mut metrics = Registry::new();
+        metrics.counter_add("sim.llc.misses", 9);
+        let mut report = Report::new("repro", "all figures");
+        report.set("figures", Json::Arr(vec![Json::Str("fig2.1".into())]));
+        report.set("figures", Json::Arr(vec![Json::Str("fig4.7".into())])); // replaces
+        let doc = report.to_json(&spans, &metrics);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(doc.get("tool").and_then(Json::as_str), Some("repro"));
+        assert_eq!(
+            doc.get("metrics")
+                .and_then(|m| m.get("sim.llc.misses"))
+                .and_then(Json::as_f64),
+            Some(9.0)
+        );
+        let figs = doc
+            .get("sections")
+            .and_then(|s| s.get("figures"))
+            .and_then(Json::as_arr)
+            .expect("figures");
+        assert_eq!(figs, &[Json::Str("fig4.7".into())]);
+        crate::json::parse(&doc.to_pretty_string()).expect("valid JSON");
+    }
+}

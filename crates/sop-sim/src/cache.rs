@@ -146,13 +146,35 @@ impl LlcBank {
         } else {
             DirectoryState::Shared(vec![core])
         };
-        set.push(Way { line, dir, last_use: tick });
+        set.push(Way {
+            line,
+            dir,
+            last_use: tick,
+        });
         BankOutcome::Miss { writeback }
     }
 
-    /// (accesses, misses, snoop messages) so far.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (self.accesses, self.misses, self.snoops)
+    /// Lookups so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Snoop messages generated so far.
+    pub fn snoops(&self) -> u64 {
+        self.snoops
+    }
+
+    /// Publishes this bank's counters under `prefix` (e.g.
+    /// `"sim.llc.bank3."`): `<p>accesses`, `<p>misses`, `<p>snoops`.
+    pub fn export_metrics(&self, reg: &mut sop_obs::Registry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}accesses"), self.accesses);
+        reg.counter_add(&format!("{prefix}misses"), self.misses);
+        reg.counter_add(&format!("{prefix}snoops"), self.snoops);
     }
 
     /// Resets statistics (after warm-up) without touching contents.
@@ -172,7 +194,7 @@ mod tests {
         let mut b = LlcBank::new(1 << 20, 16);
         assert!(matches!(b.access(0, 42, false), BankOutcome::Miss { .. }));
         assert!(matches!(b.access(0, 42, false), BankOutcome::Hit { snoop } if snoop.is_empty()));
-        assert_eq!(b.stats(), (2, 1, 0));
+        assert_eq!((b.accesses(), b.misses(), b.snoops()), (2, 1, 0));
     }
 
     #[test]
@@ -250,7 +272,19 @@ mod tests {
         let mut b = LlcBank::new(1 << 20, 16);
         b.access(0, 42, false);
         b.reset_stats();
-        assert_eq!(b.stats(), (0, 0, 0));
+        assert_eq!((b.accesses(), b.misses(), b.snoops()), (0, 0, 0));
         assert!(matches!(b.access(0, 42, false), BankOutcome::Hit { .. }));
+    }
+
+    #[test]
+    fn bank_exports_named_metrics() {
+        let mut b = LlcBank::new(1 << 20, 16);
+        b.access(0, 42, false);
+        b.access(0, 42, false);
+        let mut reg = sop_obs::Registry::new();
+        b.export_metrics(&mut reg, "sim.llc.bank0.");
+        assert_eq!(reg.counter("sim.llc.bank0.accesses"), 2);
+        assert_eq!(reg.counter("sim.llc.bank0.misses"), 1);
+        assert_eq!(reg.counter("sim.llc.bank0.snoops"), 0);
     }
 }

@@ -158,7 +158,9 @@ impl SimCore {
     fn next_event(&mut self, now: u64) -> Option<CoreRequest> {
         match self.trace.next().expect("traces are infinite") {
             CoreEvent::Compute { instructions } => {
-                let cycles = (f64::from(instructions) / self.ipc_infinite).ceil().max(1.0);
+                let cycles = (f64::from(instructions) / self.ipc_infinite)
+                    .ceil()
+                    .max(1.0);
                 self.state = CoreState::Computing;
                 self.wake_at = now + cycles as u64;
                 self.burst_instructions = instructions;
@@ -168,15 +170,22 @@ impl SimCore {
                 if self.fetch_pending {
                     // Only one fetch may be outstanding: stall on it and
                     // replay this one once it returns.
-                    self.deferred_fetch =
-                        Some(CoreRequest { line, write: false, fetch: true });
+                    self.deferred_fetch = Some(CoreRequest {
+                        line,
+                        write: false,
+                        fetch: true,
+                    });
                     self.fetch_ahead_left = 0;
                     return None;
                 }
                 self.fetch_pending = true;
                 self.fetch_ahead_left = FETCH_AHEAD_CYCLES;
                 self.committed += 1;
-                Some(CoreRequest { line, write: false, fetch: true })
+                Some(CoreRequest {
+                    line,
+                    write: false,
+                    fetch: true,
+                })
             }
             ev @ (CoreEvent::DataRead { .. } | CoreEvent::DataWrite { .. }) => {
                 let (line, write) = match ev {
@@ -184,7 +193,11 @@ impl SimCore {
                     CoreEvent::DataWrite { line } => (line, true),
                     _ => unreachable!("matched data events only"),
                 };
-                let req = CoreRequest { line, write, fetch: false };
+                let req = CoreRequest {
+                    line,
+                    write,
+                    fetch: false,
+                };
                 if self.outstanding_data >= self.max_outstanding {
                     self.deferred = Some(req);
                     self.state = CoreState::WaitingMshr;
@@ -214,13 +227,25 @@ impl SimCore {
         while out.len() < count as usize {
             match self.trace.next().expect("traces are infinite") {
                 CoreEvent::InstructionFetch { line } => {
-                    out.push(CoreRequest { line, write: false, fetch: true });
+                    out.push(CoreRequest {
+                        line,
+                        write: false,
+                        fetch: true,
+                    });
                 }
                 CoreEvent::DataRead { line } => {
-                    out.push(CoreRequest { line, write: false, fetch: false });
+                    out.push(CoreRequest {
+                        line,
+                        write: false,
+                        fetch: false,
+                    });
                 }
                 CoreEvent::DataWrite { line } => {
-                    out.push(CoreRequest { line, write: true, fetch: false });
+                    out.push(CoreRequest {
+                        line,
+                        write: true,
+                        fetch: false,
+                    });
                 }
                 CoreEvent::Compute { .. } | CoreEvent::SyncStall { .. } => {}
             }

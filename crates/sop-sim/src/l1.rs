@@ -94,7 +94,11 @@ impl L1Cache {
         let ways = self.ways;
         let set_idx = self.set_of(line);
         let set = &mut self.sets[set_idx];
-        let state = if write { MesiState::Modified } else { MesiState::Shared };
+        let state = if write {
+            MesiState::Modified
+        } else {
+            MesiState::Shared
+        };
         if let Some(way) = set.iter_mut().find(|w| w.line == line) {
             way.last_use = tick;
             if write {
@@ -117,7 +121,11 @@ impl L1Cache {
             }
             set.swap_remove(lru);
         }
-        set.push(L1Way { line, state, last_use: tick });
+        set.push(L1Way {
+            line,
+            state,
+            last_use: tick,
+        });
         victim
     }
 
@@ -159,9 +167,35 @@ impl L1Cache {
         }
     }
 
-    /// (fills, snoop invalidations, dirty write-backs) so far.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (self.fills, self.invalidations, self.writebacks)
+    /// Line fills so far.
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Snoop invalidations that found a resident line so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Dirty-victim write-backs so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Resets statistics (after warm-up) without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.fills = 0;
+        self.invalidations = 0;
+        self.writebacks = 0;
+    }
+
+    /// Publishes this cache's counters under `prefix` (e.g. `"sim.l1."`):
+    /// `<p>fills`, `<p>invalidations`, `<p>writebacks`. Aggregating many
+    /// L1s is the common case, so counters add into existing keys.
+    pub fn export_metrics(&self, reg: &mut sop_obs::Registry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}fills"), self.fills);
+        reg.counter_add(&format!("{prefix}invalidations"), self.invalidations);
+        reg.counter_add(&format!("{prefix}writebacks"), self.writebacks);
     }
 }
 
@@ -229,8 +263,11 @@ mod tests {
         l1.fill(same[1], false);
         let victim = l1.fill(same[2], false);
         assert_eq!(victim, Some(same[0]), "LRU dirty line must write back");
-        let (_, _, wb) = l1.stats();
-        assert_eq!(wb, 1);
+        assert_eq!(l1.writebacks(), 1);
+        let mut reg = sop_obs::Registry::new();
+        l1.export_metrics(&mut reg, "sim.l1.");
+        assert_eq!(reg.counter("sim.l1.writebacks"), 1);
+        assert_eq!(reg.counter("sim.l1.fills"), l1.fills());
     }
 
     #[test]

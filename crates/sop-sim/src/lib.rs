@@ -29,8 +29,8 @@ pub mod sampling;
 pub mod stats;
 
 pub use cache::{DirectoryState, LlcBank};
-pub use l1::{L1Cache, MesiState, SnoopOutcome};
 pub use core::{CoreState, SimCore};
+pub use l1::{L1Cache, MesiState, SnoopOutcome};
 pub use machine::{Machine, SimConfig, SimResult};
 pub use memory::MemoryController;
 pub use sampling::{measure, SampledMeasurement};

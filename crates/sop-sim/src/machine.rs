@@ -10,11 +10,12 @@
 //! invalidation/forwarding round trip of an inclusive directory LLC.
 
 use crate::cache::{BankOutcome, LlcBank};
-use crate::l1::L1Cache;
-use crate::stats::Histogram;
 use crate::core::{CoreRequest, SimCore};
+use crate::l1::L1Cache;
 use crate::memory::{channel_of, MemoryController};
+use crate::stats::Histogram;
 use sop_noc::{MessageClass, Network, NocConfig, PacketId, TopologyKind};
+use sop_obs::{EventLog, Registry};
 use sop_tech::{CacheGeometry, CoreKind, TechnologyNode};
 use sop_workloads::trace::LineAddr;
 use sop_workloads::{TraceConfig, Workload, WorkloadProfile};
@@ -123,6 +124,11 @@ pub struct SimResult {
     pub noc_flit_mm: f64,
     /// Cores that ran threads.
     pub active_cores: u32,
+    /// Every named metric of the window: `sim.llc.bank<i>.*`, `sim.l1.*`,
+    /// `mem.chan<i>.*`, `noc.*`, `sim.cycles`, `sim.instructions`, and
+    /// the `sim.request_latency` histogram. The typed fields above are a
+    /// view over this registry; the registry is what reports serialize.
+    pub metrics: Registry,
 }
 
 impl SimResult {
@@ -173,7 +179,10 @@ struct Scheduled {
 
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.due.cmp(&self.due).then(other.packet.cmp(&self.packet))
+        other
+            .due
+            .cmp(&self.due)
+            .then(other.packet.cmp(&self.packet))
     }
 }
 impl PartialOrd for Scheduled {
@@ -211,6 +220,11 @@ pub struct Machine {
     /// must find real lines, and finite capacity drops stale sharers).
     l1s: Vec<L1Cache>,
     warmed: bool,
+    /// Cumulative named metrics across all measurement windows.
+    registry: Registry,
+    /// Optional transaction-lifecycle trace (off by default: recording
+    /// is allocation-free but still costs a branch per protocol step).
+    events: Option<EventLog>,
 }
 
 impl Machine {
@@ -248,8 +262,10 @@ impl Machine {
             })
             .collect();
         ranked.sort();
-        let mut active: Vec<u32> =
-            ranked[..cfg.active_cores as usize].iter().map(|&(_, c)| c).collect();
+        let mut active: Vec<u32> = ranked[..cfg.active_cores as usize]
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
         active.sort_unstable();
         // Only active cores execute; their trace identities are contiguous
         // regardless of which physical tiles they occupy.
@@ -267,14 +283,16 @@ impl Machine {
         // Two banks per NOC-Out LLC tile (Table 4.1), one per tile/endpoint
         // elsewhere.
         let llc_endpoints = net.llc_endpoints().len();
-        let banks_per_endpoint =
-            if cfg.noc.topology == TopologyKind::NocOut { 2 } else { 1 };
+        let banks_per_endpoint = if cfg.noc.topology == TopologyKind::NocOut {
+            2
+        } else {
+            1
+        };
         let n_banks = llc_endpoints * banks_per_endpoint;
         let bank_bytes = (cfg.llc_mb * 1024.0 * 1024.0 / n_banks as f64) as u64;
         let banks = (0..n_banks).map(|_| LlcBank::new(bank_bytes, 16)).collect();
-        let bank_latency = u64::from(
-            CacheGeometry::new().bank_latency_cycles(cfg.llc_mb / n_banks as f64),
-        );
+        let bank_latency =
+            u64::from(CacheGeometry::new().bank_latency_cycles(cfg.llc_mb / n_banks as f64));
         let mcs = (0..cfg.memory_channels)
             .map(|_| match cfg.node.memory_gen() {
                 sop_tech::MemoryGen::Ddr3 => MemoryController::ddr3_at_2ghz(),
@@ -305,6 +323,8 @@ impl Machine {
                     .collect()
             },
             warmed: false,
+            registry: Registry::new(),
+            events: None,
         }
     }
 
@@ -313,12 +333,34 @@ impl Machine {
         &self.cfg
     }
 
+    /// Turns on transaction-lifecycle tracing into a ring buffer of
+    /// `capacity` events (issue → LLC → snoop → memory → retire). Export
+    /// the result with [`event_log`](Self::event_log) and
+    /// [`sop_obs::EventLog::to_chrome_trace`].
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.events = Some(EventLog::new(capacity));
+    }
+
+    /// The event log, if tracing was enabled.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.events.as_ref()
+    }
+
+    /// Named metrics accumulated over every window run so far.
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
     fn bank_of(&self, line: LineAddr) -> usize {
         (line.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 29) as usize % self.banks.len()
     }
 
     fn llc_node_of_bank(&self, bank: usize) -> usize {
-        let per = if self.cfg.noc.topology == TopologyKind::NocOut { 2 } else { 1 };
+        let per = if self.cfg.noc.topology == TopologyKind::NocOut {
+            2
+        } else {
+            1
+        };
         self.net.llc_endpoints()[bank / per]
     }
 
@@ -337,6 +379,18 @@ impl Machine {
         let bank = self.bank_of(req.line);
         let src = self.core_node(core);
         let dst = self.llc_node_of_bank(bank);
+        if let Some(log) = &mut self.events {
+            log.instant(
+                now,
+                if req.fetch {
+                    "fetch_issue"
+                } else {
+                    "data_issue"
+                },
+                "core",
+                u64::from(core),
+            );
+        }
         let packet = self.net.inject(src, dst, MessageClass::Request, 0, now);
         self.open.insert(
             packet,
@@ -363,7 +417,8 @@ impl Machine {
         let src = self.llc_node_of_bank(open.bank);
         let dst = self.core_node(open.core);
         let resp = self.net.inject(src, dst, MessageClass::Response, 0, now);
-        self.response_meta.insert(resp, (open.core, open.fetch, open.issued_at));
+        self.response_meta
+            .insert(resp, (open.core, open.fetch, open.issued_at));
     }
 
     /// Runs `warmup` cycles, resets statistics, then runs `measure`
@@ -395,40 +450,49 @@ impl Machine {
         for mc in &mut self.mcs {
             mc.reset_stats();
         }
+        for l1 in &mut self.l1s {
+            l1.reset_stats();
+        }
         self.memory_lines = 0;
         self.request_latency = Histogram::new();
         let before_packets = self.net.counters();
         self.advance(measure);
-        let counters = self.net.counters();
+        let noc = self.net.counters().delta_since(&before_packets);
         let instructions = self.cores.iter().map(SimCore::committed).sum();
-        let (mut acc, mut miss, mut sn) = (0, 0, 0);
-        for bank in &self.banks {
-            let (a, m, s) = bank.stats();
-            acc += a;
-            miss += m;
-            sn += s;
+
+        // Publish every component's counters into one named-metric map for
+        // the window; the cumulative machine registry merges each window.
+        let mut window = Registry::new();
+        window.counter_add("sim.cycles", measure);
+        window.counter_add("sim.instructions", instructions);
+        for (i, bank) in self.banks.iter().enumerate() {
+            bank.export_metrics(&mut window, &format!("sim.llc.bank{i}."));
         }
-        let delivered = counters.packets - before_packets.packets;
-        let latency_sum = counters.total_latency - before_packets.total_latency;
-        let l1_invalidations =
-            self.l1s.iter().map(|l| l.stats().1).sum();
+        for l1 in &self.l1s {
+            l1.export_metrics(&mut window, "sim.l1.");
+        }
+        for (i, mc) in self.mcs.iter().enumerate() {
+            mc.export_metrics(&mut window, &format!("mem.chan{i}."));
+        }
+        window.counter_add("mem.lines", self.memory_lines);
+        noc.export_metrics(&mut window, "noc.");
+        window.histogram_merge("sim.request_latency", &self.request_latency);
+        self.registry.merge(&window);
+
         SimResult {
             cycles: measure,
             instructions,
-            l1_invalidations,
-            llc_accesses: acc,
-            llc_misses: miss,
-            snoops: sn,
+            l1_invalidations: window.counter("sim.l1.invalidations"),
+            llc_accesses: window.sum_counters_matching("sim.llc.", ".accesses"),
+            llc_misses: window.sum_counters_matching("sim.llc.", ".misses"),
+            snoops: window.sum_counters_matching("sim.llc.", ".snoops"),
             memory_lines: self.memory_lines,
-            mean_packet_latency: if delivered == 0 {
-                0.0
-            } else {
-                latency_sum as f64 / delivered as f64
-            },
+            mean_packet_latency: noc.mean_latency(),
             request_latency: self.request_latency.clone(),
-            noc_flit_hops: counters.flit_hops - before_packets.flit_hops,
-            noc_flit_mm: counters.flit_mm - before_packets.flit_mm,
+            noc_flit_hops: noc.flit_hops,
+            noc_flit_mm: noc.flit_mm,
             active_cores: self.cfg.active_cores,
+            metrics: window,
         }
     }
 
@@ -468,8 +532,10 @@ impl Machine {
                         let start = now.max(self.bank_free_at[open.bank]);
                         // Initiation interval of 2 cycles per bank.
                         self.bank_free_at[open.bank] = start + 2;
-                        self.bank_events
-                            .push(Scheduled { due: start + self.bank_latency, packet: d.packet });
+                        self.bank_events.push(Scheduled {
+                            due: start + self.bank_latency,
+                            packet: d.packet,
+                        });
                     }
                     MessageClass::SnoopRequest => {
                         // Arrived at a core: invalidate the line in its L1
@@ -478,16 +544,15 @@ impl Machine {
                         if let Some(open) = self.open.get(&parent) {
                             let line = open.line;
                             // Map the snooped node back to a thread.
-                            if let Some(t) = self
-                                .active
-                                .iter()
-                                .position(|&p| self.core_node(p) == d.dst)
+                            if let Some(t) =
+                                self.active.iter().position(|&p| self.core_node(p) == d.dst)
                             {
                                 self.l1s[t].snoop_invalidate(line);
                             }
                         }
-                        let ack =
-                            self.net.inject(d.dst, d.src, MessageClass::Response, 0, now);
+                        let ack = self
+                            .net
+                            .inject(d.dst, d.src, MessageClass::Response, 0, now);
                         self.snoop_parent.insert(ack, parent);
                     }
                     MessageClass::Response => {
@@ -502,6 +567,19 @@ impl Machine {
                             let (core, fetch, issued_at) =
                                 self.response_meta.remove(&d.packet).expect("response meta");
                             self.request_latency.record(now - issued_at);
+                            if let Some(log) = &mut self.events {
+                                // One Chrome-trace slice per completed
+                                // transaction, spanning issue to retire on
+                                // the issuing core's track.
+                                log.record(sop_obs::Event {
+                                    ts: issued_at,
+                                    dur: Some(now - issued_at),
+                                    name: if fetch { "fetch" } else { "data" },
+                                    cat: "txn",
+                                    track: u64::from(core),
+                                    args: Vec::new(),
+                                });
+                            }
                             let thread = self.thread_of(core);
                             self.cores[thread].on_response(fetch);
                         }
@@ -509,12 +587,22 @@ impl Machine {
                 }
             }
             // 2. Bank accesses completing.
-            while self.bank_events.peek().map(|e| e.due <= now).unwrap_or(false) {
+            while self
+                .bank_events
+                .peek()
+                .map(|e| e.due <= now)
+                .unwrap_or(false)
+            {
                 let ev = self.bank_events.pop().expect("peeked");
                 self.finish_bank_access(ev.packet, now);
             }
             // 3. Memory returns.
-            while self.mem_events.peek().map(|e| e.due <= now).unwrap_or(false) {
+            while self
+                .mem_events
+                .peek()
+                .map(|e| e.due <= now)
+                .unwrap_or(false)
+            {
                 let ev = self.mem_events.pop().expect("peeked");
                 self.respond(ev.packet, now);
             }
@@ -533,18 +621,34 @@ impl Machine {
         let open = *self.open.get(&packet).expect("open request");
         let outcome = self.banks[open.bank].access(open.core, open.line, open.write);
         match outcome {
-            BankOutcome::Hit { snoop } if snoop.is_empty() => self.respond(packet, now),
+            BankOutcome::Hit { snoop } if snoop.is_empty() => {
+                if let Some(log) = &mut self.events {
+                    log.instant(now, "llc_hit", "llc", open.bank as u64);
+                }
+                self.respond(packet, now);
+            }
             BankOutcome::Hit { snoop } => {
+                if let Some(log) = &mut self.events {
+                    log.instant(now, "llc_hit", "llc", open.bank as u64);
+                }
                 let src = self.llc_node_of_bank(open.bank);
                 let n = snoop.len() as u32;
                 for target in snoop {
+                    if let Some(log) = &mut self.events {
+                        log.instant(now, "snoop", "coherence", u64::from(target));
+                    }
                     let dst = self.core_node(target);
-                    let sp = self.net.inject(src, dst, MessageClass::SnoopRequest, 0, now);
+                    let sp = self
+                        .net
+                        .inject(src, dst, MessageClass::SnoopRequest, 0, now);
                     self.snoop_parent.insert(sp, packet);
                 }
                 self.open.get_mut(&packet).expect("open").pending_acks = n;
             }
             BankOutcome::Miss { writeback } => {
+                if let Some(log) = &mut self.events {
+                    log.instant(now, "llc_miss", "llc", open.bank as u64);
+                }
                 let ch = channel_of(open.line, self.cfg.memory_channels);
                 if writeback {
                     // Write-backs consume channel bandwidth only.
@@ -553,6 +657,11 @@ impl Machine {
                 }
                 let ready = self.mcs[ch].request(now);
                 self.memory_lines += 1;
+                if let Some(log) = &mut self.events {
+                    // The memory access occupies the channel from now until
+                    // its data returns.
+                    log.complete(now, ready - now, "mem_fetch", "mem", ch as u64);
+                }
                 self.mem_events.push(Scheduled { due: ready, packet });
             }
         }
@@ -578,7 +687,11 @@ mod tests {
         // Fig 4.3: a few percent of LLC accesses trigger snoops.
         let cfg = SimConfig::pod_64(Workload::MapReduceW, TopologyKind::Mesh);
         let r = Machine::new(cfg).run(3_000, 8_000);
-        assert!(r.snoop_fraction() < 0.12, "snoop fraction {}", r.snoop_fraction());
+        assert!(
+            r.snoop_fraction() < 0.12,
+            "snoop fraction {}",
+            r.snoop_fraction()
+        );
     }
 
     #[test]
@@ -594,9 +707,8 @@ mod tests {
         // Fig 4.6's headline: NOC-Out beats the mesh at 64 cores.
         let mesh = Machine::new(SimConfig::pod_64(Workload::WebSearch, TopologyKind::Mesh))
             .run(4_000, 10_000);
-        let nocout =
-            Machine::new(SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut))
-                .run(4_000, 10_000);
+        let nocout = Machine::new(SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut))
+            .run(4_000, 10_000);
         assert!(
             nocout.aggregate_ipc() > mesh.aggregate_ipc(),
             "nocout {} vs mesh {}",
@@ -644,6 +756,67 @@ mod tests {
             let r = Machine::new(cfg).run(2_000, 4_000);
             assert!(r.instructions > 0, "{cores} cores");
         }
+    }
+
+    #[test]
+    fn registry_is_a_superset_of_the_typed_result() {
+        let cfg = SimConfig::validation(Workload::WebSearch, 8, TopologyKind::Crossbar);
+        let mut m = Machine::new(cfg);
+        let r = m.run_window(1_000, 3_000);
+        assert_eq!(
+            r.metrics.sum_counters_matching("sim.llc.", ".accesses"),
+            r.llc_accesses
+        );
+        assert_eq!(
+            r.metrics.sum_counters_matching("sim.llc.", ".misses"),
+            r.llc_misses
+        );
+        assert_eq!(r.metrics.counter("sim.instructions"), r.instructions);
+        assert_eq!(r.metrics.counter("sim.cycles"), r.cycles);
+        assert_eq!(r.metrics.counter("mem.lines"), r.memory_lines);
+        assert_eq!(r.metrics.counter("noc.flit_hops"), r.noc_flit_hops);
+        assert_eq!(
+            r.metrics.counter("sim.l1.invalidations"),
+            r.l1_invalidations
+        );
+        assert!(r.metrics.counter("sim.l1.fills") > 0);
+        assert_eq!(
+            r.metrics
+                .histogram("sim.request_latency")
+                .map(Histogram::count),
+            Some(r.request_latency.count())
+        );
+        // Per-channel memory counters partition the total.
+        assert_eq!(
+            r.metrics.sum_counters_matching("mem.chan", ".lines"),
+            r.memory_lines
+        );
+        // The cumulative machine registry merges windows.
+        m.run_window(0, 3_000);
+        assert_eq!(m.metrics().counter("sim.cycles"), 6_000);
+    }
+
+    #[test]
+    fn event_log_captures_the_transaction_lifecycle() {
+        let cfg = SimConfig::validation(Workload::WebSearch, 8, TopologyKind::Crossbar);
+        let mut m = Machine::new(cfg);
+        m.enable_tracing(65_536);
+        m.run_window(500, 3_000);
+        let log = m.event_log().expect("tracing enabled");
+        assert!(!log.is_empty());
+        let names: std::collections::HashSet<&str> = log.events().map(|e| e.name).collect();
+        for expected in ["data_issue", "llc_hit", "llc_miss", "mem_fetch", "data"] {
+            assert!(names.contains(expected), "missing {expected} in {names:?}");
+        }
+        // Retire slices span issue → response delivery.
+        let txn = log
+            .events()
+            .find(|e| e.cat == "txn")
+            .expect("has transactions");
+        assert!(txn.dur.expect("complete event") > 0);
+        // And the whole log exports as valid Chrome-trace JSON.
+        let trace = log.to_chrome_trace("validation-8");
+        sop_obs::json::parse(&trace.to_compact_string()).expect("valid JSON");
     }
 
     #[test]

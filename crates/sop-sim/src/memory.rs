@@ -29,7 +29,12 @@ impl MemoryController {
     /// Panics if `cycles_per_line` is zero.
     pub fn new(latency: u64, cycles_per_line: u64) -> Self {
         assert!(cycles_per_line > 0, "channel must have bandwidth");
-        MemoryController { latency, cycles_per_line, busy_until: 0, served: 0 }
+        MemoryController {
+            latency,
+            cycles_per_line,
+            busy_until: 0,
+            served: 0,
+        }
     }
 
     /// A DDR3-1667 channel at 2GHz: 90-cycle latency, 64B per ~14 cycles
@@ -55,6 +60,12 @@ impl MemoryController {
     /// Lines served so far.
     pub fn served(&self) -> u64 {
         self.served
+    }
+
+    /// Publishes this channel's counters under `prefix` (e.g.
+    /// `"mem.chan0."`): `<p>lines`.
+    pub fn export_metrics(&self, reg: &mut sop_obs::Registry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}lines"), self.served);
     }
 
     /// Resets statistics (after warm-up).

@@ -1,172 +1,26 @@
 //! Latency distributions for simulated transactions.
 //!
 //! Mean latencies hide the tail; the SimFlex methodology the thesis
-//! follows reports confidence intervals over sampled measurements. This
-//! module provides a power-of-two-bucketed histogram for end-to-end
-//! request latencies, cheap enough to keep always-on in the machine.
+//! follows reports confidence intervals over sampled measurements. The
+//! power-of-two-bucketed histogram the machine keeps always-on now lives
+//! in [`sop_obs`] (so every crate shares one implementation and the
+//! metric registry can hold it directly); this module re-exports it under
+//! its historical path.
 
-/// A histogram over `u64` samples with power-of-two buckets:
-/// bucket `i` holds samples in `[2^i, 2^(i+1))` (bucket 0 holds 0 and 1).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Histogram {
-    buckets: [u64; 32],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram { buckets: [0; 32], count: 0, sum: 0, max: 0 }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, sample: u64) {
-        let bucket = (64 - sample.max(1).leading_zeros()).saturating_sub(1).min(31) as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum += sample;
-        self.max = self.max.max(sample);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Arithmetic mean (0 for an empty histogram).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Largest recorded sample.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0.0 < q <= 1.0`), i.e. an upper estimate of the quantile.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is out of range or the histogram is empty.
-    pub fn quantile_upper(&self, q: f64) -> u64 {
-        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
-        assert!(self.count > 0, "empty histogram has no quantiles");
-        let target = (q * self.count as f64).ceil() as u64;
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                // The top bucket is open-ended; report the true maximum.
-                return if i == 31 { self.max } else { (1u64 << (i + 1)) - 1 };
-            }
-        }
-        self.max
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-
-    /// Non-empty buckets as `(lower_bound, count)` pairs.
-    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << i }, n))
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
+pub use sop_obs::Histogram;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn mean_and_count_are_exact() {
+    fn reexported_histogram_behaves() {
         let mut h = Histogram::new();
         for s in [1u64, 2, 3, 4] {
             h.record(s);
         }
         assert_eq!(h.count(), 4);
         assert_eq!(h.mean(), 2.5);
-        assert_eq!(h.max(), 4);
-    }
-
-    #[test]
-    fn quantile_upper_bounds_the_true_quantile() {
-        let mut h = Histogram::new();
-        for s in 0..1000u64 {
-            h.record(s);
-        }
-        // True p50 is ~500; the bucketed upper estimate must cover it
-        // without being wildly above (next power of two).
-        let p50 = h.quantile_upper(0.5);
-        assert!((500..=1023).contains(&p50), "p50 {p50}");
-        let p99 = h.quantile_upper(0.99);
-        assert!(p99 >= 990, "p99 {p99}");
-    }
-
-    #[test]
-    fn zero_samples_are_representable() {
-        let mut h = Histogram::new();
-        h.record(0);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.quantile_upper(1.0), 1);
-    }
-
-    #[test]
-    fn merge_combines_everything() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.record(10);
-        b.record(1000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max(), 1000);
-        assert_eq!(a.mean(), 505.0);
-    }
-
-    #[test]
-    fn buckets_iterate_in_order() {
-        let mut h = Histogram::new();
-        h.record(1);
-        h.record(100);
-        let buckets: Vec<_> = h.buckets().collect();
-        assert_eq!(buckets.len(), 2);
-        assert!(buckets[0].0 < buckets[1].0);
-    }
-
-    #[test]
-    fn huge_samples_saturate_the_last_bucket() {
-        let mut h = Histogram::new();
-        h.record(u64::MAX);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile_upper(1.0), u64::MAX);
-    }
-
-    #[test]
-    #[should_panic(expected = "empty histogram")]
-    fn quantile_of_empty_panics() {
-        Histogram::new().quantile_upper(0.5);
+        assert!(h.p99().is_some());
     }
 }

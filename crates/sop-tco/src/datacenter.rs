@@ -123,8 +123,8 @@ fn tco_breakdown(
     // Infrastructure: floor space (with equipment overhead) plus
     // power/cooling equipment sized to critical power, over 15 years.
     let floor_m2 = racks * p.rack_footprint_m2 * (1.0 + p.equipment_space_overhead);
-    let infra_capex = floor_m2 * p.infrastructure_usd_per_m2
-        + p.datacenter_power_w * p.equipment_usd_per_w;
+    let infra_capex =
+        floor_m2 * p.infrastructure_usd_per_m2 + p.datacenter_power_w * p.equipment_usd_per_w;
     let infrastructure_usd = infra_capex / (p.infrastructure_years * MONTHS_PER_YEAR);
 
     // Server hardware over 3 years, network gear over 4.
@@ -151,7 +151,12 @@ fn tco_breakdown(
         + monthly_fail(chips, p.cpu_mttf_years) * chip_price_usd;
     let maintenance_usd = racks * p.personnel_usd_per_rack_month + repairs;
     let _ = chip;
-    TcoBreakdown { infrastructure_usd, hardware_usd, power_usd, maintenance_usd }
+    TcoBreakdown {
+        infrastructure_usd,
+        hardware_usd,
+        power_usd,
+        maintenance_usd,
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +171,10 @@ mod tests {
     #[test]
     fn socket_counts_match_section_5_3_1() {
         assert_eq!(dc(DesignKind::Conventional).sockets_per_server, 2);
-        assert_eq!(dc(DesignKind::OnePod(CoreKind::OutOfOrder)).sockets_per_server, 5);
+        assert_eq!(
+            dc(DesignKind::OnePod(CoreKind::OutOfOrder)).sockets_per_server,
+            5
+        );
     }
 
     #[test]
@@ -227,16 +235,8 @@ mod tests {
     fn more_memory_lowers_perf_per_tco() {
         // §5.3.2: memory adds cost while shrinking the processor budget.
         let p = TcoParams::thesis();
-        let small = Datacenter::for_design(
-            DesignKind::ScaleOut(CoreKind::OutOfOrder),
-            &p,
-            32,
-        );
-        let large = Datacenter::for_design(
-            DesignKind::ScaleOut(CoreKind::OutOfOrder),
-            &p,
-            128,
-        );
+        let small = Datacenter::for_design(DesignKind::ScaleOut(CoreKind::OutOfOrder), &p, 32);
+        let large = Datacenter::for_design(DesignKind::ScaleOut(CoreKind::OutOfOrder), &p, 128);
         assert!(large.perf_per_tco() < small.perf_per_tco());
     }
 

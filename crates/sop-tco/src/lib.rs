@@ -38,7 +38,9 @@ pub use datacenter::{Datacenter, TcoBreakdown};
 pub use params::TcoParams;
 pub use price::{estimated_price_usd, market_price_usd};
 pub use qos::{MixedFleet, PoolChoice};
-pub use sensitivity::{electricity_sweep, lifetime_sweep, ordering_is_robust, rack_power_sweep, SensitivityPoint};
+pub use sensitivity::{
+    electricity_sweep, lifetime_sweep, ordering_is_robust, rack_power_sweep, SensitivityPoint,
+};
 
 use sop_tech::TechnologyNode;
 

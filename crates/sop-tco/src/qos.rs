@@ -79,10 +79,16 @@ impl MixedFleet {
 
     /// Blended performance per TCO dollar across the pools.
     pub fn perf_per_tco(&self) -> f64 {
-        let perf: f64 =
-            self.pools.iter().map(|p| p.fraction * p.datacenter.performance).sum();
-        let tco: f64 =
-            self.pools.iter().map(|p| p.fraction * p.datacenter.tco.total_usd()).sum();
+        let perf: f64 = self
+            .pools
+            .iter()
+            .map(|p| p.fraction * p.datacenter.performance)
+            .sum();
+        let tco: f64 = self
+            .pools
+            .iter()
+            .map(|p| p.fraction * p.datacenter.tco.total_usd())
+            .sum();
         perf / tco
     }
 

@@ -31,7 +31,10 @@ where
                 .into_iter()
                 .map(|d| Datacenter::for_design(d, &params, memory_gb).perf_per_tco())
                 .collect();
-            SensitivityPoint { value: v, perf_per_tco }
+            SensitivityPoint {
+                value: v,
+                perf_per_tco,
+            }
         })
         .collect()
 }
@@ -39,7 +42,9 @@ where
 /// Sweeps the electricity price (the thesis assumes $0.07/kWh; real
 /// datacenters range roughly $0.03–$0.15).
 pub fn electricity_sweep(memory_gb: u32) -> Vec<SensitivityPoint> {
-    sweep(&[0.03, 0.07, 0.11, 0.15], memory_gb, |p, v| p.usd_per_kwh = v)
+    sweep(&[0.03, 0.07, 0.11, 0.15], memory_gb, |p, v| {
+        p.usd_per_kwh = v
+    })
 }
 
 /// Sweeps the server amortization horizon (the thesis assumes 3 years).

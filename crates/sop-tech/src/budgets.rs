@@ -126,9 +126,18 @@ mod tests {
     #[test]
     fn binding_constraint_identifies_tightest_axis() {
         let b = ChipBudget::server_2d(TechnologyNode::N40);
-        assert_eq!(b.binding_constraint(279.0, 60.0, 2), BindingConstraint::Area);
-        assert_eq!(b.binding_constraint(200.0, 94.0, 2), BindingConstraint::Power);
-        assert_eq!(b.binding_constraint(200.0, 60.0, 6), BindingConstraint::Bandwidth);
+        assert_eq!(
+            b.binding_constraint(279.0, 60.0, 2),
+            BindingConstraint::Area
+        );
+        assert_eq!(
+            b.binding_constraint(200.0, 94.0, 2),
+            BindingConstraint::Power
+        );
+        assert_eq!(
+            b.binding_constraint(200.0, 60.0, 6),
+            BindingConstraint::Bandwidth
+        );
     }
 
     #[test]

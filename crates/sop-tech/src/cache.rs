@@ -22,7 +22,10 @@ pub struct CacheGeometry {
 impl CacheGeometry {
     /// The default geometry used throughout the reproduction.
     pub fn new() -> Self {
-        CacheGeometry { base_cycles_at_1mb: 9.0, cycles_per_doubling: 2.0 }
+        CacheGeometry {
+            base_cycles_at_1mb: 9.0,
+            cycles_per_doubling: 2.0,
+        }
     }
 
     /// Access latency in cycles of a single bank of `bank_mb` megabytes.

@@ -26,8 +26,11 @@ pub enum CoreKind {
 
 impl CoreKind {
     /// All core kinds, most aggressive first.
-    pub const ALL: [CoreKind; 3] =
-        [CoreKind::Conventional, CoreKind::OutOfOrder, CoreKind::InOrder];
+    pub const ALL: [CoreKind; 3] = [
+        CoreKind::Conventional,
+        CoreKind::OutOfOrder,
+        CoreKind::InOrder,
+    ];
 
     /// Die area of one core, including its L1 caches, in mm² (Table 2.1 at
     /// 40nm; perfect area scaling to other nodes per §2.4.1).
@@ -187,7 +190,10 @@ pub struct SocParams {
 impl SocParams {
     /// SoC overhead at any node (non-scaling).
     pub fn at(_node: TechnologyNode) -> Self {
-        SocParams { area_mm2: 42.0, power_w: 5.0 }
+        SocParams {
+            area_mm2: 42.0,
+            power_w: 5.0,
+        }
     }
 }
 

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn ddr4_doubles_ddr3() {
-        assert_eq!(MemoryGen::Ddr4.peak_gbps(), 2.0 * MemoryGen::Ddr3.peak_gbps());
+        assert_eq!(
+            MemoryGen::Ddr4.peak_gbps(),
+            2.0 * MemoryGen::Ddr3.peak_gbps()
+        );
     }
 
     #[test]
@@ -124,7 +127,10 @@ mod tests {
 
     #[test]
     fn node_20nm_gets_ddr4() {
-        assert_eq!(MemoryInterface::at(TechnologyNode::N20).gen, MemoryGen::Ddr4);
+        assert_eq!(
+            MemoryInterface::at(TechnologyNode::N20).gen,
+            MemoryGen::Ddr4
+        );
     }
 
     #[test]

@@ -21,8 +21,11 @@ pub enum TechnologyNode {
 
 impl TechnologyNode {
     /// All nodes, coarsest first.
-    pub const ALL: [TechnologyNode; 3] =
-        [TechnologyNode::N40, TechnologyNode::N32, TechnologyNode::N20];
+    pub const ALL: [TechnologyNode; 3] = [
+        TechnologyNode::N40,
+        TechnologyNode::N32,
+        TechnologyNode::N20,
+    ];
 
     /// Feature size in nanometres.
     pub fn feature_nm(self) -> f64 {

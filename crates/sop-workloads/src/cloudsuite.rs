@@ -128,7 +128,11 @@ mod tests {
             .collect();
         assert_eq!(
             batch,
-            vec![Workload::MapReduceC, Workload::MapReduceW, Workload::SatSolver]
+            vec![
+                Workload::MapReduceC,
+                Workload::MapReduceW,
+                Workload::SatSolver
+            ]
         );
     }
 }

@@ -126,13 +126,7 @@ impl TrafficCurve {
     /// Off-chip bandwidth in GB/s for a group of `cores` cores each
     /// committing `per_core_ipc` application instructions per cycle at
     /// `ghz` GHz.
-    pub fn bandwidth_gbps(
-        &self,
-        capacity_mb: f64,
-        cores: u32,
-        per_core_ipc: f64,
-        ghz: f64,
-    ) -> f64 {
+    pub fn bandwidth_gbps(&self, capacity_mb: f64, cores: u32, per_core_ipc: f64, ghz: f64) -> f64 {
         let instr_per_sec = per_core_ipc * ghz * 1e9 * f64::from(cores);
         self.bytes_per_instr(capacity_mb) * instr_per_sec / 1e9
     }
@@ -409,7 +403,11 @@ impl WorkloadProfile {
 
     /// Profiles of all seven workloads, in figure order.
     pub fn all() -> Vec<WorkloadProfile> {
-        Workload::ALL.iter().copied().map(WorkloadProfile::of).collect()
+        Workload::ALL
+            .iter()
+            .copied()
+            .map(WorkloadProfile::of)
+            .collect()
     }
 
     /// Perfect-LLC IPC for `kind`. The conventional 4-wide core extracts
@@ -482,7 +480,11 @@ mod tests {
     #[test]
     fn snoop_rates_average_about_2_7_percent() {
         // Fig 4.3: an average of 2.7 LLC accesses in 100 trigger a snoop.
-        let avg: f64 = WorkloadProfile::all().iter().map(|p| p.snoop_fraction).sum::<f64>() / 7.0;
+        let avg: f64 = WorkloadProfile::all()
+            .iter()
+            .map(|p| p.snoop_fraction)
+            .sum::<f64>()
+            / 7.0;
         assert!((avg - 0.027).abs() < 0.004, "got {avg}");
     }
 
@@ -557,7 +559,11 @@ mod tests {
 
     #[test]
     fn efficiency_is_one_below_knee_and_decays_after() {
-        let s = Scalability { knee_cores: 16, serial_fraction: 0.05, pod_cores: 16 };
+        let s = Scalability {
+            knee_cores: 16,
+            serial_fraction: 0.05,
+            pod_cores: 16,
+        };
         assert_eq!(s.efficiency(1), 1.0);
         assert_eq!(s.efficiency(16), 1.0);
         let e32 = s.efficiency(32);

@@ -133,14 +133,12 @@ impl TraceGenerator {
         // Region sizes: the shared set saturates around 3x its e-folding
         // capacity; privates likewise; the dataset dwarfs any LLC.
         let shared_lines = ((p.miss_curve.shared_capture_mb * 3.0) * LINES_PER_MB as f64) as u64;
-        let private_lines =
-            ((p.miss_curve.private_capture_mb * 3.0) * LINES_PER_MB as f64) as u64;
+        let private_lines = ((p.miss_curve.private_capture_mb * 3.0) * LINES_PER_MB as f64) as u64;
         let dataset_lines = 4096 * LINES_PER_MB; // 256GB: never cacheable
         let total_data = l1d / 1000.0;
         // Split data accesses so the steady-state LLC miss rate approaches
         // the profile's dataset floor.
-        let p_dataset_given_data =
-            (p.miss_curve.dataset_mpki / l1d.max(1e-9)).clamp(0.05, 0.95);
+        let p_dataset_given_data = (p.miss_curve.dataset_mpki / l1d.max(1e-9)).clamp(0.05, 0.95);
         let p_shared_given_data = (p.snoop_fraction * 2.0).clamp(0.01, 0.5);
         let eff = p.scalability.efficiency(cfg.total_cores);
         let p_sync = if eff < 1.0 { (1.0 - eff) * 0.06 } else { 0.0 };
@@ -342,7 +340,10 @@ mod tests {
         let mut gen = TraceGenerator::new(cfg(Workload::WebFrontend, 4, 1));
         for ev in gen.by_ref().take(50_000) {
             if let CoreEvent::InstructionFetch { line } = ev {
-                assert!(line < PRIVATE_BASE, "instruction fetch outside shared region");
+                assert!(
+                    line < PRIVATE_BASE,
+                    "instruction fetch outside shared region"
+                );
             }
         }
     }

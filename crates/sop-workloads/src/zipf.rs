@@ -25,7 +25,10 @@ impl ZipfSampler {
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "need at least one item");
         assert!((0.0..1.0).contains(&s), "skew must be in [0, 1)");
-        ZipfSampler { n, exponent: 1.0 / (1.0 - s) }
+        ZipfSampler {
+            n,
+            exponent: 1.0 / (1.0 - s),
+        }
     }
 
     /// Number of items.

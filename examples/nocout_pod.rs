@@ -36,12 +36,14 @@ fn main() {
         "fabric", "agg IPC", "pkt lat", "snoop%", "LLC miss%", "NOC mm2"
     );
     let mut mesh_ipc = None;
-    for kind in [TopologyKind::Mesh, TopologyKind::FlattenedButterfly, TopologyKind::NocOut] {
+    for kind in [
+        TopologyKind::Mesh,
+        TopologyKind::FlattenedButterfly,
+        TopologyKind::NocOut,
+    ] {
         let cfg = SimConfig::pod_64(workload, kind);
-        let area = NocAreaBreakdown::of(
-            &NocConfig::pod_64(kind).build_topology(),
-            cfg.noc.link_bits,
-        );
+        let area =
+            NocAreaBreakdown::of(&NocConfig::pod_64(kind).build_topology(), cfg.noc.link_bits);
         let r = Machine::new(cfg).run(6_000, 14_000);
         let ipc = r.aggregate_ipc();
         mesh_ipc.get_or_insert(ipc);

@@ -14,7 +14,11 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(0.6);
     let params = TcoParams::thesis();
-    println!("mixed fleet: {:.0}% latency-sensitive, {:.0}% batch\n", fraction * 100.0, (1.0 - fraction) * 100.0);
+    println!(
+        "mixed fleet: {:.0}% latency-sensitive, {:.0}% batch\n",
+        fraction * 100.0,
+        (1.0 - fraction) * 100.0
+    );
     let fleet = MixedFleet::provision(fraction, &params, 64);
     for pool in &fleet.pools {
         println!(
@@ -34,6 +38,10 @@ fn main() {
     println!("\nsweep of the mix:");
     for pct in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let f = MixedFleet::provision(pct, &params, 64);
-        println!("  {:>3.0}% latency -> blended perf/TCO {:.3}", pct * 100.0, f.perf_per_tco());
+        println!(
+            "  {:>3.0}% latency -> blended perf/TCO {:.3}",
+            pct * 100.0,
+            f.perf_per_tco()
+        );
     }
 }

@@ -9,9 +9,10 @@ use scale_out_processors::tech::CoreKind;
 use scale_out_processors::threed::{compose_3d, Pod3d, StackStrategy};
 
 fn main() {
-    for (kind, base_cores, base_mb) in
-        [(CoreKind::OutOfOrder, 32, 2.0), (CoreKind::InOrder, 64, 2.0)]
-    {
+    for (kind, base_cores, base_mb) in [
+        (CoreKind::OutOfOrder, 32, 2.0),
+        (CoreKind::InOrder, 64, 2.0),
+    ] {
         println!("== {kind:?} pods (base: {base_cores} cores + {base_mb}MB per die) ==");
         println!(
             "  {:>4} {:14} {:>10} {:>10} {:>6} {:>10}",

@@ -5,16 +5,21 @@
 //! sop chip   <design> [--node 40|20]          compose a reference chip
 //! sop dc     <design> [--mem GB]              size a 20MW datacenter
 //! sop stack  <ooo|io> <dies> [--fixed-distance]   evaluate a 3D pod
+//! sop trace  <workload> [--topo mesh|fbfly|nocout] [--out FILE] [--quick]
+//!                                             capture a Chrome trace of a pod run
 //! sop list                                    list design names
 //! ```
 
 use scale_out_processors::core::designs::{reference_chip, DesignKind};
 use scale_out_processors::core::pod::{optimal_pod, preferred_pod, PodSearchSpace};
+use scale_out_processors::noc::TopologyKind;
+use scale_out_processors::sim::{Machine, SimConfig};
 use scale_out_processors::tco::{Datacenter, TcoParams};
 use scale_out_processors::tech::{CoreKind, TechnologyNode};
 use scale_out_processors::threed::{
     compose_3d, CoolingTechnology, Pod3d, StackStrategy, ThermalModel,
 };
+use scale_out_processors::workloads::Workload;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +29,7 @@ fn main() {
         "chip" => chip(&args),
         "dc" => dc(&args),
         "stack" => stack(&args),
+        "trace" => trace(&args),
         "list" => list(),
         _ => usage(),
     }
@@ -34,6 +40,7 @@ fn usage() {
     eprintln!("       sop chip <design> [--node 40|20]");
     eprintln!("       sop dc <design> [--mem GB]");
     eprintln!("       sop stack <ooo|io> <dies> [--fixed-distance]");
+    eprintln!("       sop trace <workload> [--topo mesh|fbfly|nocout] [--out FILE] [--quick]");
     eprintln!("       sop list");
     std::process::exit(2);
 }
@@ -51,7 +58,11 @@ fn core_kind(args: &[String]) -> CoreKind {
 }
 
 fn node(args: &[String]) -> TechnologyNode {
-    match args.iter().position(|a| a == "--node").and_then(|i| args.get(i + 1)) {
+    match args
+        .iter()
+        .position(|a| a == "--node")
+        .and_then(|i| args.get(i + 1))
+    {
         Some(v) if v == "20" => TechnologyNode::N20,
         Some(v) if v == "32" => TechnologyNode::N32,
         _ => TechnologyNode::N40,
@@ -75,9 +86,15 @@ fn roster() -> Vec<(&'static str, DesignKind)> {
         ("conventional", DesignKind::Conventional),
         ("tiled-ooo", DesignKind::Tiled(CoreKind::OutOfOrder)),
         ("tiled-io", DesignKind::Tiled(CoreKind::InOrder)),
-        ("llcopt-ooo", DesignKind::LlcOptimalTiled(CoreKind::OutOfOrder)),
+        (
+            "llcopt-ooo",
+            DesignKind::LlcOptimalTiled(CoreKind::OutOfOrder),
+        ),
         ("llcopt-io", DesignKind::LlcOptimalTiled(CoreKind::InOrder)),
-        ("ir-ooo", DesignKind::LlcOptimalTiledIr(CoreKind::OutOfOrder)),
+        (
+            "ir-ooo",
+            DesignKind::LlcOptimalTiledIr(CoreKind::OutOfOrder),
+        ),
         ("ir-io", DesignKind::LlcOptimalTiledIr(CoreKind::InOrder)),
         ("ideal-ooo", DesignKind::Ideal(CoreKind::OutOfOrder)),
         ("ideal-io", DesignKind::Ideal(CoreKind::InOrder)),
@@ -107,11 +124,7 @@ fn pod(args: &[String]) {
     );
     println!(
         "  adopted:  {} cores + {}MB  ({:.1}mm2, {:.1}W, {:.1}GB/s)",
-        pick.config.cores,
-        pick.config.llc_mb,
-        pick.area_mm2,
-        pick.power_w,
-        pick.bandwidth_gbps
+        pick.config.cores, pick.config.llc_mb, pick.area_mm2, pick.power_w, pick.bandwidth_gbps
     );
 }
 
@@ -139,13 +152,85 @@ fn dc(args: &[String]) {
         .unwrap_or(64);
     let params = TcoParams::thesis();
     let dc = Datacenter::for_design(d, &params, mem);
-    println!("20MW datacenter of {} servers ({}GB each):", dc.chip.label, mem);
+    println!(
+        "20MW datacenter of {} servers ({}GB each):",
+        dc.chip.label, mem
+    );
     println!("  sockets per 1U    {}", dc.sockets_per_server);
     println!("  total chips       {}", dc.total_chips());
     println!("  chip price        ${:.0}", dc.chip_price_usd);
-    println!("  TCO               ${:.2}M/month", dc.tco.total_usd() / 1e6);
+    println!(
+        "  TCO               ${:.2}M/month",
+        dc.tco.total_usd() / 1e6
+    );
     println!("  perf/TCO          {:.3}", dc.perf_per_tco());
     println!("  perf/W            {:.4}", dc.perf_per_watt());
+}
+
+/// Runs a 64-core pod with transaction tracing on and writes the event
+/// log in Chrome trace format (load it at `chrome://tracing` or in
+/// Perfetto). One simulated cycle maps to one microsecond.
+fn trace(args: &[String]) {
+    let name = args.get(1).map(String::as_str).unwrap_or("websearch");
+    let workload = Workload::ALL
+        .iter()
+        .copied()
+        .find(|w| {
+            let debug = format!("{w:?}").to_lowercase();
+            let label = w.label().to_lowercase().replace([' ', '-'], "");
+            let wanted = name.to_lowercase().replace([' ', '-'], "");
+            debug == wanted || label == wanted
+        })
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {name:?}; one of:");
+            for w in Workload::ALL {
+                eprintln!("  {:?}", w);
+            }
+            std::process::exit(2);
+        });
+    let topo = match args
+        .iter()
+        .position(|a| a == "--topo")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("mesh") => TopologyKind::Mesh,
+        Some("fbfly") => TopologyKind::FlattenedButterfly,
+        None | Some("nocout") => TopologyKind::NocOut,
+        Some(other) => {
+            eprintln!("unknown topology {other:?}: mesh | fbfly | nocout");
+            std::process::exit(2);
+        }
+    };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "trace.json".to_owned());
+    let (warm, measure) = if args.iter().any(|a| a == "--quick") {
+        (1_000, 2_000)
+    } else {
+        (4_000, 8_000)
+    };
+
+    let mut machine = Machine::new(SimConfig::pod_64(workload, topo));
+    machine.enable_tracing(1 << 16);
+    let result = machine.run_window(warm, measure);
+    let log = machine.event_log().expect("tracing was enabled");
+    let process = format!("pod_64 {workload:?} {topo:?}");
+    let trace = log.to_chrome_trace(&process);
+    if let Err(e) = std::fs::write(&out, trace.to_compact_string() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "{} events ({} dropped), aggregate IPC {:.2}",
+        log.events().count(),
+        log.dropped(),
+        result.aggregate_ipc()
+    );
+    println!("wrote {out}");
 }
 
 fn stack(args: &[String]) {
@@ -164,9 +249,16 @@ fn stack(args: &[String]) {
     let chip = compose_3d(&pod);
     let thermal = ThermalModel::datacenter(CoolingTechnology::LiquidCooled);
     println!("{kind:?} 3D pod, {dies} die(s), {strategy:?}:");
-    println!("  pod               {} cores + {:.0}MB", pod.total_cores(), pod.total_llc_mb());
+    println!(
+        "  pod               {} cores + {:.0}MB",
+        pod.total_cores(),
+        pod.total_llc_mb()
+    );
     println!("  footprint         {:.1} mm2/die", pod.footprint_mm2());
-    println!("  chip              {} pods, {} channels", chip.pods, chip.memory_channels);
+    println!(
+        "  chip              {} pods, {} channels",
+        chip.pods, chip.memory_channels
+    );
     println!("  PD (per volume)   {:.4}", chip.performance_density_3d);
     println!(
         "  junction temp     {:.0}C (limit {:.0}C, liquid cooled)",

@@ -57,6 +57,7 @@ pub use sop_3d as threed;
 pub use sop_core as core;
 pub use sop_model as model;
 pub use sop_noc as noc;
+pub use sop_obs as obs;
 pub use sop_sim as sim;
 pub use sop_tco as tco;
 pub use sop_tech as tech;

@@ -43,7 +43,11 @@ fn golden_pod_metrics() {
     let ooo = PodConfig::new(CoreKind::OutOfOrder, 16, 4.0, Interconnect::Crossbar).metrics();
     assert!(within(ooo.area_mm2, 92.6, 0.02), "area {}", ooo.area_mm2);
     assert!(within(ooo.power_w, 20.3, 0.03), "power {}", ooo.power_w);
-    assert!(within(ooo.bandwidth_gbps, 9.2, 0.10), "bw {}", ooo.bandwidth_gbps);
+    assert!(
+        within(ooo.bandwidth_gbps, 9.2, 0.10),
+        "bw {}",
+        ooo.bandwidth_gbps
+    );
     let io = PodConfig::new(CoreKind::InOrder, 32, 2.0, Interconnect::Crossbar).metrics();
     assert!(within(io.area_mm2, 54.2, 0.02), "area {}", io.area_mm2);
     assert!(within(io.power_w, 18.0, 0.05), "power {}", io.power_w);
@@ -127,7 +131,13 @@ fn golden_datacenter_headlines() {
     let one_pod = Datacenter::for_design(DesignKind::OnePod(CoreKind::OutOfOrder), &params, 64);
     let sop_io = Datacenter::for_design(DesignKind::ScaleOut(CoreKind::InOrder), &params, 64);
     let perf_gain = one_pod.performance / conv.performance;
-    assert!(within(perf_gain, 4.47, 0.05), "1pod perf gain {perf_gain:.2}");
+    assert!(
+        within(perf_gain, 4.47, 0.05),
+        "1pod perf gain {perf_gain:.2}"
+    );
     let tco_gain = sop_io.perf_per_tco() / conv.perf_per_tco();
-    assert!(within(tco_gain, 7.7, 0.08), "SOP-IO perf/TCO gain {tco_gain:.2}");
+    assert!(
+        within(tco_gain, 7.7, 0.08),
+        "SOP-IO perf/TCO gain {tco_gain:.2}"
+    );
 }

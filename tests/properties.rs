@@ -73,7 +73,7 @@ proptest! {
             bank.access(core, line, write);
             last_access.insert(line, (core, write));
         }
-        let (acc, miss, _snoops) = bank.stats();
+        let (acc, miss) = (bank.accesses(), bank.misses());
         prop_assert_eq!(acc, ops.len() as u64);
         prop_assert!(miss <= acc);
         // Re-writing a line as its most recent (writing) accessor never

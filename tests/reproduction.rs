@@ -18,8 +18,7 @@ fn performance_density_ordering_is_reproduced() {
         let conv = reference_chip(DesignKind::Conventional, node).performance_density;
         for kind in [CoreKind::OutOfOrder, CoreKind::InOrder] {
             let tiled = reference_chip(DesignKind::Tiled(kind), node).performance_density;
-            let opt =
-                reference_chip(DesignKind::LlcOptimalTiled(kind), node).performance_density;
+            let opt = reference_chip(DesignKind::LlcOptimalTiled(kind), node).performance_density;
             let sop = reference_chip(DesignKind::ScaleOut(kind), node).performance_density;
             let ideal = reference_chip(DesignKind::Ideal(kind), node).performance_density;
             assert!(conv < tiled, "{node} {kind:?}");
@@ -47,9 +46,20 @@ fn pod_derivation_matches_chapter_3() {
 /// from 40nm to 20nm and keep their PD lead.
 #[test]
 fn scale_out_chips_scale_with_technology() {
-    let sop40 = reference_chip(DesignKind::ScaleOut(CoreKind::OutOfOrder), TechnologyNode::N40);
-    let sop20 = reference_chip(DesignKind::ScaleOut(CoreKind::OutOfOrder), TechnologyNode::N20);
-    assert!(sop20.cores >= 3 * sop40.cores, "{} -> {}", sop40.cores, sop20.cores);
+    let sop40 = reference_chip(
+        DesignKind::ScaleOut(CoreKind::OutOfOrder),
+        TechnologyNode::N40,
+    );
+    let sop20 = reference_chip(
+        DesignKind::ScaleOut(CoreKind::OutOfOrder),
+        TechnologyNode::N20,
+    );
+    assert!(
+        sop20.cores >= 3 * sop40.cores,
+        "{} -> {}",
+        sop40.cores,
+        sop20.cores
+    );
     assert!(sop20.performance_density > 2.5 * sop40.performance_density);
 }
 
@@ -112,9 +122,13 @@ fn stacked_pods_beat_planar_pods() {
 #[test]
 fn simulation_captures_software_scalability() {
     let run = |cores| {
-        Machine::new(SimConfig::validation(Workload::DataServing, cores, TopologyKind::Crossbar))
-            .run(2_000, 6_000)
-            .per_core_ipc()
+        Machine::new(SimConfig::validation(
+            Workload::DataServing,
+            cores,
+            TopologyKind::Crossbar,
+        ))
+        .run(2_000, 6_000)
+        .per_core_ipc()
     };
     let at16 = run(16);
     let at64 = run(64);
@@ -127,7 +141,12 @@ fn all_reference_chips_respect_budgets() {
     for node in [TechnologyNode::N40, TechnologyNode::N20] {
         for design in DesignKind::table_3_2() {
             let c = reference_chip(design, node);
-            assert!(c.die_mm2 <= 280.0, "{} at {node}: {}mm2", c.label, c.die_mm2);
+            assert!(
+                c.die_mm2 <= 280.0,
+                "{} at {node}: {}mm2",
+                c.label,
+                c.die_mm2
+            );
             assert!(c.power_w <= 95.0, "{} at {node}: {}W", c.label, c.power_w);
             assert!(c.memory_channels <= 6, "{} at {node}", c.label);
             assert!(c.performance_density > 0.0);

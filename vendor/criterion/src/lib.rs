@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the slice of the criterion 0.5 API the workspace's
+//! benches use: `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size`/`finish`, `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a short warm-up, then a fixed
+//! number of timed samples, reporting min/median/max wall-clock time per
+//! iteration. No statistical analysis, plotting, or HTML output.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the shim times the routine
+/// in isolation regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream; one per batch here.
+    SmallInput,
+    /// Large inputs: few per batch upstream; one per batch here.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times a closure over the samples the harness requests.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration wall-clock durations collected by `iter`-family calls.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, recorded: &[Duration]) {
+    if recorded.is_empty() {
+        println!("{name:40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = recorded.to_vec();
+    sorted.sort();
+    let fmt = |d: Duration| {
+        let ns = d.as_nanos();
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.3} us", ns as f64 / 1e3)
+        } else {
+            format!("{ns} ns")
+        }
+    };
+    println!(
+        "{name:40} time: [{} {} {}]",
+        fmt(sorted[0]),
+        fmt(sorted[sorted.len() / 2]),
+        fmt(*sorted.last().expect("non-empty"))
+    );
+}
+
+/// The bench harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        routine(&mut b);
+        report(name, &b.recorded);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<S: std::fmt::Display, R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        routine(&mut b);
+        report(&format!("{}/{}", self.name, name), &b.recorded);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher::new(4);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.recorded.len(), 4);
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| 5, |x| x * 2, BatchSize::PerIteration);
+        assert_eq!(b.recorded.len(), 3);
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 2);
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the slice of the proptest 1.x API the workspace's
+//! property tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, range and tuple strategies, `prop::sample::select`,
+//! `prop::collection::vec`, and `prop::bool::ANY`.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test stream (seeded from the test's name), there is no shrinking,
+//! and a failing case panics with the generated values unreduced. Those
+//! are acceptable trade-offs for a hermetic, dependency-free build.
+
+use std::ops::Range;
+
+/// Harness configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a case's preconditions do not
+/// hold; the harness skips the case and moves on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestCaseSkip;
+
+/// Deterministic input stream for one property test (SplitMix64 seeded
+/// from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the stream for the named test. Identical names always
+    /// replay identical inputs, so failures are reproducible.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let x = rng.next_u64() as u128;
+                self.start.wrapping_add(((x * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+pub mod prop {
+    //! Strategy constructors, mirroring proptest's `prop` module tree.
+
+    pub mod sample {
+        //! Sampling from explicit value lists.
+
+        use crate::{Strategy, TestRng};
+
+        /// Uniform choice among a fixed set of values.
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone> {
+            items: Vec<T>,
+        }
+
+        /// Draws uniformly from `items`.
+        ///
+        /// # Panics
+        ///
+        /// Panics (at sample time) if `items` is empty.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                assert!(!self.items.is_empty(), "select over an empty list");
+                let i = (rng.next_u64() % self.items.len() as u64) as usize;
+                self.items[i].clone()
+            }
+        }
+    }
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A vector of values from an element strategy, with length drawn
+        /// from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// `size.start..size.end` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.sample(rng);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        use crate::{Strategy, TestRng};
+
+        /// Uniform `true`/`false`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that replays `cases` deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // The closure gives `$body` a `?`-capturing scope (how
+                // prop_assume! bails out of one case), so it must be
+                // declared and called in place.
+                #[allow(clippy::redundant_closure_call)]
+                let _outcome = (|| -> ::core::result::Result<(), $crate::TestCaseSkip> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseSkip);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::deterministic("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 5u64..10, f in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        /// Tuples, vectors, selects, and booleans compose.
+        #[test]
+        fn composite_strategies(
+            v in prop::collection::vec((0u32..4, prop::bool::ANY), 1..10),
+            pick in prop::sample::select(vec![1i32, 3, 5]),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            for (n, _flag) in &v {
+                prop_assert!(*n < 4);
+            }
+            prop_assert!(pick == 1 || pick == 3 || pick == 5);
+        }
+
+        /// Assumptions skip cases without failing them.
+        #[test]
+        fn assumptions_skip(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

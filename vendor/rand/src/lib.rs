@@ -1,0 +1,218 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the small slice of the rand 0.8 API the workspace uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen`, `gen_bool`, and `gen_range` over integer and float
+//! ranges. The generator is xoshiro256++ seeded through SplitMix64 —
+//! deterministic, fast, and statistically solid for simulation traces.
+//! Streams differ from upstream `rand`'s, which is fine: every consumer
+//! in this workspace treats the stream as an arbitrary deterministic
+//! function of the seed.
+
+/// Types that can be drawn uniformly from their full domain via
+/// [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `next`, a uniform `u64` source.
+    fn from_u64_source<F: FnMut() -> u64>(next: F) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_u64_source<F: FnMut() -> u64>(mut next: F) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64_source<F: FnMut() -> u64>(mut next: F) -> Self {
+        next()
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64_source<F: FnMut() -> u64>(mut next: F) -> Self {
+        (next() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_u64_source<F: FnMut() -> u64>(mut next: F) -> Self {
+        next() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a half-open `lo..hi` range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws one value in `[lo, hi)` from a uniform `u64` source.
+    fn sample_range<F: FnMut() -> u64>(lo: Self, hi: Self, next: F) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<F: FnMut() -> u64>(lo: Self, hi: Self, mut next: F) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u128;
+                // Rejection-free multiply-shift mapping; the bias is
+                // < 2^-64 per draw, negligible for simulation purposes.
+                let x = next() as u128;
+                lo.wrapping_add(((x * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_range<F: FnMut() -> u64>(lo: Self, hi: Self, next: F) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + f64::from_u64_source(next) * (hi - lo)
+    }
+}
+
+/// The subset of rand 0.8's `Rng` trait this workspace uses.
+pub trait Rng {
+    /// Next raw 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniform value of `T` over its natural domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64_source(|| self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Draws a uniform value from the half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(range.start, range.end, || self.next_u64())
+    }
+}
+
+/// The subset of rand 0.8's `SeedableRng` trait this workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v: usize = r.gen_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "got {hits}");
+    }
+}
