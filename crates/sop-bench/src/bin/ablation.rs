@@ -9,19 +9,25 @@
 //! * instruction replication — what IR buys a mesh at each LLC size.
 //!
 //! ```text
-//! cargo run --release -p sop-bench --bin ablation [pods|llcrow|links|ir] [--json <path>]
+//! cargo run --release -p sop-bench --bin ablation \
+//!     [pods|llcrow|links|ir] [--json <path>] [--jobs N] [--no-cache] [--resume]
 //! ```
+//!
+//! The simulation-backed sections (`llcrow`, `links`) run through the
+//! execution engine: their points are cached under `target/sop-cache/`,
+//! spread over `--jobs` workers, and resumable with `--resume`.
 //!
 //! With `--json <path>` the run also writes a schema-versioned report:
 //! one section of rows per ablation, a span per section, and
 //! `ablation.*` gauges for the simulation-backed sweeps.
 
+use sop_bench::points::{sim_points, SimPointSpec};
 use sop_core::chip::try_compose_pods;
 use sop_core::PodConfig;
+use sop_exec::{Exec, ExecConfig};
 use sop_model::{DesignPoint, Interconnect};
-use sop_noc::{NocAreaBreakdown, TopologyKind};
+use sop_noc::{NocAreaBreakdown, NocConfig, TopologyKind};
 use sop_obs::{Json, Registry, Report, SpanLog};
-use sop_sim::{Machine, SimConfig};
 use sop_tech::{ChipBudget, CoreKind, TechnologyNode};
 use sop_workloads::Workload;
 
@@ -32,12 +38,17 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let exec = Exec::new(ExecConfig::from_args(&args));
     let which = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
             !a.starts_with("--")
-                && (*i == 0 || args.get(i - 1).map(String::as_str) != Some("--json"))
+                && (*i == 0
+                    || !matches!(
+                        args.get(i - 1).map(String::as_str),
+                        Some("--json" | "--jobs")
+                    ))
         })
         .map(|(_, a)| a.clone())
         .next()
@@ -51,11 +62,11 @@ fn main() {
         report.set("pods", rows);
     }
     if matches!(which.as_str(), "llcrow" | "all") {
-        let rows = spans.time("llcrow", |_| llc_row(&mut metrics));
+        let rows = spans.time("llcrow", |_| llc_row(&exec, &mut metrics));
         report.set("llcrow", rows);
     }
     if matches!(which.as_str(), "links" | "all") {
-        let rows = spans.time("links", |_| links(&mut metrics));
+        let rows = spans.time("links", |_| links(&exec, &mut metrics));
         report.set("links", rows);
     }
     if matches!(which.as_str(), "ir" | "all") {
@@ -63,6 +74,7 @@ fn main() {
         report.set("ir", rows);
     }
     if let Some(path) = json_path {
+        metrics.merge(&exec.metrics_snapshot());
         if let Err(e) = report.write_to(&path, &spans, &metrics) {
             eprintln!("ablation: cannot write {path}: {e}");
             std::process::exit(1);
@@ -115,32 +127,44 @@ fn pods() -> Json {
 }
 
 /// NOC-Out with a narrower or wider LLC row.
-fn llc_row(metrics: &mut Registry) -> Json {
+fn llc_row(exec: &Exec, metrics: &mut Registry) -> Json {
     println!("== Ablation: NOC-Out LLC-row width (64-core pod, Web Search) ==");
     println!(
         "  {:>9} {:>8} {:>9} {:>9}",
         "LLC tiles", "agg IPC", "pkt lat", "NOC mm2"
     );
+    const TILES: [u32; 3] = [4, 8, 16];
+    let specs: Vec<SimPointSpec> = TILES
+        .iter()
+        .map(|&tiles| SimPointSpec::Pod64 {
+            workload: Workload::WebSearch,
+            topology: TopologyKind::NocOut,
+            link_bits: 128,
+            llc_tiles: Some(tiles),
+            warm: 4_000,
+            measure: 10_000,
+        })
+        .collect();
+    let points = sim_points(exec, "ablation.llcrow", &specs);
     let mut rows = Vec::new();
-    for tiles in [4u32, 8, 16] {
-        let mut cfg = SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut);
-        cfg.noc.llc_tiles = tiles;
-        let area = NocAreaBreakdown::of(&cfg.noc.build_topology(), cfg.noc.link_bits);
-        let r = Machine::new(cfg).run(4_000, 10_000);
+    for (&tiles, p) in TILES.iter().zip(&points) {
+        let mut noc = NocConfig::pod_64(TopologyKind::NocOut);
+        noc.llc_tiles = tiles;
+        let area = NocAreaBreakdown::of(&noc.build_topology(), noc.link_bits);
         println!(
             "  {:>9} {:>8.2} {:>9.1} {:>9.2}",
             tiles,
-            r.aggregate_ipc(),
-            r.mean_packet_latency,
+            p.aggregate_ipc,
+            p.mean_packet_latency,
             area.total_mm2()
         );
         metrics.gauge_set(
             &format!("ablation.llcrow.tiles{tiles}.ipc"),
-            r.aggregate_ipc(),
+            p.aggregate_ipc,
         );
         metrics.gauge_set(
             &format!("ablation.llcrow.tiles{tiles}.packet_latency"),
-            r.mean_packet_latency,
+            p.mean_packet_latency,
         );
         metrics.gauge_set(
             &format!("ablation.llcrow.tiles{tiles}.noc_mm2"),
@@ -149,8 +173,8 @@ fn llc_row(metrics: &mut Registry) -> Json {
         rows.push(
             Json::object()
                 .with("llc_tiles", tiles)
-                .with("aggregate_ipc", r.aggregate_ipc())
-                .with("packet_latency", r.mean_packet_latency)
+                .with("aggregate_ipc", p.aggregate_ipc)
+                .with("packet_latency", p.mean_packet_latency)
                 .with("noc_mm2", area.total_mm2()),
         );
     }
@@ -160,22 +184,33 @@ fn llc_row(metrics: &mut Registry) -> Json {
 }
 
 /// The latency/area frontier as links narrow (Fig 4.8's mechanism).
-fn links(metrics: &mut Registry) -> Json {
+fn links(exec: &Exec, metrics: &mut Registry) -> Json {
     println!("== Ablation: link width (mesh pod, MapReduce-W) ==");
     println!("  {:>6} {:>9} {:>8}", "bits", "NOC mm2", "agg IPC");
+    const BITS: [u32; 4] = [128, 64, 32, 16];
+    let specs: Vec<SimPointSpec> = BITS
+        .iter()
+        .map(|&bits| SimPointSpec::Pod64 {
+            workload: Workload::MapReduceW,
+            topology: TopologyKind::Mesh,
+            link_bits: bits,
+            llc_tiles: None,
+            warm: 3_000,
+            measure: 8_000,
+        })
+        .collect();
+    let points = sim_points(exec, "ablation.links", &specs);
     let mut rows = Vec::new();
-    for bits in [128u32, 64, 32, 16] {
-        let mut cfg = SimConfig::pod_64(Workload::MapReduceW, TopologyKind::Mesh);
-        cfg.noc = cfg.noc.with_link_bits(bits);
-        let area = NocAreaBreakdown::of(&cfg.noc.build_topology(), bits);
-        let r = Machine::new(cfg).run(3_000, 8_000);
+    for (&bits, p) in BITS.iter().zip(&points) {
+        let noc = NocConfig::pod_64(TopologyKind::Mesh).with_link_bits(bits);
+        let area = NocAreaBreakdown::of(&noc.build_topology(), bits);
         println!(
             "  {:>6} {:>9.2} {:>8.2}",
             bits,
             area.total_mm2(),
-            r.aggregate_ipc()
+            p.aggregate_ipc
         );
-        metrics.gauge_set(&format!("ablation.links.bits{bits}.ipc"), r.aggregate_ipc());
+        metrics.gauge_set(&format!("ablation.links.bits{bits}.ipc"), p.aggregate_ipc);
         metrics.gauge_set(
             &format!("ablation.links.bits{bits}.noc_mm2"),
             area.total_mm2(),
@@ -184,7 +219,7 @@ fn links(metrics: &mut Registry) -> Json {
             Json::object()
                 .with("link_bits", bits)
                 .with("noc_mm2", area.total_mm2())
-                .with("aggregate_ipc", r.aggregate_ipc()),
+                .with("aggregate_ipc", p.aggregate_ipc),
         );
     }
     println!("  -> serialization latency eats narrow-linked fabrics, which is");

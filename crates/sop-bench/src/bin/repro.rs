@@ -14,10 +14,20 @@
 //!
 //! * `--json <path>` — also write a schema-versioned run report
 //!   (`sop-report/v1`): per-chapter/per-figure timing spans, the golden
-//!   check results, and named metrics (`sim.llc.*`, `sim.l1.*`, `noc.*`,
-//!   `mem.*`) from a sample pod simulation.
+//!   check results, named metrics (`sim.llc.*`, `sim.l1.*`, `noc.*`,
+//!   `mem.*`) from a sample pod simulation, and the execution engine's
+//!   `exec.*` counters.
 //! * `--quiet` — suppress the figure text; print only the report path
 //!   (requires `--json`).
+//! * `--jobs N` — run simulation points on N worker threads (0 or
+//!   omitted = one per core). Output is byte-identical for any N.
+//! * `--no-cache` — recompute every simulation point, ignoring
+//!   `target/sop-cache/`.
+//! * `--resume` — replay points recorded in the campaign manifests of a
+//!   previous (possibly killed) run.
+//! * `--stable` — strip wall-clock spans and `exec.*` state from the
+//!   `--json` report so reports from different worker counts and cache
+//!   states compare byte-for-byte.
 //!
 //! After the requested figures, every run re-verifies the pinned golden
 //! values (see `tests/golden.rs` and EXPERIMENTS.md) and exits non-zero
@@ -25,17 +35,23 @@
 
 use sop_bench::report::{checks_json, golden_checks, pod_sample_metrics};
 use sop_bench::{ch2, ch3, ch4, ch5, ch6};
-use sop_obs::{Json, Registry, Report, SpanLog};
+use sop_exec::{Exec, ExecConfig};
+use sop_obs::{stabilized, Json, Registry, Report, SpanLog};
 use sop_tech::{CoreKind, TechnologyNode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let quiet = args.iter().any(|a| a == "--quiet");
+    let stable = args.iter().any(|a| a == "--stable");
     let json_path = flag_value(&args, "--json");
+    let exec = Exec::new(ExecConfig::from_args(&args));
     let ids = experiment_ids(&args);
     if ids.is_empty() {
-        eprintln!("usage: repro <experiment id>... | all [--quick] [--json <path>] [--quiet]");
+        eprintln!(
+            "usage: repro <experiment id>... | all [--quick] [--json <path>] [--quiet] \
+             [--jobs N] [--no-cache] [--resume] [--stable]"
+        );
         eprintln!("see DESIGN.md for the experiment index");
         std::process::exit(2);
     }
@@ -68,7 +84,7 @@ fn main() {
         while i < run.len() && chapter_of(run[i]) == chapter {
             let id = run[i];
             spans.time(id, |_| {
-                dispatch(id, quick);
+                dispatch(id, quick, &exec);
                 println!();
             });
             i += 1;
@@ -95,8 +111,10 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        // A sample pod window gives the report real simulation metrics.
-        let metrics: Registry = spans.time("pod_sample", |_| pod_sample_metrics(quick));
+        // A sample pod window gives the report real simulation metrics;
+        // the engine contributes its exec.* counters on top.
+        let mut metrics: Registry = spans.time("pod_sample", |_| pod_sample_metrics(quick));
+        metrics.merge(&exec.metrics_snapshot());
         let mut report = Report::new("repro", "Scale-Out Processors: reproduced figures");
         report.set(
             "experiments",
@@ -104,7 +122,10 @@ fn main() {
         );
         report.set("quick", Json::from(quick));
         report.set("golden", checks_json(&checks));
-        if let Err(e) = report.write_to(&path, &spans, &metrics) {
+        report.set("exec", exec_summary(&exec));
+        let doc = report.to_json(&spans, &metrics);
+        let doc = if stable { stabilized(&doc) } else { doc };
+        if let Err(e) = std::fs::write(&path, doc.to_pretty_string() + "\n") {
             eprintln!("repro: cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -114,6 +135,22 @@ fn main() {
     if failed > 0 {
         std::process::exit(1);
     }
+}
+
+/// The `exec` report section: how the engine ran this time. Everything
+/// here is schedule- or cache-warmth-dependent, which is why `--stable`
+/// drops the whole section.
+fn exec_summary(exec: &Exec) -> Json {
+    let m = exec.metrics_snapshot();
+    Json::object()
+        .with("workers", exec.workers())
+        .with("jobs_completed", m.counter("exec.jobs.completed"))
+        .with("jobs_computed", m.counter("exec.jobs.computed"))
+        .with("jobs_cached", m.counter("exec.jobs.cached"))
+        .with("jobs_resumed", m.counter("exec.jobs.resumed"))
+        .with("cache_hits", m.counter("exec.cache.hits"))
+        .with("cache_misses", m.counter("exec.cache.misses"))
+        .with("cache_invalid", m.counter("exec.cache.invalid"))
 }
 
 /// The value following `flag`, if present.
@@ -135,8 +172,8 @@ fn experiment_ids(args: &[String]) -> Vec<String> {
             continue;
         }
         match a.as_str() {
-            "--json" => skip = true,
-            "--quick" | "--quiet" => {}
+            "--json" | "--jobs" => skip = true,
+            "--quick" | "--quiet" | "--no-cache" | "--resume" | "--stable" => {}
             _ => ids.push(a.clone()),
         }
     }
@@ -187,7 +224,7 @@ fn rerun_quietly(json_path: &str) -> ! {
     }
 }
 
-fn dispatch(id: &str, quick: bool) {
+fn dispatch(id: &str, quick: bool, exec: &Exec) {
     match id {
         "fig2.1" => ch2::print_fig2_1(),
         "fig2.2" => ch2::print_fig2_2(),
@@ -196,18 +233,18 @@ fn dispatch(id: &str, quick: bool) {
         "tab2.3" => ch2::print_tab2_3(TechnologyNode::N40),
         "tab2.4" => ch2::print_tab2_3(TechnologyNode::N20),
         "fig3.1" => ch3::print_fig3_1(),
-        "fig3.3" => ch3::print_fig3_3(quick),
+        "fig3.3" => ch3::print_fig3_3_on(exec, quick),
         "fig3.4" => ch3::print_pd_sweep(CoreKind::OutOfOrder),
         "fig3.5" => ch3::print_fig3_5(),
         "fig3.6" => ch3::print_pd_sweep(CoreKind::InOrder),
         "tab3.2" => ch3::print_tab3_2(),
         "sec3.4.5" => ch3::print_sec3_4_5(),
-        "fig4.3" => ch4::print_fig4_3(quick),
+        "fig4.3" => ch4::print_fig4_3_on(exec, quick),
         "tab4.1" => ch4::print_tab4_1(),
-        "fig4.6" => ch4::print_fig4_6(quick),
+        "fig4.6" => ch4::print_fig4_6_on(exec, quick),
         "fig4.7" => ch4::print_fig4_7(),
-        "fig4.8" => ch4::print_fig4_8(quick),
-        "fig4.9" => ch4::print_fig4_9_power(quick),
+        "fig4.8" => ch4::print_fig4_8_on(exec, quick),
+        "fig4.9" => ch4::print_fig4_9_power_on(exec, quick),
         "sec4.5" => ch4::print_sec4_5(),
         "tab5.1" => ch5::print_tab5_1(),
         "tab5.2" => ch5::print_tab5_2(),
@@ -215,9 +252,9 @@ fn dispatch(id: &str, quick: bool) {
         "fig5.2" => ch5::print_fig5_2(),
         "fig5.3" | "fig5.4" => ch5::print_fig5_3_and_5_4(),
         "fig5.5" => ch5::print_fig5_5(),
-        "fig6.4" => ch6::print_pd3d_sweep(CoreKind::OutOfOrder),
+        "fig6.4" => ch6::print_pd3d_sweep_on(exec, CoreKind::OutOfOrder),
         "fig6.5" => ch6::print_strategy_comparison(CoreKind::OutOfOrder),
-        "fig6.6" => ch6::print_pd3d_sweep(CoreKind::InOrder),
+        "fig6.6" => ch6::print_pd3d_sweep_on(exec, CoreKind::InOrder),
         "fig6.7" => ch6::print_strategy_comparison(CoreKind::InOrder),
         "tab6.1" => ch2::print_tab2_1(),
         "tab6.2" => ch6::print_tab6_2(),

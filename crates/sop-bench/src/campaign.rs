@@ -1,0 +1,237 @@
+//! Named experiment campaigns for `sop sweep`.
+//!
+//! Each campaign regenerates one chapter's machine-readable data through
+//! the execution engine: simulation-backed chapters batch their points
+//! into engine jobs (cached, parallel, resumable), analytic chapters fan
+//! out over the worker pool. `all` runs every chapter into one merged
+//! document.
+
+use crate::{ch2, ch3, ch4, ch5, ch6};
+use sop_exec::Exec;
+use sop_noc::TopologyKind;
+use sop_obs::Json;
+use sop_workloads::Workload;
+
+/// The campaigns `sop sweep` accepts.
+pub const CAMPAIGNS: [&str; 6] = ["ch2", "ch3", "ch4", "ch5", "ch6", "all"];
+
+/// Runs the named campaign and returns its data as a JSON section:
+/// one member per figure, rows in figure order. `None` for an unknown
+/// name.
+pub fn run_campaign(name: &str, quick: bool, exec: &Exec) -> Option<Json> {
+    match name {
+        "ch2" => Some(ch2_data(exec)),
+        "ch3" => Some(ch3_data(quick, exec)),
+        "ch4" => Some(ch4_data(quick, exec)),
+        "ch5" => Some(ch5_data(exec)),
+        "ch6" => Some(ch6_data(exec)),
+        "all" => Some(
+            Json::object()
+                .with("ch2", ch2_data(exec))
+                .with("ch3", ch3_data(quick, exec))
+                .with("ch4", ch4_data(quick, exec))
+                .with("ch5", ch5_data(exec))
+                .with("ch6", ch6_data(exec)),
+        ),
+        _ => None,
+    }
+}
+
+fn ch2_data(exec: &Exec) -> Json {
+    let fig2_1 = Json::Arr(
+        ch2::fig2_1()
+            .into_iter()
+            .map(|(w, ipc)| Json::object().with("workload", w.label()).with("ipc", ipc))
+            .collect(),
+    );
+    let fig2_2 = Json::Arr(
+        ch2::fig2_2_on(exec)
+            .into_iter()
+            .map(|(w, series)| {
+                Json::object().with("workload", w.label()).with(
+                    "normalised",
+                    Json::Arr(series.into_iter().map(Json::Num).collect()),
+                )
+            })
+            .collect(),
+    );
+    let fig2_3 = Json::Arr(
+        ch2::fig2_3_on(exec)
+            .into_iter()
+            .map(|(n, ideal, mesh)| {
+                Json::object()
+                    .with("cores", n)
+                    .with("ideal", ideal)
+                    .with("mesh", mesh)
+            })
+            .collect(),
+    );
+    Json::object()
+        .with("fig2.1", fig2_1)
+        .with("fig2.2", fig2_2)
+        .with("fig2.3", fig2_3)
+}
+
+fn ch3_data(quick: bool, exec: &Exec) -> Json {
+    let fig3_1 = Json::Arr(
+        ch3::fig3_1()
+            .into_iter()
+            .map(|(n, per_core, per_chip, pd)| {
+                Json::object()
+                    .with("cores", n)
+                    .with("per_core_ipc", per_core)
+                    .with("aggregate_ipc", per_chip)
+                    .with("pd", pd)
+            })
+            .collect(),
+    );
+    let mut fig3_3 = Vec::new();
+    for topology in [
+        TopologyKind::Ideal,
+        TopologyKind::Crossbar,
+        TopologyKind::Mesh,
+    ] {
+        for w in Workload::ALL {
+            for p in ch3::fig3_3_on(exec, w, topology, quick) {
+                fig3_3.push(
+                    Json::object()
+                        .with("workload", p.workload.label())
+                        .with("topology", format!("{:?}", p.topology).as_str())
+                        .with("cores", p.cores)
+                        .with("simulated_ipc", p.simulated_ipc)
+                        .with("modeled_ipc", p.modeled_ipc),
+                );
+            }
+        }
+    }
+    Json::object()
+        .with("fig3.1", fig3_1)
+        .with("fig3.3", Json::Arr(fig3_3))
+}
+
+fn ch4_data(quick: bool, exec: &Exec) -> Json {
+    let fig4_3 = Json::Arr(
+        ch4::fig4_3_on(exec, quick)
+            .into_iter()
+            .map(|(w, f)| {
+                Json::object()
+                    .with("workload", w.label())
+                    .with("snoop_fraction", f)
+            })
+            .collect(),
+    );
+    let fig4_6 = Json::Arr(
+        ch4::noc_performance_on(exec, [128, 128, 128], quick)
+            .into_iter()
+            .map(|(w, r)| {
+                Json::object()
+                    .with("workload", w.label())
+                    .with("mesh", r[0])
+                    .with("fbfly", r[1])
+                    .with("nocout", r[2])
+            })
+            .collect(),
+    );
+    let fig4_9 = Json::Arr(
+        ch4::fig4_9_power_on(exec, quick)
+            .into_iter()
+            .map(|(kind, w)| {
+                Json::object()
+                    .with("fabric", format!("{kind:?}").as_str())
+                    .with("mean_power_w", w)
+            })
+            .collect(),
+    );
+    Json::object()
+        .with("fig4.3", fig4_3)
+        .with("fig4.6", fig4_6)
+        .with("fig4.9", fig4_9)
+}
+
+fn ch5_data(exec: &Exec) -> Json {
+    let dcs = ch5::datacenters_on(exec, 64);
+    let base_perf = dcs[0].performance;
+    let base_tco = dcs[0].tco.total_usd();
+    Json::object().with(
+        "fig5.1_5.2",
+        Json::Arr(
+            dcs.iter()
+                .map(|dc| {
+                    Json::object()
+                        .with("chip", dc.chip.label.as_str())
+                        .with("performance_x", dc.performance / base_perf)
+                        .with("tco_x", dc.tco.total_usd() / base_tco)
+                        .with("perf_per_tco", dc.perf_per_tco())
+                })
+                .collect(),
+        ),
+    )
+}
+
+fn ch6_data(exec: &Exec) -> Json {
+    use sop_3d::{Pod3d, StackStrategy};
+    use sop_tech::CoreKind;
+    let combos: Vec<(CoreKind, u32, StackStrategy)> = [CoreKind::OutOfOrder, CoreKind::InOrder]
+        .iter()
+        .flat_map(|&kind| {
+            let max_dies: &[u32] = if kind == CoreKind::InOrder {
+                &[1, 2, 3]
+            } else {
+                &[1, 2, 4]
+            };
+            max_dies.iter().flat_map(move |&dies| {
+                [StackStrategy::FixedPod, StackStrategy::FixedDistance]
+                    .iter()
+                    .filter(move |&&s| !(dies == 1 && s == StackStrategy::FixedDistance))
+                    .map(move |&s| (kind, dies, s))
+            })
+        })
+        .collect();
+    let rows = exec.map(combos, |(kind, dies, strategy)| {
+        let (cores, mb) = ch6::base_pod(kind);
+        let pod = Pod3d::new(kind, cores, mb, dies, strategy);
+        let m = pod.metrics();
+        Json::object()
+            .with("core", kind.label())
+            .with("dies", dies)
+            .with("strategy", format!("{strategy:?}").as_str())
+            .with("total_cores", pod.total_cores())
+            .with("total_llc_mb", pod.total_llc_mb())
+            .with("pd3d", m.performance_density_3d)
+    });
+    Json::object().with("tab6.2", Json::Arr(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_campaign_is_none() {
+        assert!(run_campaign("ch99", true, &Exec::sequential()).is_none());
+    }
+
+    #[test]
+    fn analytic_campaigns_have_their_figures() {
+        let exec = Exec::sequential();
+        let ch2 = run_campaign("ch2", true, &exec).expect("ch2");
+        assert_eq!(
+            ch2.get("fig2.1").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(Workload::ALL.len())
+        );
+        let ch5 = run_campaign("ch5", true, &exec).expect("ch5");
+        assert_eq!(
+            ch5.get("fig5.1_5.2")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(7)
+        );
+        let ch6 = run_campaign("ch6", true, &exec).expect("ch6");
+        assert!(
+            ch6.get("tab6.2")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len)
+                >= 8
+        );
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::fmt_series;
 use sop_core::designs::{reference_chip, DesignKind};
+use sop_exec::Exec;
 use sop_model::{DesignPoint, Interconnect};
 use sop_tech::{CoreKind, LlcParams, MemoryInterface, SocParams, TechnologyNode};
 use sop_workloads::Workload;
@@ -33,18 +34,20 @@ pub fn print_fig2_1() {
 
 /// Fig 2.2: per-workload performance vs. LLC capacity, normalised to 1MB.
 pub fn fig2_2() -> Vec<(Workload, Vec<f64>)> {
-    Workload::ALL
-        .iter()
-        .map(|&w| {
-            let at = |mb: f64| {
-                DesignPoint::new(CoreKind::Conventional, 4, mb, Interconnect::Crossbar)
-                    .evaluate(w)
-                    .per_core_ipc
-            };
-            let base = at(1.0);
-            (w, FIG2_2_CAPACITIES.iter().map(|&c| at(c) / base).collect())
-        })
-        .collect()
+    fig2_2_on(&Exec::sequential())
+}
+
+/// [`fig2_2`] with one worker task per workload.
+pub fn fig2_2_on(exec: &Exec) -> Vec<(Workload, Vec<f64>)> {
+    exec.map(Workload::ALL.to_vec(), |w| {
+        let at = |mb: f64| {
+            DesignPoint::new(CoreKind::Conventional, 4, mb, Interconnect::Crossbar)
+                .evaluate(w)
+                .per_core_ipc
+        };
+        let base = at(1.0);
+        (w, FIG2_2_CAPACITIES.iter().map(|&c| at(c) / base).collect())
+    })
 }
 
 /// Prints Fig 2.2.
@@ -63,20 +66,22 @@ pub fn print_fig2_2() {
 /// under the ideal and mesh fabrics. Returns (cores, ideal, mesh) rows of
 /// per-core IPC normalised to one core.
 pub fn fig2_3() -> Vec<(u32, f64, f64)> {
+    fig2_3_on(&Exec::sequential())
+}
+
+/// [`fig2_3`] with one worker task per core count.
+pub fn fig2_3_on(exec: &Exec) -> Vec<(u32, f64, f64)> {
     let base_ideal =
         DesignPoint::new(CoreKind::OutOfOrder, 1, 4.0, Interconnect::Ideal).mean_per_core_ipc();
     let base_mesh =
         DesignPoint::new(CoreKind::OutOfOrder, 1, 4.0, Interconnect::Mesh).mean_per_core_ipc();
-    [1u32, 2, 4, 8, 16, 32, 64, 128, 256]
-        .iter()
-        .map(|&n| {
-            let ideal = DesignPoint::new(CoreKind::OutOfOrder, n, 4.0, Interconnect::Ideal)
-                .mean_per_core_ipc();
-            let mesh = DesignPoint::new(CoreKind::OutOfOrder, n, 4.0, Interconnect::Mesh)
-                .mean_per_core_ipc();
-            (n, ideal / base_ideal, mesh / base_mesh)
-        })
-        .collect()
+    exec.map(vec![1u32, 2, 4, 8, 16, 32, 64, 128, 256], |n| {
+        let ideal =
+            DesignPoint::new(CoreKind::OutOfOrder, n, 4.0, Interconnect::Ideal).mean_per_core_ipc();
+        let mesh =
+            DesignPoint::new(CoreKind::OutOfOrder, n, 4.0, Interconnect::Mesh).mean_per_core_ipc();
+        (n, ideal / base_ideal, mesh / base_mesh)
+    })
 }
 
 /// Prints Fig 2.3 (both panels).

@@ -1,12 +1,13 @@
 //! Chapter 3: the scale-out design methodology (Figs 3.1, 3.3–3.6,
 //! Table 3.2).
 
+use crate::points::{sim_points, SimPointSpec};
 use sop_core::designs::{reference_chip, DesignKind};
 use sop_core::pod::{optimal_pod, preferred_pod, PodSearchSpace};
 use sop_core::PodConfig;
+use sop_exec::Exec;
 use sop_model::{DesignPoint, Interconnect};
 use sop_noc::TopologyKind;
-use sop_sim::{Machine, SimConfig};
 use sop_tech::{CoreKind, TechnologyNode};
 use sop_workloads::Workload;
 
@@ -76,10 +77,8 @@ fn model_interconnect(topology: TopologyKind) -> Interconnect {
     }
 }
 
-/// Fig 3.3: cycle-level simulation against the analytic model for one
-/// workload/fabric pair across core counts. `quick` shrinks the windows
-/// for smoke tests.
-pub fn fig3_3(workload: Workload, topology: TopologyKind, quick: bool) -> Vec<ValidationPoint> {
+/// The simulation specs behind one Fig 3.3 workload/fabric pair.
+pub fn fig3_3_specs(workload: Workload, topology: TopologyKind, quick: bool) -> Vec<SimPointSpec> {
     let (warm, measure) = if quick {
         (1_500, 3_000)
     } else {
@@ -87,9 +86,32 @@ pub fn fig3_3(workload: Workload, topology: TopologyKind, quick: bool) -> Vec<Va
     };
     fig3_3_core_counts(workload)
         .into_iter()
-        .map(|cores| {
-            let sim =
-                Machine::new(SimConfig::validation(workload, cores, topology)).run(warm, measure);
+        .map(|cores| SimPointSpec::Validation {
+            workload,
+            cores,
+            topology,
+            warm,
+            measure,
+        })
+        .collect()
+}
+
+/// Combines evaluated simulation points with the analytic model into
+/// Fig 3.3's comparison rows. `specs` and `points` must correspond.
+fn fig3_3_rows(specs: &[SimPointSpec], points: &[crate::points::SimPoint]) -> Vec<ValidationPoint> {
+    specs
+        .iter()
+        .zip(points)
+        .map(|(spec, sim)| {
+            let SimPointSpec::Validation {
+                workload,
+                cores,
+                topology,
+                ..
+            } = *spec
+            else {
+                panic!("fig3.3 uses validation specs only")
+            };
             let model = DesignPoint::new(
                 CoreKind::OutOfOrder,
                 cores,
@@ -102,45 +124,88 @@ pub fn fig3_3(workload: Workload, topology: TopologyKind, quick: bool) -> Vec<Va
                 workload,
                 topology,
                 cores,
-                simulated_ipc: sim.per_core_ipc(),
+                simulated_ipc: sim.per_core_ipc,
                 modeled_ipc: model.per_core_ipc,
             }
         })
         .collect()
 }
 
+/// Fig 3.3: cycle-level simulation against the analytic model for one
+/// workload/fabric pair across core counts. `quick` shrinks the windows
+/// for smoke tests.
+pub fn fig3_3(workload: Workload, topology: TopologyKind, quick: bool) -> Vec<ValidationPoint> {
+    fig3_3_on(&Exec::sequential(), workload, topology, quick)
+}
+
+/// [`fig3_3`] with the simulations scheduled on `exec`.
+pub fn fig3_3_on(
+    exec: &Exec,
+    workload: Workload,
+    topology: TopologyKind,
+    quick: bool,
+) -> Vec<ValidationPoint> {
+    let specs = fig3_3_specs(workload, topology, quick);
+    let points = sim_points(exec, "fig3.3", &specs);
+    fig3_3_rows(&specs, &points)
+}
+
 /// Prints Fig 3.3 for every workload and fabric, with error statistics.
 pub fn print_fig3_3(quick: bool) {
+    print_fig3_3_on(&Exec::sequential(), quick);
+}
+
+/// [`print_fig3_3`] with every simulation of every workload/fabric pair
+/// batched into one campaign on `exec`, so the whole figure parallelizes
+/// instead of one row at a time. Output is identical either way.
+pub fn print_fig3_3_on(exec: &Exec, quick: bool) {
+    // Collect every pair's specs first, evaluate them as one campaign,
+    // then print in the original order.
+    let pairs: Vec<(TopologyKind, Workload)> = [
+        TopologyKind::Ideal,
+        TopologyKind::Crossbar,
+        TopologyKind::Mesh,
+    ]
+    .iter()
+    .flat_map(|&t| Workload::ALL.iter().map(move |&w| (t, w)))
+    .collect();
+    let per_pair: Vec<Vec<SimPointSpec>> = pairs
+        .iter()
+        .map(|&(t, w)| fig3_3_specs(w, t, quick))
+        .collect();
+    let all_specs: Vec<SimPointSpec> = per_pair.iter().flatten().copied().collect();
+    let all_points = sim_points(exec, "fig3.3", &all_specs);
+
     println!("Fig 3.3 — analytic model (lines) vs cycle-level simulation (markers)");
     println!("          per-core application IPC, 4MB LLC, OoO cores");
     let mut small = sop_model::ErrorStats::new();
     let mut large = sop_model::ErrorStats::new();
-    for topology in [
-        TopologyKind::Ideal,
-        TopologyKind::Crossbar,
-        TopologyKind::Mesh,
-    ] {
-        println!("  == {topology:?} ==");
-        for w in Workload::ALL {
-            let pts = fig3_3(w, topology, quick);
-            for p in &pts {
-                if p.cores <= 16 {
-                    small.record(p.modeled_ipc, p.simulated_ipc);
-                } else {
-                    large.record(p.modeled_ipc, p.simulated_ipc);
-                }
-            }
-            let sim: Vec<String> = pts
-                .iter()
-                .map(|p| format!("{}c:{:.2}", p.cores, p.simulated_ipc))
-                .collect();
-            let model: Vec<String> = pts
-                .iter()
-                .map(|p| format!("{:.2}", p.modeled_ipc))
-                .collect();
-            println!("    {:16} sim   {}", w.label(), sim.join(" "));
-            println!("    {:16} model {}", "", model.join("    "));
+    let mut offset = 0;
+    let mut current_topology = None;
+    for (&(topology, w), specs) in pairs.iter().zip(&per_pair) {
+        if current_topology != Some(topology) {
+            current_topology = Some(topology);
+            println!("  == {topology:?} ==");
         }
+        let pts = fig3_3_rows(specs, &all_points[offset..offset + specs.len()]);
+        offset += specs.len();
+        for p in &pts {
+            if p.cores <= 16 {
+                small.record(p.modeled_ipc, p.simulated_ipc);
+            } else {
+                large.record(p.modeled_ipc, p.simulated_ipc);
+            }
+        }
+        let sim: Vec<String> = pts
+            .iter()
+            .map(|p| format!("{}c:{:.2}", p.cores, p.simulated_ipc))
+            .collect();
+        let model: Vec<String> = pts
+            .iter()
+            .map(|p| format!("{:.2}", p.modeled_ipc))
+            .collect();
+        println!("    {:16} sim   {}", w.label(), sim.join(" "));
+        println!("    {:16} model {}", "", model.join("    "));
     }
     println!(
         "  model error <=16 cores: mean {:.0}%, bias {:+.0}%, correlation {:.2}",

@@ -2,6 +2,8 @@
 //! Table 4.1, §4.4.4 power).
 
 use crate::geomean;
+use crate::points::{sim_points, SimPointSpec};
+use sop_exec::Exec;
 use sop_noc::{NocAreaBreakdown, NocConfig, NocPowerEstimate, TopologyKind};
 use sop_sim::{Machine, SimConfig, SimResult};
 use sop_workloads::Workload;
@@ -30,23 +32,57 @@ pub fn run_pod(
     Machine::new(cfg).run(warm, measure)
 }
 
+/// The spec equivalent of [`run_pod`], for scheduling through the
+/// execution engine.
+pub fn pod_spec(
+    workload: Workload,
+    topology: TopologyKind,
+    link_bits: u32,
+    quick: bool,
+) -> SimPointSpec {
+    let (warm, measure) = if quick {
+        (2_000, 4_000)
+    } else {
+        (8_000, 16_000)
+    };
+    SimPointSpec::Pod64 {
+        workload,
+        topology,
+        link_bits,
+        llc_tiles: None,
+        warm,
+        measure,
+    }
+}
+
 /// Fig 4.3: fraction of LLC accesses that trigger a snoop, per workload.
 pub fn fig4_3(quick: bool) -> Vec<(Workload, f64)> {
+    fig4_3_on(&Exec::sequential(), quick)
+}
+
+/// [`fig4_3`] with the seven pod simulations batched on `exec`.
+pub fn fig4_3_on(exec: &Exec, quick: bool) -> Vec<(Workload, f64)> {
+    let specs: Vec<SimPointSpec> = Workload::ALL
+        .iter()
+        .map(|&w| pod_spec(w, TopologyKind::Mesh, 128, quick))
+        .collect();
+    let points = sim_points(exec, "fig4.3", &specs);
     Workload::ALL
         .iter()
-        .map(|&w| {
-            (
-                w,
-                run_pod(w, TopologyKind::Mesh, 128, quick).snoop_fraction(),
-            )
-        })
+        .zip(points)
+        .map(|(&w, p)| (w, p.snoop_fraction))
         .collect()
 }
 
 /// Prints Fig 4.3.
 pub fn print_fig4_3(quick: bool) {
+    print_fig4_3_on(&Exec::sequential(), quick);
+}
+
+/// [`print_fig4_3`] on `exec`.
+pub fn print_fig4_3_on(exec: &Exec, quick: bool) {
     println!("Fig 4.3 — % of LLC accesses triggering a snoop (64-core pod)");
-    let rows = fig4_3(quick);
+    let rows = fig4_3_on(exec, quick);
     for (w, f) in &rows {
         println!("  {:16} {:.1}%", w.label(), f * 100.0);
     }
@@ -57,12 +93,27 @@ pub fn print_fig4_3(quick: bool) {
 /// Fig 4.6 (or 4.8 with squeezed links): per-workload pod performance of
 /// each fabric, normalised to the mesh.
 pub fn noc_performance(link_bits: [u32; 3], quick: bool) -> Vec<(Workload, [f64; 3])> {
+    noc_performance_on(&Exec::sequential(), link_bits, quick)
+}
+
+/// [`noc_performance`] with all 21 pod simulations batched on `exec`.
+pub fn noc_performance_on(
+    exec: &Exec,
+    link_bits: [u32; 3],
+    quick: bool,
+) -> Vec<(Workload, [f64; 3])> {
+    let specs: Vec<SimPointSpec> = Workload::ALL
+        .iter()
+        .flat_map(|&w| (0..3).map(move |i| pod_spec(w, FABRICS[i], link_bits[i], quick)))
+        .collect();
+    let points = sim_points(exec, "fig4.6", &specs);
     Workload::ALL
         .iter()
-        .map(|&w| {
-            let mesh = run_pod(w, FABRICS[0], link_bits[0], quick).aggregate_ipc();
-            let fb = run_pod(w, FABRICS[1], link_bits[1], quick).aggregate_ipc();
-            let no = run_pod(w, FABRICS[2], link_bits[2], quick).aggregate_ipc();
+        .zip(points.chunks_exact(3))
+        .map(|(&w, fabric)| {
+            let mesh = fabric[0].aggregate_ipc;
+            let fb = fabric[1].aggregate_ipc;
+            let no = fabric[2].aggregate_ipc;
             (w, [1.0, fb / mesh, no / mesh])
         })
         .collect()
@@ -70,8 +121,13 @@ pub fn noc_performance(link_bits: [u32; 3], quick: bool) -> Vec<(Workload, [f64;
 
 /// Prints Fig 4.6 (full-width links).
 pub fn print_fig4_6(quick: bool) {
+    print_fig4_6_on(&Exec::sequential(), quick);
+}
+
+/// [`print_fig4_6`] on `exec`.
+pub fn print_fig4_6_on(exec: &Exec, quick: bool) {
     println!("Fig 4.6 — pod performance normalised to mesh (128-bit links)");
-    print_noc_rows(&noc_performance([128, 128, 128], quick));
+    print_noc_rows(&noc_performance_on(exec, [128, 128, 128], quick));
 }
 
 /// Link widths at which each fabric matches NOC-Out's area (Fig 4.8).
@@ -97,13 +153,18 @@ pub fn equal_area_widths() -> [u32; 3] {
 
 /// Prints Fig 4.8 (equal-area links).
 pub fn print_fig4_8(quick: bool) {
+    print_fig4_8_on(&Exec::sequential(), quick);
+}
+
+/// [`print_fig4_8`] on `exec`.
+pub fn print_fig4_8_on(exec: &Exec, quick: bool) {
     let widths = equal_area_widths();
     println!("Fig 4.8 — pod performance normalised to mesh under NOC-Out's area budget");
     println!(
         "  equal-area link widths: mesh {}b, fbfly {}b, NOC-Out {}b",
         widths[0], widths[1], widths[2]
     );
-    print_noc_rows(&noc_performance(widths, quick));
+    print_noc_rows(&noc_performance_on(exec, widths, quick));
 }
 
 fn print_noc_rows(rows: &[(Workload, [f64; 3])]) {
@@ -151,31 +212,62 @@ pub fn print_fig4_7() {
     }
 }
 
+/// §4.4.4: mean NOC power per fabric, averaged across workloads.
+pub fn fig4_9_power(quick: bool) -> Vec<(TopologyKind, f64)> {
+    fig4_9_power_on(&Exec::sequential(), quick)
+}
+
+/// [`fig4_9_power`] with all 21 pod simulations batched on `exec`.
+pub fn fig4_9_power_on(exec: &Exec, quick: bool) -> Vec<(TopologyKind, f64)> {
+    let (warm, measure) = if quick {
+        (1_000, 3_000)
+    } else {
+        (4_000, 12_000)
+    };
+    let specs: Vec<SimPointSpec> = FABRICS
+        .iter()
+        .flat_map(|&kind| {
+            Workload::ALL.iter().map(move |&w| SimPointSpec::Pod64 {
+                workload: w,
+                topology: kind,
+                link_bits: 128,
+                llc_tiles: None,
+                warm,
+                measure,
+            })
+        })
+        .collect();
+    let points = sim_points(exec, "fig4.9", &specs);
+    FABRICS
+        .iter()
+        .zip(points.chunks_exact(Workload::ALL.len()))
+        .map(|(&kind, fabric)| {
+            let topo = NocConfig::pod_64(kind).with_link_bits(128).build_topology();
+            let total: f64 = fabric
+                .iter()
+                .map(|r| {
+                    let counters = sop_noc::sim::TrafficCounters {
+                        flit_hops: r.noc_flit_hops,
+                        flit_mm: r.noc_flit_mm,
+                        ..Default::default()
+                    };
+                    NocPowerEstimate::of(&topo, &counters, measure, 2.0, 128).total_w()
+                })
+                .sum();
+            (kind, total / Workload::ALL.len() as f64)
+        })
+        .collect()
+}
+
 /// Prints the §4.4.4 power analysis.
 pub fn print_fig4_9_power(quick: bool) {
+    print_fig4_9_power_on(&Exec::sequential(), quick);
+}
+
+/// [`print_fig4_9_power`] on `exec`.
+pub fn print_fig4_9_power_on(exec: &Exec, quick: bool) {
     println!("§4.4.4 — NOC power (W) averaged across workloads");
-    for kind in FABRICS {
-        let mut per_workload = Vec::new();
-        for w in Workload::ALL {
-            let mut cfg = SimConfig::pod_64(w, kind);
-            cfg.noc = cfg.noc.with_link_bits(128);
-            let (warm, measure) = if quick {
-                (1_000, 3_000)
-            } else {
-                (4_000, 12_000)
-            };
-            let machine = Machine::new(cfg);
-            let topo = cfg.noc.build_topology();
-            let r = machine.run(warm, measure);
-            let counters = sop_noc::sim::TrafficCounters {
-                flit_hops: r.noc_flit_hops,
-                flit_mm: r.noc_flit_mm,
-                ..Default::default()
-            };
-            let p = NocPowerEstimate::of(&topo, &counters, measure, 2.0, 128);
-            per_workload.push(p.total_w());
-        }
-        let mean = per_workload.iter().sum::<f64>() / per_workload.len() as f64;
+    for (kind, mean) in fig4_9_power_on(exec, quick) {
         println!("  {:22} {:.2} W", format!("{kind:?}"), mean);
     }
 }

@@ -5,11 +5,13 @@
 //! `tab3.2`, `fig4.6`, ... or `all`). The Criterion benches under
 //! `benches/` time the machinery these experiments run on.
 
+pub mod campaign;
 pub mod ch2;
 pub mod ch3;
 pub mod ch4;
 pub mod ch5;
 pub mod ch6;
+pub mod points;
 pub mod report;
 
 /// Formats a ratio row for figure-style output.

@@ -1,0 +1,289 @@
+//! Cacheable simulation points: the unit of work the execution engine
+//! schedules and memoizes.
+//!
+//! A [`SimPointSpec`] names one cycle-level simulation completely — the
+//! preset, workload, fabric, overrides, and window lengths — so its
+//! canonical JSON form is a sound content-address for the result. The
+//! corresponding [`SimPoint`] carries only the scalars the figures
+//! consume, keeping cache entries small and the figures honest about
+//! what they depend on.
+//!
+//! The simulator is deterministic for a given config (fixed seed), so
+//! evaluating a spec is a pure function and the cache never changes a
+//! figure, only how fast it appears.
+
+use sop_exec::{Exec, Job};
+use sop_noc::TopologyKind;
+use sop_obs::Json;
+use sop_sim::{Machine, SimConfig};
+use sop_workloads::Workload;
+
+/// One fully-specified cycle-level simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPointSpec {
+    /// The chapter 3 model-validation machine (`SimConfig::validation`).
+    Validation {
+        /// Workload simulated.
+        workload: Workload,
+        /// Core count.
+        cores: u32,
+        /// Fabric.
+        topology: TopologyKind,
+        /// Warm-up cycles.
+        warm: u64,
+        /// Measured cycles.
+        measure: u64,
+    },
+    /// The chapter 4 64-core pod (`SimConfig::pod_64`), with the
+    /// ablations' knobs exposed.
+    Pod64 {
+        /// Workload simulated.
+        workload: Workload,
+        /// Fabric.
+        topology: TopologyKind,
+        /// NOC link width in bits.
+        link_bits: u32,
+        /// LLC tile count override (`None` keeps the preset's value).
+        llc_tiles: Option<u32>,
+        /// Warm-up cycles.
+        warm: u64,
+        /// Measured cycles.
+        measure: u64,
+    },
+}
+
+impl SimPointSpec {
+    /// The spec's cache identity. Every field that influences the
+    /// simulation appears here; the seed is fixed by the presets.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            SimPointSpec::Validation {
+                workload,
+                cores,
+                topology,
+                warm,
+                measure,
+            } => Json::object()
+                .with("kind", "sim.validation")
+                .with("workload", workload.label())
+                .with("cores", cores)
+                .with("topology", format!("{topology:?}").as_str())
+                .with("warm", warm)
+                .with("measure", measure),
+            SimPointSpec::Pod64 {
+                workload,
+                topology,
+                link_bits,
+                llc_tiles,
+                warm,
+                measure,
+            } => Json::object()
+                .with("kind", "sim.pod64")
+                .with("workload", workload.label())
+                .with("topology", format!("{topology:?}").as_str())
+                .with("link_bits", link_bits)
+                .with(
+                    "llc_tiles",
+                    llc_tiles.map_or(Json::Null, |t| Json::UInt(u64::from(t))),
+                )
+                .with("warm", warm)
+                .with("measure", measure),
+        }
+    }
+
+    /// A short label for manifests and progress output.
+    pub fn name(&self) -> String {
+        match *self {
+            SimPointSpec::Validation {
+                workload,
+                cores,
+                topology,
+                ..
+            } => format!("val/{}/{topology:?}/{cores}c", workload.label()),
+            SimPointSpec::Pod64 {
+                workload,
+                topology,
+                link_bits,
+                llc_tiles,
+                ..
+            } => match llc_tiles {
+                Some(t) => format!("pod/{}/{topology:?}/{link_bits}b/{t}t", workload.label()),
+                None => format!("pod/{}/{topology:?}/{link_bits}b", workload.label()),
+            },
+        }
+    }
+
+    /// Runs the simulation this spec describes.
+    pub fn evaluate(&self) -> SimPoint {
+        let (cfg, warm, measure) = match *self {
+            SimPointSpec::Validation {
+                workload,
+                cores,
+                topology,
+                warm,
+                measure,
+            } => (
+                SimConfig::validation(workload, cores, topology),
+                warm,
+                measure,
+            ),
+            SimPointSpec::Pod64 {
+                workload,
+                topology,
+                link_bits,
+                llc_tiles,
+                warm,
+                measure,
+            } => {
+                let mut cfg = SimConfig::pod_64(workload, topology);
+                cfg.noc = cfg.noc.with_link_bits(link_bits);
+                if let Some(tiles) = llc_tiles {
+                    cfg.noc.llc_tiles = tiles;
+                }
+                (cfg, warm, measure)
+            }
+        };
+        let r = Machine::new(cfg).run(warm, measure);
+        SimPoint {
+            aggregate_ipc: r.aggregate_ipc(),
+            per_core_ipc: r.per_core_ipc(),
+            snoop_fraction: r.snoop_fraction(),
+            mean_packet_latency: r.mean_packet_latency,
+            noc_flit_hops: r.noc_flit_hops,
+            noc_flit_mm: r.noc_flit_mm,
+        }
+    }
+}
+
+/// The scalars a simulation point yields — everything the figures read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// Aggregate application IPC.
+    pub aggregate_ipc: f64,
+    /// Per-core application IPC.
+    pub per_core_ipc: f64,
+    /// Fraction of LLC accesses that triggered a snoop.
+    pub snoop_fraction: f64,
+    /// Mean NOC packet latency in cycles.
+    pub mean_packet_latency: f64,
+    /// Flit-hops through routers during the window.
+    pub noc_flit_hops: u64,
+    /// Flit-millimetres of wire traversed during the window.
+    pub noc_flit_mm: f64,
+}
+
+impl SimPoint {
+    /// Serializes for the result cache.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("aggregate_ipc", self.aggregate_ipc)
+            .with("per_core_ipc", self.per_core_ipc)
+            .with("snoop_fraction", self.snoop_fraction)
+            .with("mean_packet_latency", self.mean_packet_latency)
+            .with("noc_flit_hops", self.noc_flit_hops)
+            .with("noc_flit_mm", self.noc_flit_mm)
+    }
+
+    /// Deserializes a cached result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field is missing — the cache validates entries by
+    /// content hash, so a well-formed entry always round-trips.
+    pub fn from_json(doc: &Json) -> Self {
+        let f = |k: &str| doc.get(k).and_then(Json::as_f64).expect("sim point field");
+        SimPoint {
+            aggregate_ipc: f("aggregate_ipc"),
+            per_core_ipc: f("per_core_ipc"),
+            snoop_fraction: f("snoop_fraction"),
+            mean_packet_latency: f("mean_packet_latency"),
+            noc_flit_hops: f("noc_flit_hops") as u64,
+            noc_flit_mm: f("noc_flit_mm"),
+        }
+    }
+}
+
+/// Evaluates `specs` as one campaign on `exec`: duplicates collapse,
+/// cached points are served from disk, fresh points run on the worker
+/// pool, and the results come back in spec order.
+pub fn sim_points(exec: &Exec, campaign: &str, specs: &[SimPointSpec]) -> Vec<SimPoint> {
+    let jobs: Vec<Job<'_>> = specs
+        .iter()
+        .map(|spec| {
+            let spec = *spec;
+            Job::new(spec.name(), spec.to_json(), move |_| {
+                spec.evaluate().to_json()
+            })
+        })
+        .collect();
+    exec.run_campaign(campaign, jobs)
+        .results
+        .iter()
+        .map(SimPoint::from_json)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> SimPointSpec {
+        SimPointSpec::Pod64 {
+            workload: Workload::WebSearch,
+            topology: TopologyKind::NocOut,
+            link_bits: 128,
+            llc_tiles: None,
+            warm: 500,
+            measure: 1_000,
+        }
+    }
+
+    #[test]
+    fn point_round_trips_through_json() {
+        let p = SimPoint {
+            aggregate_ipc: 21.5,
+            per_core_ipc: 0.34,
+            snoop_fraction: 0.027,
+            mean_packet_latency: 14.2,
+            noc_flit_hops: 123_456,
+            noc_flit_mm: 789.25,
+        };
+        assert_eq!(SimPoint::from_json(&p.to_json()), p);
+    }
+
+    #[test]
+    fn evaluating_through_the_engine_matches_direct_evaluation() {
+        let spec = sample_spec();
+        let direct = spec.evaluate();
+        let via_engine = sim_points(&Exec::with_workers(2), "points-test", &[spec, spec]);
+        assert_eq!(via_engine, vec![direct, direct]);
+    }
+
+    #[test]
+    fn llc_tile_override_changes_the_identity_and_the_result() {
+        let base = sample_spec();
+        let SimPointSpec::Pod64 {
+            workload,
+            topology,
+            link_bits,
+            warm,
+            measure,
+            ..
+        } = base
+        else {
+            unreachable!()
+        };
+        let overridden = SimPointSpec::Pod64 {
+            workload,
+            topology,
+            link_bits,
+            llc_tiles: Some(4),
+            warm,
+            measure,
+        };
+        assert_ne!(
+            sop_exec::spec_hash(&base.to_json()),
+            sop_exec::spec_hash(&overridden.to_json())
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Content-addressed result cache.
+//!
+//! Keys are [`spec_hash`](crate::hash::spec_hash)es of canonicalized job
+//! specs; values are the jobs' JSON results. Two layers:
+//!
+//! * an in-memory map, so a spec evaluated twice within one process
+//!   (e.g. the same simulation point feeding two figures) runs once;
+//! * a disk layer under the cache directory (default `target/sop-cache/`,
+//!   override with `SOP_CACHE_DIR`), one file per result, so repeated
+//!   `repro`/`ablation`/`sop sweep` invocations skip completed work.
+//!
+//! Disk entries are self-validating: each file records the schema tag,
+//! the canonical spec, and the spec's hash. A read re-hashes the embedded
+//! spec and compares it to both the stored hash and the file name, so a
+//! truncated, corrupted, or hand-edited entry is *detected and
+//! recomputed*, never trusted.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sop_obs::{json, Json};
+
+use crate::hash::{hash_hex, spec_hash};
+
+/// Cache entry layout version. Bump when the entry format (not the job
+/// results) changes; old entries then read as invalid and recompute.
+pub const CACHE_SCHEMA: &str = "sop-cache/v1";
+
+/// A two-layer (memory + optional disk) content-addressed result store.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<u64, Json>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalid: AtomicU64,
+}
+
+/// The default on-disk cache directory: `$SOP_CACHE_DIR` if set,
+/// otherwise `target/sop-cache` under the current directory.
+pub fn default_cache_dir() -> PathBuf {
+    std::env::var_os("SOP_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("sop-cache"))
+}
+
+impl ResultCache {
+    /// A memory-only cache (results die with the process).
+    pub fn in_memory() -> Self {
+        ResultCache {
+            dir: None,
+            mem: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache persisted under `dir` (created on first write) with the
+    /// in-memory layer on top.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        ResultCache {
+            dir: Some(dir.into()),
+            ..ResultCache::in_memory()
+        }
+    }
+
+    /// The disk directory, if this cache persists.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Cache hits so far (memory or disk).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Disk entries that existed but failed validation (truncated,
+    /// corrupt, or hash-mismatched) and were therefore recomputed.
+    pub fn invalid(&self) -> u64 {
+        self.invalid.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, hash: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", hash_hex(hash))))
+    }
+
+    /// Looks up the result for `hash`, checking memory then disk. A disk
+    /// hit is promoted into the memory layer. Counts a hit or miss.
+    pub fn get(&self, hash: u64) -> Option<Json> {
+        if let Some(v) = self.mem.lock().expect("cache lock").get(&hash) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v.clone());
+        }
+        if let Some(path) = self.entry_path(hash) {
+            match self.read_disk(&path, hash) {
+                Some(result) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.mem
+                        .lock()
+                        .expect("cache lock")
+                        .insert(hash, result.clone());
+                    return Some(result);
+                }
+                None => {
+                    if path.exists() {
+                        self.invalid.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Validates and extracts a disk entry; `None` if absent or poisoned.
+    fn read_disk(&self, path: &Path, hash: u64) -> Option<Json> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let doc = json::parse(&text).ok()?;
+        if doc.get("schema").and_then(Json::as_str) != Some(CACHE_SCHEMA) {
+            return None;
+        }
+        let spec = doc.get("spec")?;
+        // The embedded spec must hash to the stored hash AND to the hash
+        // we asked for; a file renamed onto another key fails here.
+        let recomputed = spec_hash(spec);
+        let stored = doc
+            .get("hash")
+            .and_then(Json::as_str)
+            .and_then(crate::hash::parse_hash_hex)?;
+        if recomputed != hash || stored != hash {
+            return None;
+        }
+        doc.get("result").cloned()
+    }
+
+    /// Stores `result` for `hash` in memory and (when configured) on
+    /// disk. Disk writes go through a temp file + rename so a killed run
+    /// never leaves a half-written entry under the final name; write
+    /// errors degrade to memory-only caching rather than failing the job.
+    pub fn put(&self, hash: u64, spec: &Json, result: &Json) {
+        self.mem
+            .lock()
+            .expect("cache lock")
+            .insert(hash, result.clone());
+        let Some(path) = self.entry_path(hash) else {
+            return;
+        };
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let doc = Json::object()
+            .with("schema", CACHE_SCHEMA)
+            .with("hash", hash_hex(hash).as_str())
+            .with("spec", crate::hash::canonicalize(spec))
+            .with("result", result.clone());
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, doc.to_pretty_string() + "\n").is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(test: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sop-exec-cache-{}-{test}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_layer_round_trips_and_counts() {
+        let cache = ResultCache::in_memory();
+        let spec = Json::object().with("k", 1u64);
+        let h = spec_hash(&spec);
+        assert_eq!(cache.get(h), None);
+        cache.put(h, &spec, &Json::UInt(7));
+        assert_eq!(cache.get(h), Some(Json::UInt(7)));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disk_layer_survives_a_new_cache_instance() {
+        let dir = scratch_dir("persist");
+        let spec = Json::object().with("cores", 64u64);
+        let h = spec_hash(&spec);
+        {
+            let cache = ResultCache::on_disk(&dir);
+            cache.put(h, &spec, &Json::Num(1.5));
+        }
+        let fresh = ResultCache::on_disk(&dir);
+        assert_eq!(fresh.get(h), Some(Json::Num(1.5)));
+        assert_eq!(fresh.hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_detected_not_trusted() {
+        let dir = scratch_dir("truncated");
+        let spec = Json::object().with("x", 2u64);
+        let h = spec_hash(&spec);
+        let cache = ResultCache::on_disk(&dir);
+        cache.put(h, &spec, &Json::UInt(42));
+        let path = dir.join(format!("{}.json", hash_hex(h)));
+        let full = std::fs::read_to_string(&path).expect("entry exists");
+        std::fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+        let fresh = ResultCache::on_disk(&dir);
+        assert_eq!(fresh.get(h), None, "truncated entry must read as a miss");
+        assert_eq!(fresh.invalid(), 1);
+        assert_eq!(fresh.misses(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_result_with_stale_hash_is_rejected() {
+        let dir = scratch_dir("tampered");
+        let spec = Json::object().with("x", 3u64);
+        let h = spec_hash(&spec);
+        let cache = ResultCache::on_disk(&dir);
+        cache.put(h, &spec, &Json::UInt(1));
+        // Rewrite the entry with a different embedded spec (as if the
+        // file were renamed onto the wrong key).
+        let other_spec = Json::object().with("x", 4u64);
+        let doc = Json::object()
+            .with("schema", CACHE_SCHEMA)
+            .with("hash", hash_hex(h).as_str())
+            .with("spec", other_spec)
+            .with("result", Json::UInt(99));
+        let path = dir.join(format!("{}.json", hash_hex(h)));
+        std::fs::write(&path, doc.to_pretty_string()).expect("write");
+        let fresh = ResultCache::on_disk(&dir);
+        assert_eq!(fresh.get(h), None);
+        assert_eq!(fresh.invalid(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_schema_reads_as_miss() {
+        let dir = scratch_dir("schema");
+        let spec = Json::object().with("x", 5u64);
+        let h = spec_hash(&spec);
+        let doc = Json::object()
+            .with("schema", "sop-cache/v999")
+            .with("hash", hash_hex(h).as_str())
+            .with("spec", spec.clone())
+            .with("result", Json::UInt(3));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join(format!("{}.json", hash_hex(h))),
+            doc.to_pretty_string(),
+        )
+        .expect("write");
+        let cache = ResultCache::on_disk(&dir);
+        assert_eq!(cache.get(h), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

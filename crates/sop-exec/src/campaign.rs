@@ -1,0 +1,508 @@
+//! Campaigns: DAGs of cacheable jobs run on the work-stealing pool.
+//!
+//! A [`Job`] pairs a serializable spec (a [`Json`] value — the job's
+//! *identity*) with a pure closure that evaluates it. The [`Exec`] handle
+//! runs a campaign's jobs in dependency wavefronts: every job whose
+//! dependencies are satisfied is eligible, eligible jobs run concurrently
+//! on the pool, and results always come back **in job order**, so output
+//! derived from them is byte-identical whatever the schedule did.
+//!
+//! Completed jobs are memoized in the content-addressed
+//! [`ResultCache`](crate::cache::ResultCache) keyed by
+//! [`spec_hash`](crate::hash::spec_hash), and each campaign appends the
+//! hashes it completes to a *manifest* under the cache directory. A
+//! killed run restarted with resume enabled replays completed jobs from
+//! the cache and computes only the missing ones.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sop_obs::{Json, Registry};
+
+use crate::cache::ResultCache;
+use crate::hash::{hash_hex, parse_hash_hex, spec_hash};
+use crate::pool;
+
+/// One unit of work: a serializable spec plus the pure function that
+/// evaluates it. The closure must derive its answer from the spec alone —
+/// that is what makes the content-addressed cache sound.
+pub struct Job<'a> {
+    /// Human-readable label (shows up in manifests and job summaries).
+    pub name: String,
+    /// The job's identity; hashed (order-insensitively) for caching.
+    pub spec: Json,
+    /// Indices of jobs in the same campaign that must complete first.
+    pub deps: Vec<usize>,
+    run: Box<dyn Fn(&Json) -> Json + Send + Sync + 'a>,
+}
+
+impl<'a> Job<'a> {
+    /// A dependency-free job.
+    pub fn new(
+        name: impl Into<String>,
+        spec: Json,
+        run: impl Fn(&Json) -> Json + Send + Sync + 'a,
+    ) -> Self {
+        Job {
+            name: name.into(),
+            spec,
+            deps: Vec::new(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Adds dependencies (by index into the campaign's job list).
+    #[must_use]
+    pub fn after(mut self, deps: &[usize]) -> Self {
+        self.deps.extend_from_slice(deps);
+        self
+    }
+}
+
+impl std::fmt::Debug for Job<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("spec", &self.spec)
+            .field("deps", &self.deps)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How a job's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSource {
+    /// Evaluated by a worker this run.
+    Computed,
+    /// Served by the content-addressed cache.
+    Cached,
+    /// Skipped via the campaign manifest on a resumed run (result came
+    /// from the cache).
+    Resumed,
+}
+
+/// Per-job record of a campaign run.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's label.
+    pub name: String,
+    /// The job's content hash (hex).
+    pub hash: String,
+    /// Wall-clock microseconds spent evaluating (0 for cache/resume).
+    pub duration_us: u64,
+    /// Where the result came from.
+    pub source: JobSource,
+}
+
+/// Results and bookkeeping of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// One result per job, in job order.
+    pub results: Vec<Json>,
+    /// One outcome per job, in job order.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl CampaignRun {
+    /// Number of jobs whose result came from `source`.
+    pub fn count(&self, source: JobSource) -> usize {
+        self.outcomes.iter().filter(|o| o.source == source).count()
+    }
+
+    /// The campaign summary block reports embed:
+    /// `{jobs, computed, cached, resumed, jobs: [{name, hash, us, source}]}`.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("total", self.outcomes.len())
+            .with("computed", self.count(JobSource::Computed))
+            .with("cached", self.count(JobSource::Cached))
+            .with("resumed", self.count(JobSource::Resumed))
+            .with(
+                "jobs",
+                Json::Arr(
+                    self.outcomes
+                        .iter()
+                        .map(|o| {
+                            Json::object()
+                                .with("name", o.name.as_str())
+                                .with("hash", o.hash.as_str())
+                                .with("duration_us", o.duration_us)
+                                .with(
+                                    "source",
+                                    match o.source {
+                                        JobSource::Computed => "computed",
+                                        JobSource::Cached => "cached",
+                                        JobSource::Resumed => "resumed",
+                                    },
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Execution settings, usually parsed straight from a binary's argv.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads; 0 means one per available core.
+    pub jobs: usize,
+    /// Persist results under this directory. `None` disables the disk
+    /// layer (the in-memory layer still deduplicates within a process).
+    pub cache_dir: Option<PathBuf>,
+    /// Disable all caching (`--no-cache`): every job recomputes.
+    pub no_cache: bool,
+    /// Replay completed jobs recorded in the campaign manifest
+    /// (`--resume`).
+    pub resume: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            jobs: 0,
+            cache_dir: Some(crate::cache::default_cache_dir()),
+            no_cache: false,
+            resume: false,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Parses the engine's standard flags from argv: `--jobs N`,
+    /// `--no-cache`, `--resume`. Unknown arguments are ignored (they
+    /// belong to the host binary).
+    pub fn from_args(args: &[String]) -> Self {
+        let jobs = args
+            .iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        ExecConfig {
+            jobs,
+            no_cache: args.iter().any(|a| a == "--no-cache"),
+            resume: args.iter().any(|a| a == "--resume"),
+            ..ExecConfig::default()
+        }
+    }
+}
+
+/// The execution engine handle: a worker-count choice, a result cache,
+/// and the metrics the run accumulates. Cheap to create; share one per
+/// run so cache statistics aggregate.
+#[derive(Debug)]
+pub struct Exec {
+    workers: usize,
+    cache: Option<ResultCache>,
+    resume: bool,
+    metrics: Mutex<Registry>,
+}
+
+impl Exec {
+    /// One worker, in-memory memoization only. The default for tests and
+    /// library callers that did not opt into parallelism.
+    pub fn sequential() -> Self {
+        Exec::new(ExecConfig {
+            jobs: 1,
+            cache_dir: None,
+            no_cache: false,
+            resume: false,
+        })
+    }
+
+    /// `n` workers (0 = one per core), in-memory memoization only.
+    pub fn with_workers(n: usize) -> Self {
+        Exec::new(ExecConfig {
+            jobs: n,
+            cache_dir: None,
+            no_cache: false,
+            resume: false,
+        })
+    }
+
+    /// An engine configured from [`ExecConfig`].
+    pub fn new(cfg: ExecConfig) -> Self {
+        let workers = if cfg.jobs == 0 {
+            pool::default_workers()
+        } else {
+            cfg.jobs
+        };
+        let cache = if cfg.no_cache {
+            None
+        } else {
+            Some(match cfg.cache_dir {
+                Some(dir) => ResultCache::on_disk(dir),
+                None => ResultCache::in_memory(),
+            })
+        };
+        let mut metrics = Registry::new();
+        metrics.gauge_set("exec.workers", workers as f64);
+        Exec {
+            workers,
+            cache,
+            resume: cfg.resume,
+            metrics: Mutex::new(metrics),
+        }
+    }
+
+    /// The number of worker threads this engine uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether resume-from-manifest is enabled.
+    pub fn resume(&self) -> bool {
+        self.resume
+    }
+
+    /// The result cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Parallel map with deterministic output order and no caching: the
+    /// workhorse for cheap analytic sweeps. `f` must be pure per item.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let (results, stats) = pool::run_ordered(self.workers, items, |_, item| f(item));
+        self.record_pool_stats(&stats);
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .counter_add("exec.map.items", results.len() as u64);
+        results
+    }
+
+    fn record_pool_stats(&self, stats: &[pool::WorkerStats]) {
+        let mut m = self.metrics.lock().expect("metrics lock");
+        for (i, s) in stats.iter().enumerate() {
+            m.counter_add(&format!("exec.worker.{i}.jobs"), s.executed);
+            m.counter_add(&format!("exec.worker.{i}.steals"), s.stolen);
+        }
+    }
+
+    /// Runs a named campaign: hashes every job, satisfies what it can
+    /// from the manifest (resume) and cache, evaluates the rest in
+    /// dependency wavefronts on the pool, and persists new results and
+    /// manifest lines as it goes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency index is out of range or the dependency
+    /// graph has a cycle — both are campaign-construction bugs.
+    pub fn run_campaign(&self, name: &str, jobs: Vec<Job<'_>>) -> CampaignRun {
+        let n = jobs.len();
+        for (i, job) in jobs.iter().enumerate() {
+            for &d in &job.deps {
+                assert!(d < n, "job {i} ({}) depends on missing job {d}", job.name);
+            }
+        }
+        let hashes: Vec<u64> = jobs.iter().map(|j| spec_hash(&j.spec)).collect();
+        let mut manifest = Manifest::open(self.manifest_path(name), self.resume);
+
+        let mut results: Vec<Option<Json>> = (0..n).map(|_| None).collect();
+        let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        while !remaining.is_empty() {
+            let (ready, blocked): (Vec<usize>, Vec<usize>) = remaining
+                .into_iter()
+                .partition(|&i| jobs[i].deps.iter().all(|&d| results[d].is_some()));
+            assert!(!ready.is_empty(), "dependency cycle among jobs {blocked:?}");
+            remaining = blocked;
+
+            // Satisfy what the manifest + cache already know.
+            let mut to_compute = Vec::new();
+            for &i in &ready {
+                let hash = hashes[i];
+                let from_manifest = self.resume && manifest.contains(hash);
+                let cached = self.cache.as_ref().and_then(|c| c.get(hash));
+                match cached {
+                    Some(result) => {
+                        outcomes[i] = Some(JobOutcome {
+                            name: jobs[i].name.clone(),
+                            hash: hash_hex(hash),
+                            duration_us: 0,
+                            source: if from_manifest {
+                                JobSource::Resumed
+                            } else {
+                                JobSource::Cached
+                            },
+                        });
+                        results[i] = Some(result);
+                        manifest.record(hash, &jobs[i].name);
+                    }
+                    None => to_compute.push(i),
+                }
+            }
+
+            // Two jobs in the same wave can share a spec (e.g. one
+            // simulation point feeding two figures); evaluate each
+            // distinct hash once and fan the result out. `--no-cache`
+            // disables this memoization along with the rest.
+            let mut unique: Vec<usize> = Vec::new();
+            let mut dup_of: Vec<(usize, usize)> = Vec::new();
+            let mut seen: HashMap<u64, usize> = HashMap::new();
+            for &i in &to_compute {
+                match seen.get(&hashes[i]) {
+                    Some(&pos) if self.cache.is_some() => dup_of.push((i, pos)),
+                    _ => {
+                        seen.insert(hashes[i], unique.len());
+                        unique.push(i);
+                    }
+                }
+            }
+
+            // Evaluate the rest concurrently; results return in order.
+            let computed: Vec<(Json, u64)> = {
+                let jobs = &jobs;
+                let (done, stats) = pool::run_ordered(self.workers, unique.clone(), |_, i| {
+                    let started = Instant::now();
+                    let result = (jobs[i].run)(&jobs[i].spec);
+                    (result, started.elapsed().as_micros() as u64)
+                });
+                self.record_pool_stats(&stats);
+                done
+            };
+            for (&i, (result, us)) in unique.iter().zip(computed) {
+                if let Some(cache) = &self.cache {
+                    cache.put(hashes[i], &jobs[i].spec, &result);
+                }
+                manifest.record(hashes[i], &jobs[i].name);
+                {
+                    let mut m = self.metrics.lock().expect("metrics lock");
+                    m.histogram_record("exec.job.us", us);
+                }
+                outcomes[i] = Some(JobOutcome {
+                    name: jobs[i].name.clone(),
+                    hash: hash_hex(hashes[i]),
+                    duration_us: us,
+                    source: JobSource::Computed,
+                });
+                results[i] = Some(result);
+            }
+            for (i, pos) in dup_of {
+                results[i] = results[unique[pos]].clone();
+                outcomes[i] = Some(JobOutcome {
+                    name: jobs[i].name.clone(),
+                    hash: hash_hex(hashes[i]),
+                    duration_us: 0,
+                    source: JobSource::Cached,
+                });
+            }
+        }
+
+        let run = CampaignRun {
+            results: results.into_iter().map(|r| r.expect("all ran")).collect(),
+            outcomes: outcomes.into_iter().map(|o| o.expect("all ran")).collect(),
+        };
+        {
+            let mut m = self.metrics.lock().expect("metrics lock");
+            m.counter_add("exec.jobs.completed", run.outcomes.len() as u64);
+            m.counter_add("exec.jobs.computed", run.count(JobSource::Computed) as u64);
+            m.counter_add("exec.jobs.cached", run.count(JobSource::Cached) as u64);
+            m.counter_add("exec.jobs.resumed", run.count(JobSource::Resumed) as u64);
+        }
+        run
+    }
+
+    fn manifest_path(&self, campaign: &str) -> Option<PathBuf> {
+        let dir = self.cache.as_ref().and_then(ResultCache::dir)?;
+        let safe: String = campaign
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        Some(dir.join("campaigns").join(format!("{safe}.manifest")))
+    }
+
+    /// A snapshot of the engine's metrics (`exec.workers`,
+    /// `exec.worker.<i>.*`, `exec.cache.*`, `exec.jobs.*`,
+    /// `exec.map.items`, `exec.job.us`), with cache counters read at
+    /// snapshot time.
+    pub fn metrics_snapshot(&self) -> Registry {
+        let mut m = self.metrics.lock().expect("metrics lock").clone();
+        if let Some(cache) = &self.cache {
+            m.counter_add("exec.cache.hits", cache.hits());
+            m.counter_add("exec.cache.misses", cache.misses());
+            m.counter_add("exec.cache.invalid", cache.invalid());
+        }
+        m
+    }
+}
+
+/// The per-campaign checkpoint: one line per completed job hash. Lives
+/// under `<cache dir>/campaigns/`. A fresh (non-resume) run truncates it;
+/// a resumed run loads it and appends.
+struct Manifest {
+    path: Option<PathBuf>,
+    resume: bool,
+    done: HashSet<u64>,
+    file: Option<std::fs::File>,
+}
+
+impl Manifest {
+    const HEADER: &'static str = "# sop-campaign/v1";
+
+    fn open(path: Option<PathBuf>, resume: bool) -> Self {
+        let mut done = HashSet::new();
+        if resume {
+            if let Some(path) = &path {
+                if let Ok(text) = std::fs::read_to_string(path) {
+                    for line in text.lines().skip(1) {
+                        if let Some(hash) = line.split_whitespace().next().and_then(parse_hash_hex)
+                        {
+                            done.insert(hash);
+                        }
+                    }
+                }
+            }
+        }
+        // The file is opened lazily on the first record, so a fully
+        // manifest-satisfied resume never rewrites anything.
+        Manifest {
+            path,
+            resume,
+            done,
+            file: None,
+        }
+    }
+
+    fn contains(&self, hash: u64) -> bool {
+        self.done.contains(&hash)
+    }
+
+    fn record(&mut self, hash: u64, name: &str) {
+        if !self.done.insert(hash) {
+            return;
+        }
+        let Some(path) = &self.path else { return };
+        if self.file.is_none() {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            // Resume appends to the existing record; a fresh run starts
+            // the manifest over.
+            let appendable = self.resume && path.exists();
+            self.file = if appendable {
+                std::fs::OpenOptions::new().append(true).open(path).ok()
+            } else {
+                std::fs::File::create(path)
+                    .map(|mut f| {
+                        let _ = writeln!(f, "{}", Self::HEADER);
+                        f
+                    })
+                    .ok()
+            };
+        }
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{} {name}", hash_hex(hash));
+        }
+    }
+}

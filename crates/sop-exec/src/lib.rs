@@ -1,0 +1,219 @@
+//! # sop-exec — the experiment-execution engine
+//!
+//! Every result in this repo comes from evaluating a model or simulator
+//! at a point: *(figure, workload, topology, core count, …) → numbers*.
+//! This crate turns those evaluations into first-class, schedulable,
+//! cacheable **jobs** so a full reproduction campaign runs as fast as
+//! the hardware allows without changing a byte of output:
+//!
+//! * [`pool`] — a work-stealing pool of `std::thread` workers (no rayon;
+//!   the build stays hermetic) whose results always come back in input
+//!   order, so parallel runs print exactly what sequential runs print.
+//! * [`hash`] — stable content addressing: FNV-1a over the canonical
+//!   (key-sorted, compact) rendering of a job's JSON spec.
+//! * [`cache`] — a two-layer (memory + disk) result store keyed by spec
+//!   hash, with self-validating entries that detect truncation and
+//!   tampering instead of trusting them.
+//! * [`campaign`] — [`Job`]s, DAG wavefront scheduling, manifest-based
+//!   checkpoint/resume, and the [`Exec`] handle binaries thread through
+//!   their figure code.
+//!
+//! The engine never makes anything *less* deterministic: a campaign run
+//! with one worker, eight workers, a cold cache, or a warm cache yields
+//! identical results in identical order. Only wall-clock metrics (the
+//! `exec.*` namespace, span timings) vary — and reports can strip those
+//! via `sop_obs::report::stabilized` for byte-for-byte comparison.
+
+pub mod cache;
+pub mod campaign;
+pub mod hash;
+pub mod pool;
+
+pub use cache::{default_cache_dir, ResultCache};
+pub use campaign::{CampaignRun, Exec, ExecConfig, Job, JobOutcome, JobSource};
+pub use hash::{canonicalize, hash_hex, parse_hash_hex, spec_hash};
+pub use pool::{default_workers, run_ordered, WorkerStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sop_obs::Json;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sop-exec-lib-{}-{test}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn square_job(name: &str, x: u64) -> Job<'static> {
+        Job::new(
+            name.to_owned(),
+            Json::object().with("kind", "square").with("x", x),
+            |spec| {
+                let x = spec.get("x").and_then(Json::as_f64).expect("x") as u64;
+                Json::UInt(x * x)
+            },
+        )
+    }
+
+    #[test]
+    fn campaign_results_are_in_job_order_for_any_worker_count() {
+        let expected: Vec<Json> = (0..20).map(|x| Json::UInt(x * x)).collect();
+        for workers in [1, 2, 8] {
+            let exec = Exec::with_workers(workers);
+            let jobs = (0..20).map(|x| square_job(&format!("sq{x}"), x)).collect();
+            let run = exec.run_campaign("squares", jobs);
+            assert_eq!(run.results, expected, "workers={workers}");
+            assert_eq!(run.count(JobSource::Computed), 20);
+        }
+    }
+
+    #[test]
+    fn duplicate_specs_within_a_campaign_compute_once() {
+        let calls = AtomicU64::new(0);
+        let exec = Exec::sequential();
+        let spec = Json::object().with("kind", "dup");
+        let jobs = (0..4)
+            .map(|i| {
+                Job::new(format!("dup{i}"), spec.clone(), |_| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    Json::UInt(9)
+                })
+            })
+            .collect();
+        let run = exec.run_campaign("dups", jobs);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert!(run.results.iter().all(|r| *r == Json::UInt(9)));
+        assert_eq!(run.count(JobSource::Cached), 3);
+    }
+
+    #[test]
+    fn dependencies_complete_before_dependents_run() {
+        let exec = Exec::with_workers(4);
+        let order = std::sync::Mutex::new(Vec::new());
+        let mk = |name: &str, stage: u64| {
+            let order = &order;
+            Job::new(
+                name.to_owned(),
+                Json::object().with("kind", "dag").with("stage", stage),
+                move |spec| {
+                    let stage = spec.get("stage").and_then(Json::as_f64).expect("stage");
+                    order.lock().expect("order").push(stage as u64);
+                    Json::Num(stage)
+                },
+            )
+        };
+        // Jobs 0 and 1 are stage 0; job 2 depends on both.
+        let jobs = vec![mk("a", 0), mk("b", 1), mk("c", 2).after(&[0, 1])];
+        let run = exec.run_campaign("dag", jobs);
+        assert_eq!(run.results.len(), 3);
+        let order = order.into_inner().expect("order");
+        let pos = |s: u64| order.iter().position(|&x| x == s).expect("ran");
+        assert!(pos(2) > pos(0) && pos(2) > pos(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn a_cycle_panics_instead_of_hanging() {
+        let exec = Exec::sequential();
+        let jobs = vec![
+            Job::new("a", Json::object().with("k", 1u64), |_| Json::Null).after(&[1]),
+            Job::new("b", Json::object().with("k", 2u64), |_| Json::Null).after(&[0]),
+        ];
+        exec.run_campaign("cycle", jobs);
+    }
+
+    #[test]
+    fn resume_replays_manifest_jobs_from_the_cache() {
+        let dir = scratch_dir("resume");
+        let mk_exec = |resume| {
+            Exec::new(ExecConfig {
+                jobs: 1,
+                cache_dir: Some(dir.clone()),
+                no_cache: false,
+                resume,
+            })
+        };
+        let calls = AtomicU64::new(0);
+        fn mk_jobs(calls: &AtomicU64) -> Vec<Job<'_>> {
+            (0..5u64)
+                .map(|x| {
+                    Job::new(
+                        format!("r{x}"),
+                        Json::object().with("kind", "resume").with("x", x),
+                        move |spec| {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            let x = spec.get("x").and_then(Json::as_f64).expect("x") as u64;
+                            Json::UInt(x + 100)
+                        },
+                    )
+                })
+                .collect()
+        }
+
+        let first = mk_exec(false).run_campaign("resume-test", mk_jobs(&calls));
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+        assert_eq!(first.count(JobSource::Computed), 5);
+
+        // A resumed run must not invoke a single closure.
+        let second = mk_exec(true).run_campaign("resume-test", mk_jobs(&calls));
+        assert_eq!(calls.load(Ordering::Relaxed), 5, "no recompute on resume");
+        assert_eq!(second.count(JobSource::Resumed), 5);
+        assert_eq!(second.results, first.results);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_cache_recomputes_everything() {
+        let calls = AtomicU64::new(0);
+        let exec = Exec::new(ExecConfig {
+            jobs: 1,
+            cache_dir: None,
+            no_cache: true,
+            resume: false,
+        });
+        let spec = Json::object().with("kind", "nocache");
+        let jobs = (0..3)
+            .map(|i| {
+                Job::new(format!("n{i}"), spec.clone(), |_| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    Json::UInt(1)
+                })
+            })
+            .collect();
+        let run = exec.run_campaign("nocache", jobs);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(run.count(JobSource::Computed), 3);
+    }
+
+    #[test]
+    fn metrics_summarize_the_run() {
+        let exec = Exec::sequential();
+        let jobs = (0..6).map(|x| square_job(&format!("m{x}"), x)).collect();
+        exec.run_campaign("metrics", jobs);
+        let m = exec.metrics_snapshot();
+        assert_eq!(m.counter("exec.jobs.completed"), 6);
+        assert_eq!(m.counter("exec.jobs.computed"), 6);
+        assert_eq!(m.counter("exec.worker.0.jobs"), 6);
+        assert_eq!(m.gauge("exec.workers"), Some(1.0));
+        // 6 distinct specs: each missed once before computing.
+        assert_eq!(m.counter("exec.cache.misses"), 6);
+    }
+
+    #[test]
+    fn exec_config_parses_standard_flags() {
+        let args: Vec<String> = ["prog", "--quick", "--jobs", "4", "--no-cache", "--resume"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let cfg = ExecConfig::from_args(&args);
+        assert_eq!(cfg.jobs, 4);
+        assert!(cfg.no_cache);
+        assert!(cfg.resume);
+        let none = ExecConfig::from_args(&["prog".to_owned()]);
+        assert_eq!(none.jobs, 0);
+        assert!(!none.no_cache && !none.resume);
+    }
+}

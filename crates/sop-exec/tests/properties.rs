@@ -1,0 +1,84 @@
+//! Property-based tests (proptest) over the content-addressing layer:
+//! canonicalization is order-insensitive and idempotent, and the spec
+//! hash is a pure function of spec content.
+
+use proptest::prelude::*;
+use sop_exec::{canonicalize, hash_hex, parse_hash_hex, spec_hash};
+use sop_obs::Json;
+
+/// Keys drawn for generated spec objects.
+const KEYS: [&str; 8] = [
+    "kind", "workload", "cores", "llc_mb", "topology", "warm", "measure", "seed",
+];
+
+/// Builds an object from `(key index, value)` pairs, keeping the first
+/// occurrence of each key so reordering cannot change which duplicate
+/// wins.
+fn object_from(pairs: &[(usize, u64)]) -> Json {
+    let mut obj = Json::object();
+    let mut used = [false; KEYS.len()];
+    for &(k, v) in pairs {
+        let k = k % KEYS.len();
+        if !used[k] {
+            used[k] = true;
+            obj = obj.with(KEYS[k], v);
+        }
+    }
+    obj
+}
+
+/// The same members as [`object_from`], inserted in reverse.
+fn reversed_object_from(pairs: &[(usize, u64)]) -> Json {
+    let Json::Obj(members) = object_from(pairs) else {
+        unreachable!("object_from builds an object")
+    };
+    Json::Obj(members.into_iter().rev().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Member order never changes the hash, at any nesting depth.
+    #[test]
+    fn member_order_is_canonicalized_away(
+        outer in prop::collection::vec((0usize..8, 0u64..1000), 1..8),
+        inner in prop::collection::vec((0usize..8, 0u64..1000), 1..8),
+    ) {
+        let forward = object_from(&outer).with("nested", object_from(&inner));
+        let backward = reversed_object_from(&outer).with("nested", reversed_object_from(&inner));
+        // `with` appends, so "nested" sits at a different position too.
+        prop_assert_eq!(spec_hash(&forward), spec_hash(&backward));
+    }
+
+    /// Canonicalization is idempotent, and hashing commutes with it.
+    #[test]
+    fn canonicalization_is_a_fixed_point(
+        pairs in prop::collection::vec((0usize..8, 0u64..1000), 0..8),
+        items in prop::collection::vec(0u64..1000, 0..5),
+    ) {
+        let spec = object_from(&pairs)
+            .with("series", Json::Arr(items.into_iter().map(Json::UInt).collect()));
+        let canon = canonicalize(&spec);
+        prop_assert_eq!(canonicalize(&canon).to_compact_string(), canon.to_compact_string());
+        prop_assert_eq!(spec_hash(&spec), spec_hash(&canon));
+    }
+
+    /// The hash is stable across repeated computation and distinguishes
+    /// a spec from one with an extra member.
+    #[test]
+    fn hash_is_stable_and_content_sensitive(
+        pairs in prop::collection::vec((0usize..8, 0u64..1000), 1..8),
+        extra in 0u64..1000,
+    ) {
+        let spec = object_from(&pairs);
+        prop_assert_eq!(spec_hash(&spec), spec_hash(&spec.clone()));
+        let grown = spec.clone().with("unused_key", extra);
+        prop_assert!(spec_hash(&grown) != spec_hash(&spec), "extra member must change the hash");
+    }
+
+    /// Hex rendering of hashes round-trips for arbitrary values.
+    #[test]
+    fn hash_hex_round_trips(h in 0u64..u64::MAX) {
+        prop_assert_eq!(parse_hash_hex(&hash_hex(h)), Some(h));
+    }
+}

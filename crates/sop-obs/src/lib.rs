@@ -32,5 +32,5 @@ pub use event::{Event, EventLog};
 pub use hist::Histogram;
 pub use json::Json;
 pub use registry::{Metric, Registry, RenameError};
-pub use report::{Report, SCHEMA_VERSION};
+pub use report::{stabilized, Report, SCHEMA_VERSION};
 pub use span::{SpanLog, SpanRecord};

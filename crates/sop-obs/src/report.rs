@@ -71,6 +71,80 @@ impl Report {
     }
 }
 
+/// A copy of a report document with everything wall-clock- or
+/// schedule-dependent stripped, so two runs of the same campaign compare
+/// byte-for-byte regardless of worker count or cache warmth:
+///
+/// * every span's `start_us`/`duration_us` is zeroed (names, order and
+///   depth — the deterministic structure — survive);
+/// * metrics in the `exec.` namespace (worker/steal/cache counters) are
+///   dropped;
+/// * the `exec` section (the campaign summary, which records per-job
+///   timings and computed-vs-cached provenance) is dropped.
+///
+/// Everything else — the science — is left untouched.
+pub fn stabilized(doc: &Json) -> Json {
+    let Json::Obj(members) = doc else {
+        return doc.clone();
+    };
+    let mut out = Json::object();
+    for (key, value) in members {
+        match key.as_str() {
+            "spans" => {
+                let zeroed = value
+                    .as_arr()
+                    .map(|spans| {
+                        Json::Arr(
+                            spans
+                                .iter()
+                                .map(|span| match span {
+                                    Json::Obj(fields) => Json::Obj(
+                                        fields
+                                            .iter()
+                                            .map(|(k, v)| match k.as_str() {
+                                                "start_us" | "duration_us" => {
+                                                    (k.clone(), Json::UInt(0))
+                                                }
+                                                _ => (k.clone(), v.clone()),
+                                            })
+                                            .collect(),
+                                    ),
+                                    other => other.clone(),
+                                })
+                                .collect(),
+                        )
+                    })
+                    .unwrap_or_else(|| value.clone());
+                out.insert(key, zeroed);
+            }
+            "metrics" => {
+                let mut kept = Json::object();
+                if let Json::Obj(metrics) = value {
+                    for (name, metric) in metrics {
+                        if !name.starts_with("exec.") {
+                            kept.insert(name, metric.clone());
+                        }
+                    }
+                }
+                out.insert(key, kept);
+            }
+            "sections" => {
+                let mut kept = Json::object();
+                if let Json::Obj(sections) = value {
+                    for (name, section) in sections {
+                        if name != "exec" {
+                            kept.insert(name, section.clone());
+                        }
+                    }
+                }
+                out.insert(key, kept);
+            }
+            _ => out.insert(key, value.clone()),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +177,33 @@ mod tests {
             .expect("figures");
         assert_eq!(figs, &[Json::Str("fig4.7".into())]);
         crate::json::parse(&doc.to_pretty_string()).expect("valid JSON");
+    }
+
+    #[test]
+    fn stabilized_strips_timing_and_exec_state() {
+        let mut spans = SpanLog::new();
+        spans.time("ch4", |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        let mut metrics = Registry::new();
+        metrics.counter_add("sim.llc.misses", 9);
+        metrics.counter_add("exec.cache.hits", 3);
+        let mut report = Report::new("repro", "all");
+        report.set("figures", Json::Arr(vec![]));
+        report.set("exec", Json::object().with("computed", 5u64));
+        let doc = report.to_json(&spans, &metrics);
+        let stable = stabilized(&doc);
+        let span0 = &stable.get("spans").and_then(Json::as_arr).expect("spans")[0];
+        assert_eq!(span0.get("duration_us"), Some(&Json::UInt(0)));
+        assert_eq!(span0.get("start_us"), Some(&Json::UInt(0)));
+        assert_eq!(span0.get("name").and_then(Json::as_str), Some("ch4"));
+        let metrics = stable.get("metrics").expect("metrics");
+        assert!(metrics.get("exec.cache.hits").is_none());
+        assert!(metrics.get("sim.llc.misses").is_some());
+        let sections = stable.get("sections").expect("sections");
+        assert!(sections.get("exec").is_none());
+        assert!(sections.get("figures").is_some());
+        // Stabilizing twice is a fixed point.
+        assert_eq!(stabilized(&stable), stable);
     }
 }

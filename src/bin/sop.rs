@@ -7,12 +7,18 @@
 //! sop stack  <ooo|io> <dies> [--fixed-distance]   evaluate a 3D pod
 //! sop trace  <workload> [--topo mesh|fbfly|nocout] [--out FILE] [--quick]
 //!                                             capture a Chrome trace of a pod run
+//! sop sweep  <ch2|ch3|ch4|ch5|ch6|all> [--jobs N] [--no-cache] [--resume]
+//!            [--json FILE] [--quick] [--stable]
+//!                                             run a named experiment campaign
 //! sop list                                    list design names
 //! ```
 
+use scale_out_processors::bench::campaign::{run_campaign, CAMPAIGNS};
 use scale_out_processors::core::designs::{reference_chip, DesignKind};
 use scale_out_processors::core::pod::{optimal_pod, preferred_pod, PodSearchSpace};
+use scale_out_processors::exec::{Exec, ExecConfig};
 use scale_out_processors::noc::TopologyKind;
+use scale_out_processors::obs::{stabilized, Json, Registry, Report, SpanLog};
 use scale_out_processors::sim::{Machine, SimConfig};
 use scale_out_processors::tco::{Datacenter, TcoParams};
 use scale_out_processors::tech::{CoreKind, TechnologyNode};
@@ -30,6 +36,7 @@ fn main() {
         "dc" => dc(&args),
         "stack" => stack(&args),
         "trace" => trace(&args),
+        "sweep" => sweep(&args),
         "list" => list(),
         _ => usage(),
     }
@@ -41,8 +48,55 @@ fn usage() {
     eprintln!("       sop dc <design> [--mem GB]");
     eprintln!("       sop stack <ooo|io> <dies> [--fixed-distance]");
     eprintln!("       sop trace <workload> [--topo mesh|fbfly|nocout] [--out FILE] [--quick]");
+    eprintln!(
+        "       sop sweep <ch2|ch3|ch4|ch5|ch6|all> [--jobs N] [--no-cache] [--resume] \
+         [--json FILE] [--quick] [--stable]"
+    );
     eprintln!("       sop list");
     std::process::exit(2);
+}
+
+/// Runs a named experiment campaign on the execution engine and writes
+/// its data as a `sop-report/v1` document.
+fn sweep(args: &[String]) {
+    let name = args.get(1).map(String::as_str).unwrap_or("");
+    if !CAMPAIGNS.contains(&name) {
+        eprintln!("unknown campaign {name:?}; one of: {}", CAMPAIGNS.join(" "));
+        std::process::exit(2);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let stable = args.iter().any(|a| a == "--stable");
+    let out = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("sweep-{name}.json"));
+    let exec = Exec::new(ExecConfig::from_args(args));
+
+    let mut spans = SpanLog::new();
+    let data = spans.time(name, |_| {
+        run_campaign(name, quick, &exec).expect("campaign name was validated")
+    });
+    let mut metrics = Registry::new();
+    metrics.merge(&exec.metrics_snapshot());
+    let mut report = Report::new("sweep", "Scale-Out Processors: experiment campaign");
+    report.set("campaign", Json::from(name));
+    report.set("quick", Json::from(quick));
+    report.set("data", data);
+    let doc = report.to_json(&spans, &metrics);
+    let doc = if stable { stabilized(&doc) } else { doc };
+    if let Err(e) = std::fs::write(&out, doc.to_pretty_string() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    let m = exec.metrics_snapshot();
+    println!(
+        "campaign {name}: {} points on {} worker(s)",
+        m.counter("exec.jobs.completed") + m.counter("exec.map.items"),
+        exec.workers()
+    );
+    println!("wrote {out}");
 }
 
 fn core_kind(args: &[String]) -> CoreKind {
