@@ -1,0 +1,260 @@
+//! The simulator benchmark suite behind `sop bench` and `BENCH_sim.json`.
+//!
+//! Two tiers, both deterministic in *what* they run (only the clock
+//! varies):
+//!
+//! * **micro** — single [`Machine::run_window`] calls over the chapter-3
+//!   validation machines and the chapter-4 pod, reporting simulated
+//!   cycles per second of wall time. These isolate the engine itself
+//!   from the execution layer.
+//! * **campaign** — the chapter campaigns run cold (in-memory
+//!   memoization only, nothing served from disk), reporting wall time
+//!   and cycles/sec per chapter. Chapters run in order inside one
+//!   process, exactly like a cold `repro all --quick`, so the per-chapter
+//!   walls line up with that command's spans.
+//!
+//! The suite exists to pin the event-driven engine's speedup in-repo:
+//! `BENCH_sim.json` commits the numbers, and [`check_regression`] lets
+//! CI fail a PR whose cold wall time regresses past a tolerance.
+
+use crate::campaign::run_campaign;
+use sop_exec::Exec;
+use sop_noc::TopologyKind;
+use sop_obs::Json;
+use sop_sim::{cycles_simulated, Machine, SimConfig};
+use sop_workloads::Workload;
+use std::time::Instant;
+
+/// Chapters the campaign tier times, in run order.
+pub const BENCH_CAMPAIGNS: [&str; 5] = ["ch2", "ch3", "ch4", "ch5", "ch6"];
+
+/// Cold `repro all --quick` wall time of the per-cycle engine on the
+/// 1-core reference container: median of three alternating runs at the
+/// commit preceding the event-driven overhaul, re-measured under the
+/// same conditions as the current numbers in `BENCH_sim.json`.
+pub const BASELINE_ALL_QUICK_MS: u64 = 39_226;
+
+/// The micro-bench roster: a label and the machine it times.
+fn micro_specs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        (
+            "val/websearch/mesh/16c",
+            SimConfig::validation(Workload::WebSearch, 16, TopologyKind::Mesh),
+        ),
+        (
+            "val/dataserving/crossbar/16c",
+            SimConfig::validation(Workload::DataServing, 16, TopologyKind::Crossbar),
+        ),
+        (
+            "pod/websearch/nocout",
+            SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut),
+        ),
+        (
+            "pod/mapreducec/mesh",
+            SimConfig::pod_64(Workload::MapReduceC, TopologyKind::Mesh),
+        ),
+        (
+            "pod/mediastreaming/fbfly",
+            SimConfig::pod_64(Workload::MediaStreaming, TopologyKind::FlattenedButterfly),
+        ),
+    ]
+}
+
+/// Times one `run_window` per roster entry and returns the `micro`
+/// rows. Cycles/sec counts timed cycles only; the (memoized) functional
+/// warm-up is inside the wall, as it is for any cold simulation.
+pub fn micro_benches(quick: bool) -> Json {
+    let (warm, measure) = if quick {
+        (1_000, 2_000)
+    } else {
+        (4_000, 8_000)
+    };
+    let rows = micro_specs()
+        .into_iter()
+        .map(|(name, cfg)| {
+            let mut machine = Machine::new(cfg);
+            let start = Instant::now();
+            let result = machine.run_window(warm, measure);
+            let wall_us = start.elapsed().as_micros() as u64;
+            Json::object()
+                .with("name", name)
+                .with("cycles", warm + measure)
+                .with("wall_us", wall_us)
+                .with("mcycles_per_sec", mcycles_per_sec(warm + measure, wall_us))
+                .with("aggregate_ipc", result.aggregate_ipc())
+        })
+        .collect();
+    Json::Arr(rows)
+}
+
+/// Runs each named campaign cold on `jobs` workers (0 = one per core)
+/// and returns the `campaigns` rows. Analytic chapters simulate no
+/// cycles and report a null rate.
+pub fn campaign_benches(names: &[&str], quick: bool, jobs: usize) -> Json {
+    let exec = Exec::with_workers(jobs);
+    let rows = names
+        .iter()
+        .map(|name| {
+            let cycles_before = cycles_simulated();
+            let start = Instant::now();
+            run_campaign(name, quick, &exec).expect("bench campaign name");
+            let wall_us = start.elapsed().as_micros() as u64;
+            let cycles = cycles_simulated() - cycles_before;
+            Json::object()
+                .with("campaign", *name)
+                .with("wall_ms", wall_us / 1_000)
+                .with("cycles", cycles)
+                .with("mcycles_per_sec", mcycles_per_sec(cycles, wall_us))
+        })
+        .collect();
+    Json::Arr(rows)
+}
+
+fn mcycles_per_sec(cycles: u64, wall_us: u64) -> Json {
+    if cycles == 0 || wall_us == 0 {
+        return Json::Null;
+    }
+    Json::Num(cycles as f64 / wall_us as f64)
+}
+
+/// Runs the full suite and assembles the `bench` report section: the
+/// campaigns in `only` (or all of [`BENCH_CAMPAIGNS`]) first, while the
+/// process is genuinely cold, then the micro tier (which benefits from
+/// the warm-up memoization the campaigns populated — it measures engine
+/// throughput, not cold cost). In quick mode the campaign total is
+/// comparable to the committed per-cycle baseline, so the section also
+/// carries the speedup.
+pub fn run_suite(quick: bool, jobs: usize, only: Option<&[&str]>) -> Json {
+    let names = only.unwrap_or(&BENCH_CAMPAIGNS);
+    let campaigns = campaign_benches(names, quick, jobs);
+    let micro = micro_benches(quick);
+    let total_wall_ms: u64 = campaigns
+        .as_arr()
+        .expect("campaign rows")
+        .iter()
+        .filter_map(|row| row.get("wall_ms").and_then(Json::as_f64))
+        .sum::<f64>() as u64;
+    let mut section = Json::object()
+        .with("quick", quick)
+        .with("micro", micro)
+        .with("campaigns", campaigns)
+        .with("total_wall_ms", total_wall_ms);
+    let full_roster = names == BENCH_CAMPAIGNS;
+    if quick && full_roster && total_wall_ms > 0 {
+        section.insert("baseline_all_quick_ms", Json::UInt(BASELINE_ALL_QUICK_MS));
+        section.insert(
+            "speedup_vs_baseline",
+            Json::Num(BASELINE_ALL_QUICK_MS as f64 / total_wall_ms as f64),
+        );
+    }
+    section
+}
+
+/// Extracts the `bench` section from either a bare section or a full
+/// `sop-report/v1` document (as committed in `BENCH_sim.json`).
+fn bench_section(doc: &Json) -> &Json {
+    doc.get("sections")
+        .and_then(|s| s.get("bench"))
+        .unwrap_or(doc)
+}
+
+/// Compares per-campaign wall times against a baseline document: any
+/// campaign present in both that is slower by more than `tol_pct`
+/// percent is a regression. Returns the violations (empty = pass).
+/// Campaigns missing from either side are ignored, so a smoke run over
+/// one chapter can be judged against the full committed suite.
+pub fn check_regression(current: &Json, baseline: &Json, tol_pct: f64) -> Vec<String> {
+    let walls = |doc: &Json| -> Vec<(String, f64)> {
+        bench_section(doc)
+            .get("campaigns")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|row| {
+                        let name = row.get("campaign")?.as_str()?.to_owned();
+                        let wall = row.get("wall_ms")?.as_f64()?;
+                        Some((name, wall))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base = walls(baseline);
+    let mut violations = Vec::new();
+    for (name, cur_ms) in walls(current) {
+        let Some((_, base_ms)) = base.iter().find(|(n, _)| *n == name) else {
+            continue;
+        };
+        let limit = base_ms * (1.0 + tol_pct / 100.0);
+        if cur_ms > limit {
+            violations.push(format!(
+                "{name}: {cur_ms:.0}ms exceeds baseline {base_ms:.0}ms + {tol_pct:.0}% \
+                 (limit {limit:.0}ms)"
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section(rows: &[(&str, u64)]) -> Json {
+        let campaigns = rows
+            .iter()
+            .map(|(name, ms)| Json::object().with("campaign", *name).with("wall_ms", *ms))
+            .collect();
+        Json::object().with("campaigns", Json::Arr(campaigns))
+    }
+
+    #[test]
+    fn regression_check_flags_only_slowdowns_past_tolerance() {
+        let base = section(&[("ch3", 1_000), ("ch4", 2_000)]);
+        let ok = section(&[("ch3", 1_200), ("ch4", 1_900)]);
+        assert!(check_regression(&ok, &base, 25.0).is_empty());
+        let slow = section(&[("ch3", 1_300)]);
+        let v = check_regression(&slow, &base, 25.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].starts_with("ch3:"), "{v:?}");
+    }
+
+    #[test]
+    fn regression_check_reads_full_reports_and_skips_unknown_campaigns() {
+        let base = Json::object().with(
+            "sections",
+            Json::object().with("bench", section(&[("ch3", 1_000)])),
+        );
+        let current = section(&[("ch3", 900), ("ch6", 99_999)]);
+        assert!(check_regression(&current, &base, 25.0).is_empty());
+    }
+
+    #[test]
+    fn micro_tier_reports_a_rate_for_every_roster_entry() {
+        let rows = micro_benches(true);
+        let rows = rows.as_arr().expect("micro rows");
+        assert_eq!(rows.len(), micro_specs().len());
+        for row in rows {
+            assert!(row.get("name").and_then(Json::as_str).is_some());
+            assert!(
+                row.get("mcycles_per_sec")
+                    .and_then(Json::as_f64)
+                    .is_some_and(|r| r > 0.0),
+                "{row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_tier_counts_simulated_cycles_for_sim_backed_chapters() {
+        let rows = campaign_benches(&["ch3"], true, 1);
+        let row = &rows.as_arr().expect("rows")[0];
+        assert_eq!(row.get("campaign").and_then(Json::as_str), Some("ch3"));
+        assert!(
+            row.get("cycles")
+                .and_then(Json::as_f64)
+                .is_some_and(|c| c > 0.0),
+            "ch3 is simulation-backed; cycles must be counted: {row:?}"
+        );
+    }
+}

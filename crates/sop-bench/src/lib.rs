@@ -5,6 +5,7 @@
 //! `tab3.2`, `fig4.6`, ... or `all`). The Criterion benches under
 //! `benches/` time the machinery these experiments run on.
 
+pub mod bench;
 pub mod campaign;
 pub mod ch2;
 pub mod ch3;

@@ -30,6 +30,7 @@ pub mod area;
 pub mod message;
 pub mod scaled;
 pub mod sim;
+pub mod slab;
 pub mod topology;
 
 pub use area::{NocAreaBreakdown, NocPowerEstimate};

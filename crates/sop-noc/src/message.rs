@@ -1,7 +1,11 @@
 //! Packets, flits, and message classes.
 
-/// Unique identifier of an injected packet.
-pub type PacketId = u64;
+/// Unique identifier of an injected packet: a slot in the network's
+/// packet slab plus the allocation generation that guards against slot
+/// reuse (see [`crate::slab`]). Generations count injections globally,
+/// so `PacketId: Ord` sorts packets by injection order — the same total
+/// order the engine used when ids were a bare incrementing integer.
+pub type PacketId = crate::slab::Key;
 
 /// Coherence-protocol message classes (§4.2.2). Each class travels in its
 /// own virtual channel to guarantee protocol-level deadlock freedom.
@@ -133,7 +137,7 @@ mod tests {
     #[test]
     fn latency_is_delivery_minus_injection() {
         let d = Delivered {
-            packet: 1,
+            packet: crate::slab::Slab::new().insert(()),
             class: MessageClass::Request,
             src: 0,
             dst: 5,

@@ -10,8 +10,9 @@
 //! packets reassemble in order at the destination.
 
 use crate::message::{Delivered, Flit, MessageClass, PacketId};
+use crate::slab::Slab;
 use crate::topology::{Topology, TopologyKind};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Number of virtual channels (one per message class).
 const VCS: usize = 3;
@@ -259,11 +260,23 @@ pub struct Network {
     link_src: Vec<Vec<Option<(usize, usize)>>>,
     arrivals: BinaryHeap<Arrival>,
     credit_returns: BinaryHeap<CreditReturn>,
-    packets: HashMap<PacketId, PacketMeta>,
-    next_packet: PacketId,
+    /// Per-packet state, indexed by [`PacketId`]. Slots retired by a step
+    /// are reclaimed only at the *next* step, so between two steps a
+    /// caller may key its own side tables by packet id without a
+    /// delivered packet's index being reissued under it (see
+    /// [`crate::slab::SideTable`]).
+    packets: Slab<PacketMeta>,
     counters: TrafficCounters,
     /// Flits sent per (node, output port), for utilization analysis.
     channel_flits: Vec<Vec<u64>>,
+    /// Nodes holding at least one buffered flit, ascending — the only
+    /// routers switch allocation has to visit.
+    worklist: Vec<usize>,
+    /// `worklist` membership flags (including nodes pending insertion).
+    is_active: Vec<bool>,
+    /// Nodes activated since the last step, merged into `worklist` (and
+    /// re-sorted) when the next step begins.
+    pending_activation: Vec<usize>,
     cycle: u64,
 }
 
@@ -311,10 +324,12 @@ impl Network {
             link_src,
             arrivals: BinaryHeap::new(),
             credit_returns: BinaryHeap::new(),
-            packets: HashMap::new(),
-            next_packet: 1,
+            packets: Slab::new(),
             counters: TrafficCounters::default(),
             channel_flits,
+            worklist: Vec::new(),
+            is_active: vec![false; n],
+            pending_activation: Vec::new(),
             cycle: 0,
         }
     }
@@ -392,20 +407,15 @@ impl Network {
             src < self.topo.len() && dst < self.topo.len(),
             "node out of range"
         );
-        let id = self.next_packet;
-        self.next_packet += 1;
         let flits = class.flits(self.cfg.link_bits);
-        self.packets.insert(
-            id,
-            PacketMeta {
-                src,
-                dst,
-                class,
-                injected_at: cycle,
-                flits,
-                received: 0,
-            },
-        );
+        let id = self.packets.insert(PacketMeta {
+            src,
+            dst,
+            class,
+            injected_at: cycle,
+            flits,
+            received: 0,
+        });
         let inj_port = self.routers[src].inputs.len() - 1;
         for f in 0..flits {
             self.routers[src].inputs[inj_port].queues[class.vc()].push_back(Flit {
@@ -416,6 +426,7 @@ impl Network {
                 is_tail: f == flits - 1,
             });
         }
+        self.activate(src);
         id
     }
 
@@ -424,11 +435,65 @@ impl Network {
         self.packets.len()
     }
 
+    /// Marks a node as holding buffered flits, queueing it for the next
+    /// step's worklist merge.
+    fn activate(&mut self, node: usize) {
+        if !self.is_active[node] {
+            self.is_active[node] = true;
+            self.pending_activation.push(node);
+        }
+    }
+
+    /// Whether any input buffer of `node` still holds a flit.
+    fn has_buffered_flits(&self, node: usize) -> bool {
+        self.routers[node]
+            .inputs
+            .iter()
+            .any(|b| b.queues.iter().any(|q| !q.is_empty()))
+    }
+
+    /// The earliest future cycle at which [`Network::step`] could do any
+    /// work, or `None` while the fabric is guaranteed to stay inert.
+    ///
+    /// Any buffered flit means switch allocation must run next cycle; an
+    /// otherwise-empty fabric sleeps until its next in-flight arrival.
+    /// Pending credit returns alone never wake the network: with no
+    /// buffered flits there is nothing a credit could unblock, and a
+    /// later step restores every credit due by then before allocating
+    /// the switch, so skipping over them is exact.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        if !self.worklist.is_empty() || !self.pending_activation.is_empty() {
+            return Some(self.cycle + 1);
+        }
+        self.arrivals.peek().map(|a| a.due.max(self.cycle + 1))
+    }
+
     /// Advances the network to `cycle` (which must be monotonically
     /// increasing) and returns the packets fully delivered during it.
+    ///
+    /// Only *active* routers — those holding buffered flits — are swept
+    /// by switch allocation; an idle router has nothing to arbitrate, so
+    /// skipping it is exact. Callers that advance time themselves can
+    /// consult [`Network::next_event_cycle`] and jump over idle spans.
     pub fn step(&mut self, cycle: u64) -> Vec<Delivered> {
+        self.step_inner(cycle, false)
+    }
+
+    /// [`Network::step`] sweeping *every* router, active or not: the
+    /// pre-worklist reference semantics, bit-identical by construction.
+    /// Equivalence tests drive one network with `step` and one with
+    /// `step_full` and assert the outputs match.
+    pub fn step_full(&mut self, cycle: u64) -> Vec<Delivered> {
+        self.step_inner(cycle, true)
+    }
+
+    fn step_inner(&mut self, cycle: u64, sweep_all: bool) -> Vec<Delivered> {
         assert!(cycle >= self.cycle, "cycles must not go backwards");
         self.cycle = cycle;
+        // Packet slots retired by the previous step become reusable now
+        // that the caller has had a full inter-step window to finish its
+        // side-table bookkeeping for those deliveries.
+        self.packets.reclaim_deferred();
         // 1. Credits that have returned upstream.
         while let Some(cr) = self.credit_returns.peek() {
             if cr.due > cycle {
@@ -444,10 +509,26 @@ impl Network {
             }
             let a = self.arrivals.pop().expect("peeked");
             self.routers[a.node].inputs[a.in_port].queues[a.flit.class.vc()].push_back(a.flit);
+            self.activate(a.node);
         }
-        // 3. Switch allocation: one flit per output port per node.
+        // 3. Switch allocation: one flit per output port per active node,
+        // visited in ascending node order — the same relative order as a
+        // full 0..n sweep, so delivery order is unchanged.
+        if !self.pending_activation.is_empty() {
+            let mut pending = std::mem::take(&mut self.pending_activation);
+            self.worklist.append(&mut pending);
+            self.worklist.sort_unstable();
+        }
         let mut delivered = Vec::new();
-        for node in 0..self.topo.len() {
+        let worklist = std::mem::take(&mut self.worklist);
+        let full_sweep: Vec<usize>;
+        let sweep: &[usize] = if sweep_all {
+            full_sweep = (0..self.topo.len()).collect();
+            &full_sweep
+        } else {
+            &worklist
+        };
+        for &node in sweep {
             let out_ports = self.topo.channels[node].len();
             // Local ejection is pseudo-port `out_ports`.
             for out in 0..=out_ports {
@@ -491,15 +572,35 @@ impl Network {
                 }
             }
         }
+        // Drop drained routers from the worklist (buffers only empty
+        // during the sweep, so this is the one place nodes retire).
+        self.worklist = worklist;
+        let mut retained = 0;
+        for i in 0..self.worklist.len() {
+            let node = self.worklist[i];
+            if self.has_buffered_flits(node) {
+                self.worklist[retained] = node;
+                retained += 1;
+            } else {
+                self.is_active[node] = false;
+            }
+        }
+        self.worklist.truncate(retained);
         delivered
     }
 
     /// Runs the network until idle or `max_cycles`, returning deliveries.
+    /// Idle spans between in-flight arrivals are skipped outright, which
+    /// changes nothing observable: skipped cycles are exactly those where
+    /// a step would have found no work.
     pub fn drain(&mut self, max_cycles: u64) -> Vec<Delivered> {
         let mut out = Vec::new();
-        let start = self.cycle;
-        for c in start + 1..=start + max_cycles {
-            out.extend(self.step(c));
+        let end = self.cycle + max_cycles;
+        while let Some(next) = self.next_event_cycle() {
+            if next > end {
+                break;
+            }
+            out.extend(self.step(next));
             if self.packets.is_empty() && self.arrivals.is_empty() {
                 break;
             }
@@ -539,11 +640,17 @@ impl Network {
     fn eject(&mut self, node: usize, flit: Flit, cycle: u64) -> Option<Delivered> {
         let meta = self
             .packets
-            .get_mut(&flit.packet)
+            .get_mut(flit.packet)
             .expect("packet meta exists");
         meta.received += 1;
         if meta.received == meta.flits {
-            let meta = self.packets.remove(&flit.packet).expect("just seen");
+            // Deferred: the slot stays unissuable until the next step so
+            // callers can key side tables by packet index across the
+            // inter-step delivery-processing window.
+            let meta = self
+                .packets
+                .remove_deferred(flit.packet)
+                .expect("just seen");
             debug_assert_eq!(meta.dst, node);
             self.counters.packets += 1;
             self.counters.total_latency += cycle - meta.injected_at;

@@ -1,0 +1,398 @@
+//! Generation-checked slabs: O(1) keyed storage without hashing.
+//!
+//! The cycle-level engines used to keep per-packet state behind
+//! `HashMap<PacketId, _>` tables, paying a SipHash round on every flit
+//! ejection and protocol step. A [`Slab`] replaces that with a plain
+//! vector indexed by the low half of a [`Key`] — one bounds-checked array
+//! access on the hot path — while the high half carries a monotonically
+//! increasing *generation* that makes every key unique for the lifetime
+//! of the slab: a slot may be reused, but a stale key can never alias the
+//! new occupant because its generation no longer matches.
+//!
+//! Generations are drawn from a single per-slab counter (not a per-slot
+//! one), which buys two extra properties the simulators rely on:
+//!
+//! * **ABA-proof**: a slot reused any number of times never resurrects an
+//!   old key, even after `u32::MAX` reuses of one slot.
+//! * **Allocation order is total order**: `Key: Ord` compares generations,
+//!   so sorting keys sorts by allocation time. The network leans on this
+//!   to keep event tie-breaking byte-identical to the days when packet
+//!   ids were a bare incrementing `u64`.
+//!
+//! [`SideTable`] is the companion structure for *foreign* keys: state a
+//! client wants to attach to somebody else's slab entries (the machine
+//! annotating the network's packets). It stores `(generation, value)`
+//! at the key's index and treats a generation mismatch on insert as a
+//! logic error, so aliasing bugs fail loudly instead of corrupting state.
+
+/// A slab handle: slot index plus the allocation generation that must
+/// match for the handle to still be valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    index: u32,
+    generation: u64,
+}
+
+impl Key {
+    /// The slot index this key addresses.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The allocation generation: a per-slab counter value, unique to
+    /// this key and monotonically increasing in allocation order.
+    pub fn generation(self) -> u64 {
+        self.generation
+    }
+}
+
+// Generations are unique per slab, so they alone define a total order:
+// the order in which keys were allocated. The index participates only to
+// keep the ordering consistent for keys minted by different slabs.
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.generation
+            .cmp(&other.generation)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One slab slot: vacant, or occupied by a value tagged with the
+/// generation of the key that owns it.
+#[derive(Debug, Clone)]
+enum Slot<T> {
+    Vacant,
+    Occupied { generation: u64, value: T },
+}
+
+/// A generation-checked slab allocator.
+///
+/// Freed slots are recycled in LIFO order. [`Slab::remove_deferred`]
+/// vacates a slot but parks its index on a side list until
+/// [`Slab::reclaim_deferred`] runs, letting a simulation step guarantee
+/// that indices retired during the step are not reissued until the next
+/// one — the property that makes index-keyed [`SideTable`]s sound for
+/// clients that finish their bookkeeping between steps.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    deferred: Vec<u32>,
+    next_generation: u64,
+    live: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab. The first key allocated has generation 1.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            deferred: Vec::new(),
+            next_generation: 1,
+            live: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Stores `value` and returns its key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` slots would be needed.
+    pub fn insert(&mut self, value: T) -> Key {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("slab capacity");
+                self.slots.push(Slot::Vacant);
+                i
+            }
+        };
+        self.slots[index as usize] = Slot::Occupied { generation, value };
+        self.live += 1;
+        Key { index, generation }
+    }
+
+    fn slot_matches(&self, key: Key) -> bool {
+        matches!(
+            self.slots.get(key.index as usize),
+            Some(Slot::Occupied { generation, .. }) if *generation == key.generation
+        )
+    }
+
+    /// The value behind `key`, if the key is still live.
+    pub fn get(&self, key: Key) -> Option<&T> {
+        match self.slots.get(key.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == key.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value behind `key`, if still live.
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut T> {
+        match self.slots.get_mut(key.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == key.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `key` still addresses a live value.
+    pub fn contains(&self, key: Key) -> bool {
+        self.slot_matches(key)
+    }
+
+    /// Removes and returns the value behind `key`; the slot becomes
+    /// immediately reusable.
+    pub fn remove(&mut self, key: Key) -> Option<T> {
+        let value = self.take(key)?;
+        self.free.push(key.index);
+        Some(value)
+    }
+
+    /// Removes and returns the value behind `key`, but holds the slot out
+    /// of circulation until [`Slab::reclaim_deferred`].
+    pub fn remove_deferred(&mut self, key: Key) -> Option<T> {
+        let value = self.take(key)?;
+        self.deferred.push(key.index);
+        Some(value)
+    }
+
+    /// Returns every slot parked by [`Slab::remove_deferred`] to the free
+    /// list.
+    pub fn reclaim_deferred(&mut self) {
+        self.free.append(&mut self.deferred);
+    }
+
+    fn take(&mut self, key: Key) -> Option<T> {
+        if !self.slot_matches(key) {
+            return None;
+        }
+        let slot = std::mem::replace(&mut self.slots[key.index as usize], Slot::Vacant);
+        let Slot::Occupied { value, .. } = slot else {
+            unreachable!("slot_matches checked occupancy")
+        };
+        self.live -= 1;
+        Some(value)
+    }
+}
+
+/// Values attached to another slab's keys, indexed by slot.
+///
+/// An entry occupies the key's index and remembers the key's generation;
+/// reads and removals with a mismatched generation see nothing. Inserting
+/// over a live entry of a *different* generation panics: it means the key
+/// allocator reissued an index while this table still tracked the old
+/// occupant, which is a lifecycle bug the caller must fix (the network's
+/// deferred slot reclaim exists precisely to prevent it).
+#[derive(Debug, Clone)]
+pub struct SideTable<T> {
+    slots: Vec<Option<(u64, T)>>,
+    live: usize,
+}
+
+impl<T> Default for SideTable<T> {
+    fn default() -> Self {
+        SideTable::new()
+    }
+}
+
+impl<T> SideTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        SideTable {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Attaches `value` to `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied under a different generation (see
+    /// the type-level docs).
+    pub fn insert(&mut self, key: Key, value: T) {
+        let index = key.index as usize;
+        if index >= self.slots.len() {
+            self.slots.resize_with(index + 1, || None);
+        }
+        match &self.slots[index] {
+            Some((generation, _)) if *generation != key.generation => {
+                panic!(
+                    "side-table collision at slot {}: live generation {} vs inserted {}",
+                    key.index, generation, key.generation
+                );
+            }
+            Some(_) => {}
+            None => self.live += 1,
+        }
+        self.slots[index] = Some((key.generation, value));
+    }
+
+    /// The value attached to `key`, if any.
+    pub fn get(&self, key: Key) -> Option<&T> {
+        match self.slots.get(key.index as usize) {
+            Some(Some((generation, value))) if *generation == key.generation => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value attached to `key`, if any.
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut T> {
+        match self.slots.get_mut(key.index as usize) {
+            Some(Some((generation, value))) if *generation == key.generation => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Detaches and returns the value attached to `key`, if any.
+    pub fn remove(&mut self, key: Key) -> Option<T> {
+        match self.slots.get_mut(key.index as usize) {
+            Some(slot @ Some(_)) if slot.as_ref().is_some_and(|(g, _)| *g == key.generation) => {
+                let (_, value) = slot.take().expect("matched occupied slot");
+                self.live -= 1;
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn reused_slot_never_aliases_the_old_key() {
+        let mut slab = Slab::new();
+        let old = slab.insert(1u32);
+        slab.remove(old);
+        let new = slab.insert(2u32);
+        assert_eq!(new.index(), old.index(), "slot is recycled");
+        assert_ne!(new, old, "but the key is fresh");
+        assert_eq!(slab.get(old), None);
+        assert_eq!(slab.get_mut(old), None);
+        assert!(!slab.contains(old));
+        assert_eq!(slab.get(new), Some(&2));
+    }
+
+    #[test]
+    fn generations_order_keys_by_allocation() {
+        let mut slab = Slab::new();
+        let a = slab.insert(());
+        slab.remove(a);
+        let b = slab.insert(()); // reuses a's slot with a later generation
+        let c = slab.insert(());
+        assert!(a < b && b < c);
+        assert_eq!(a.generation(), 1);
+        assert_eq!(b.generation(), 2);
+        assert_eq!(c.generation(), 3);
+    }
+
+    #[test]
+    fn deferred_removal_delays_slot_reuse() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        assert_eq!(slab.remove_deferred(a), Some("a"));
+        let b = slab.insert("b");
+        assert_ne!(b.index(), a.index(), "slot parked until reclaim");
+        slab.reclaim_deferred();
+        let c = slab.insert("c");
+        assert_eq!(c.index(), a.index(), "slot recycled after reclaim");
+        assert_eq!(slab.get(a), None);
+    }
+
+    #[test]
+    fn side_table_tracks_foreign_keys() {
+        let mut slab = Slab::new();
+        let mut table = SideTable::new();
+        let a = slab.insert(());
+        let b = slab.insert(());
+        table.insert(a, 10u32);
+        table.insert(b, 20u32);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(a), Some(&10));
+        *table.get_mut(b).expect("live") += 1;
+        assert_eq!(table.remove(b), Some(21));
+        assert_eq!(table.remove(b), None);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn side_table_ignores_stale_generations() {
+        let mut slab = Slab::new();
+        let mut table = SideTable::new();
+        let old = slab.insert(());
+        table.insert(old, 1u32);
+        assert_eq!(table.remove(old), Some(1));
+        slab.remove(old);
+        let new = slab.insert(()); // same index, new generation
+        table.insert(new, 2u32);
+        assert_eq!(table.get(old), None, "stale key sees nothing");
+        assert_eq!(table.get(new), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "side-table collision")]
+    fn side_table_collision_panics() {
+        let mut table = SideTable::new();
+        let mut slab = Slab::new();
+        let a = slab.insert(());
+        slab.remove(a);
+        let b = slab.insert(()); // same slot, different generation
+        table.insert(a, 1u32);
+        table.insert(b, 2u32);
+    }
+}

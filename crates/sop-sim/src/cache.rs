@@ -10,23 +10,32 @@
 use sop_workloads::trace::LineAddr;
 
 /// Maximum sharers tracked per line (stale-sharer bound).
-const MAX_SHARERS: usize = 8;
+pub const MAX_SHARERS: usize = 8;
 
-/// Directory state of one resident line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Directory state of one resident line. Sharers live in a fixed inline
+/// array (the list is bounded by [`MAX_SHARERS`] anyway), so directory
+/// updates never touch the heap and a way's state is a flat `Copy` value
+/// — the warm-up loop streams hundreds of thousands of accesses per
+/// simulation point through this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirectoryState {
-    /// Cached read-only by the listed cores (insertion order).
-    Shared(Vec<u32>),
+    /// Cached read-only by `count` cores, in insertion order.
+    Shared {
+        /// Live entries in `cores`.
+        count: u8,
+        /// The sharer list; only the first `count` entries are valid.
+        cores: [u32; MAX_SHARERS],
+    },
     /// Held modifiable by one core.
     Owned(u32),
 }
 
-#[derive(Debug, Clone)]
-struct Way {
-    line: LineAddr,
-    dir: DirectoryState,
-    /// LRU stamp (bank access counter at last touch).
-    last_use: u64,
+impl DirectoryState {
+    fn shared_one(core: u32) -> Self {
+        let mut cores = [0; MAX_SHARERS];
+        cores[0] = core;
+        DirectoryState::Shared { count: 1, cores }
+    }
 }
 
 /// Outcome of a bank lookup.
@@ -48,9 +57,24 @@ pub enum BankOutcome {
 }
 
 /// One LLC bank.
+///
+/// Ways are stored structure-of-arrays in flat, `ways`-strided vectors:
+/// the tag scan of a 16-way set walks 128 contiguous bytes instead of
+/// chasing per-set heap allocations, and filling a line writes plain
+/// `Copy` values. Within a set's stripe, only the first `len` ways are
+/// valid; fills append and evictions swap-remove, exactly like the
+/// `Vec<Way>` per set this layout replaced, so way order — and therefore
+/// every outcome — is unchanged.
 #[derive(Debug, Clone)]
 pub struct LlcBank {
-    sets: Vec<Vec<Way>>,
+    /// Line tags, `ways`-strided per set.
+    tags: Vec<LineAddr>,
+    /// LRU stamps (bank access counter at last touch), same layout.
+    last_use: Vec<u64>,
+    /// Directory state per way, same layout.
+    dirs: Vec<DirectoryState>,
+    /// Occupied ways per set.
+    len: Vec<u8>,
     ways: usize,
     accesses: u64,
     misses: u64,
@@ -63,12 +87,17 @@ impl LlcBank {
     ///
     /// # Panics
     ///
-    /// Panics if the capacity does not hold at least one set.
+    /// Panics if the capacity does not hold at least one set or if the
+    /// associativity exceeds 255.
     pub fn new(capacity_bytes: u64, ways: usize) -> Self {
+        assert!(ways > 0 && ways <= u8::MAX as usize, "associativity range");
         let lines = capacity_bytes / 64;
         let sets = (lines / ways as u64).max(1) as usize;
         LlcBank {
-            sets: vec![Vec::new(); sets],
+            tags: vec![0; sets * ways],
+            last_use: vec![0; sets * ways],
+            dirs: vec![DirectoryState::Owned(0); sets * ways],
+            len: vec![0; sets],
             ways,
             accesses: 0,
             misses: 0,
@@ -80,7 +109,14 @@ impl LlcBank {
     fn set_of(&self, line: LineAddr) -> usize {
         // Mix the bits so region bases do not alias into a few sets.
         let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
-        (h % self.sets.len() as u64) as usize
+        let sets = self.len.len() as u64;
+        // Same value either way; the mask avoids a hardware divide on the
+        // warm-up hot path (set counts are powers of two in practice).
+        if sets.is_power_of_two() {
+            (h & (sets - 1)) as usize
+        } else {
+            (h % sets) as usize
+        }
     }
 
     /// Performs an access by `core` to `line`; `write` requests ownership.
@@ -91,23 +127,33 @@ impl LlcBank {
         let tick = self.tick;
         let ways = self.ways;
         let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
-            way.last_use = tick;
-            let snoop = match (&mut way.dir, write) {
-                (DirectoryState::Shared(sharers), false) => {
+        let base = set_idx * ways;
+        let n = usize::from(self.len[set_idx]);
+        if let Some(i) = self.tags[base..base + n].iter().position(|&t| t == line) {
+            let w = base + i;
+            self.last_use[w] = tick;
+            let snoop = match (&mut self.dirs[w], write) {
+                (DirectoryState::Shared { count, cores }, false) => {
+                    let sharers = &mut cores[..usize::from(*count)];
                     if !sharers.contains(&core) {
-                        sharers.push(core);
-                        if sharers.len() > MAX_SHARERS {
-                            sharers.remove(0);
+                        if usize::from(*count) < MAX_SHARERS {
+                            cores[usize::from(*count)] = core;
+                            *count += 1;
+                        } else {
+                            // Bounded list: drop the oldest sharer.
+                            cores.copy_within(1.., 0);
+                            cores[MAX_SHARERS - 1] = core;
                         }
                     }
                     Vec::new()
                 }
-                (DirectoryState::Shared(sharers), true) => {
-                    let victims: Vec<u32> =
-                        sharers.iter().copied().filter(|&s| s != core).collect();
-                    way.dir = DirectoryState::Owned(core);
+                (DirectoryState::Shared { count, cores }, true) => {
+                    let victims: Vec<u32> = cores[..usize::from(*count)]
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != core)
+                        .collect();
+                    self.dirs[w] = DirectoryState::Owned(core);
                     victims
                 }
                 (DirectoryState::Owned(owner), _) => {
@@ -116,10 +162,13 @@ impl LlcBank {
                         Vec::new()
                     } else {
                         // L1-to-L1 forwarding (read) or ownership transfer.
-                        way.dir = if write {
+                        self.dirs[w] = if write {
                             DirectoryState::Owned(core)
                         } else {
-                            DirectoryState::Shared(vec![prev, core])
+                            let mut cores = [0; MAX_SHARERS];
+                            cores[0] = prev;
+                            cores[1] = core;
+                            DirectoryState::Shared { count: 2, cores }
                         };
                         vec![prev]
                     }
@@ -131,26 +180,29 @@ impl LlcBank {
         // Miss: fill, evicting LRU if the set is full.
         self.misses += 1;
         let mut writeback = false;
-        if set.len() >= ways {
-            let lru = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.last_use)
-                .map(|(i, _)| i)
+        let mut n = n;
+        if n >= ways {
+            let lru = (0..n)
+                .min_by_key(|&i| self.last_use[base + i])
                 .expect("set is non-empty");
-            writeback = matches!(set[lru].dir, DirectoryState::Owned(_));
-            set.swap_remove(lru);
+            writeback = matches!(self.dirs[base + lru], DirectoryState::Owned(_));
+            // Swap-remove: the last way fills the hole.
+            let last = base + n - 1;
+            self.tags[base + lru] = self.tags[last];
+            self.last_use[base + lru] = self.last_use[last];
+            self.dirs[base + lru] = self.dirs[last];
+            n -= 1;
         }
         let dir = if write {
             DirectoryState::Owned(core)
         } else {
-            DirectoryState::Shared(vec![core])
+            DirectoryState::shared_one(core)
         };
-        set.push(Way {
-            line,
-            dir,
-            last_use: tick,
-        });
+        let w = base + n;
+        self.tags[w] = line;
+        self.last_use[w] = tick;
+        self.dirs[w] = dir;
+        self.len[set_idx] = (n + 1) as u8;
         BankOutcome::Miss { writeback }
     }
 
@@ -175,6 +227,16 @@ impl LlcBank {
         reg.counter_add(&format!("{prefix}accesses"), self.accesses);
         reg.counter_add(&format!("{prefix}misses"), self.misses);
         reg.counter_add(&format!("{prefix}snoops"), self.snoops);
+    }
+
+    /// Approximate heap footprint in bytes (used to budget the warm-state
+    /// memo; precision is not required).
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.tags.len()
+            * (std::mem::size_of::<LineAddr>()
+                + std::mem::size_of::<u64>()
+                + std::mem::size_of::<DirectoryState>())
+            + self.len.len()
     }
 
     /// Resets statistics (after warm-up) without touching contents.

@@ -155,6 +155,37 @@ impl SimCore {
         }
     }
 
+    /// The next cycle at which [`SimCore::poll`] must run, as judged
+    /// right after a poll at `now`; `None` while the core is blocked and
+    /// only [`SimCore::on_response`] can unblock it. Polls before the
+    /// returned cycle are guaranteed no-ops, so an event-driven caller
+    /// may skip them without changing anything:
+    ///
+    /// * a pending (replayed) issue or an unexhausted fetch run-ahead
+    ///   budget mutates state on every poll — poll next cycle;
+    /// * an exhausted run-ahead budget makes every poll return early
+    ///   with no effect until the fetch response arrives — blocked;
+    /// * a compute burst or sync stall does nothing until `wake_at`;
+    /// * a full miss-slot wait does nothing until a response frees one;
+    /// * `Ready` consumes a trace event every poll — poll next cycle.
+    pub fn next_poll_cycle(&self, now: u64) -> Option<u64> {
+        if self.pending_issue.is_some() {
+            return Some(now + 1);
+        }
+        if self.fetch_pending {
+            if self.fetch_ahead_left == 0 {
+                return None;
+            }
+            return Some(now + 1);
+        }
+        match self.state {
+            CoreState::Computing | CoreState::Stalled => Some(self.wake_at.max(now + 1)),
+            CoreState::WaitingFetch => None,
+            CoreState::WaitingMshr => None,
+            CoreState::Ready => Some(now + 1),
+        }
+    }
+
     fn next_event(&mut self, now: u64) -> Option<CoreRequest> {
         match self.trace.next().expect("traces are infinite") {
             CoreEvent::Compute { instructions } => {

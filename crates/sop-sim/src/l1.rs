@@ -74,7 +74,15 @@ impl L1Cache {
     }
 
     fn set_of(&self, line: LineAddr) -> usize {
-        (line.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 23) as usize % self.sets.len()
+        let n = self.sets.len();
+        let h = (line.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 23) as usize;
+        // Same value either way; set counts are powers of two in
+        // practice, and the mask avoids a hardware divide per lookup.
+        if n.is_power_of_two() {
+            h & (n - 1)
+        } else {
+            h % n
+        }
     }
 
     /// Whether `line` is resident, and in which state.

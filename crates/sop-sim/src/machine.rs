@@ -14,12 +14,26 @@ use crate::core::{CoreRequest, SimCore};
 use crate::l1::L1Cache;
 use crate::memory::{channel_of, MemoryController};
 use crate::stats::Histogram;
-use sop_noc::{MessageClass, Network, NocConfig, PacketId, TopologyKind};
+use sop_noc::slab::{Key, SideTable, Slab};
+use sop_noc::{MessageClass, Network, NocConfig, TopologyKind};
 use sop_obs::{EventLog, Registry};
 use sop_tech::{CacheGeometry, CoreKind, TechnologyNode};
 use sop_workloads::trace::LineAddr;
 use sop_workloads::{TraceConfig, Workload, WorkloadProfile};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide count of timed cycles simulated by every [`Machine`] on
+/// every thread (warm-up and measurement windows both count; functional
+/// warm-up replays accesses, not cycles, and does not).
+static CYCLES_SIMULATED: AtomicU64 = AtomicU64::new(0);
+
+/// Total timed cycles this process has simulated so far. The bench
+/// suite reads deltas of this around a campaign to report cycles/sec.
+pub fn cycles_simulated() -> u64 {
+    CYCLES_SIMULATED.load(Ordering::Relaxed)
+}
 
 /// Configuration of a simulated machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -171,24 +185,172 @@ struct OpenRequest {
     pending_acks: u32,
 }
 
+/// What a packet in flight means to the protocol — attached to the
+/// network's packet keys through a [`SideTable`], so delivery handling is
+/// one array access instead of probing three hash maps.
+#[derive(Debug, Clone, Copy)]
+enum PacketRole {
+    /// A core's request travelling to its home LLC bank.
+    Request(Key),
+    /// A directory snoop travelling to a sharer/owner core.
+    Snoop(Key),
+    /// A snoop acknowledgement returning to the directory.
+    SnoopAck(Key),
+    /// The final data/instruction response returning to the core.
+    Data {
+        core: u32,
+        fetch: bool,
+        issued_at: u64,
+    },
+}
+
+/// A transaction completion event. Ties break on the transaction key:
+/// transaction keys are allocated in request-issue order, which is also
+/// the order request packet ids used to supply here — so heap pop order
+/// is unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Scheduled {
     due: u64,
-    packet: PacketId,
+    txn: Key,
 }
 
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .due
-            .cmp(&self.due)
-            .then(other.packet.cmp(&self.packet))
+        other.due.cmp(&self.due).then(other.txn.cmp(&self.txn))
     }
 }
 impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Everything the functional warm-up outcome depends on — and nothing it
+/// does not. Fabric link width, hub latency, and memory-channel count
+/// never enter the warm-up loop, so sweep points varying only those share
+/// one warmed state.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct WarmKey {
+    workload: Workload,
+    core_kind: CoreKind,
+    seed: u64,
+    /// `llc_mb` bit pattern (`f64` is not `Hash`; configs hold exact
+    /// values, so bit equality is the right equality).
+    llc_mb_bits: u64,
+    n_banks: usize,
+    /// Physical ids of the cores running threads (they feed the
+    /// directory's sharer lists during warm-up).
+    active: Vec<u32>,
+}
+
+/// Warmed banks and trace-advanced cores, captured right after
+/// [`Machine::functional_warmup`] resets bank statistics.
+struct WarmState {
+    banks: Vec<LlcBank>,
+    cores: Vec<SimCore>,
+}
+
+fn warm_state_bytes(state: &WarmState) -> usize {
+    state
+        .banks
+        .iter()
+        .map(LlcBank::approx_heap_bytes)
+        .sum::<usize>()
+        + state.cores.len() * std::mem::size_of::<SimCore>()
+}
+
+/// [`WarmKey`] minus the bank count: what the warm-up *trace* — as
+/// opposed to the warmed bank contents — depends on. A mesh point and a
+/// crossbar point bank the same LLC differently but draw the very same
+/// accesses; this key lets them share the (Zipf-heavy) trace generation
+/// and replay only the bank walk.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct WarmTraceKey {
+    workload: Workload,
+    core_kind: CoreKind,
+    seed: u64,
+    per_core: u64,
+    active: Vec<u32>,
+}
+
+/// Warm-up accesses per active core — `line` with the write flag packed
+/// into bit 63 (instruction/data distinction is irrelevant to warming) —
+/// plus the cores as the generation left them (trace streams advanced).
+struct WarmTrace {
+    accesses: Vec<Vec<u64>>,
+    cores: Vec<SimCore>,
+}
+
+const WRITE_BIT: u64 = 1 << 63;
+
+fn warm_trace_bytes(trace: &WarmTrace) -> usize {
+    trace.accesses.iter().map(|a| a.len() * 8).sum::<usize>()
+        + trace.cores.len() * std::mem::size_of::<SimCore>()
+}
+
+/// A process-wide memo, FIFO-bounded by approximate byte footprint. Every
+/// value stored is a pure function of its key, so sharing entries between
+/// machines — and the eviction order — can never change a simulated
+/// outcome, only how fast warm-up runs.
+struct MemoCache<K, V> {
+    map: HashMap<K, Arc<V>>,
+    order: VecDeque<K>,
+    bytes: usize,
+    cap: usize,
+    size_of: fn(&V) -> usize,
+}
+
+impl<K: Clone + Eq + std::hash::Hash, V> MemoCache<K, V> {
+    fn new(cap: usize, size_of: fn(&V) -> usize) -> Self {
+        MemoCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            cap,
+            size_of,
+        }
+    }
+
+    fn lookup(&self, key: &K) -> Option<Arc<V>> {
+        self.map.get(key).cloned()
+    }
+
+    fn store(&mut self, key: K, value: Arc<V>) {
+        if self.map.contains_key(&key) {
+            // Another worker memoized the identical value concurrently;
+            // both copies are bit-identical, so keeping the first is fine.
+            return;
+        }
+        let bytes = (self.size_of)(&value);
+        while self.bytes + bytes > self.cap {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = self.map.remove(&oldest) {
+                self.bytes -= (self.size_of)(&evicted);
+            }
+        }
+        self.bytes += bytes;
+        self.order.push_back(key.clone());
+        self.map.insert(key, value);
+    }
+}
+
+/// Sized to hold one full chapter campaign's worth of validation-config
+/// warmed states (the fig 3.3 sweep revisits a key ~42 insertions later).
+const WARM_STATE_BYTE_CAP: usize = 192 << 20;
+
+/// Traces are revisited at the same distance but are smaller per entry.
+const WARM_TRACE_BYTE_CAP: usize = 160 << 20;
+
+fn warm_states() -> &'static Mutex<MemoCache<WarmKey, WarmState>> {
+    static CACHE: OnceLock<Mutex<MemoCache<WarmKey, WarmState>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(MemoCache::new(WARM_STATE_BYTE_CAP, warm_state_bytes)))
+}
+
+fn warm_traces() -> &'static Mutex<MemoCache<WarmTraceKey, WarmTrace>> {
+    static CACHE: OnceLock<Mutex<MemoCache<WarmTraceKey, WarmTrace>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(MemoCache::new(WARM_TRACE_BYTE_CAP, warm_trace_bytes)))
 }
 
 /// A runnable machine instance.
@@ -203,16 +365,23 @@ pub struct Machine {
     bank_free_at: Vec<u64>,
     bank_latency: u64,
     mcs: Vec<MemoryController>,
-    /// Requests in flight, by the packet id of their current leg.
-    open: HashMap<PacketId, OpenRequest>,
-    /// Snoop leg -> parent request packet.
-    snoop_parent: HashMap<PacketId, PacketId>,
-    /// Response leg -> (core, fetch?, issue cycle).
-    response_meta: HashMap<PacketId, (u32, bool, u64)>,
+    /// Open transactions, from request issue to response injection.
+    txns: Slab<OpenRequest>,
+    /// Protocol role of every packet in flight, keyed by packet id. The
+    /// network's deferred slot reclaim guarantees a delivered packet's
+    /// index is not reissued until the next step, after its role entry is
+    /// gone — so index-keyed storage cannot alias.
+    roles: SideTable<PacketRole>,
     /// Bank pipeline completion events.
     bank_events: BinaryHeap<Scheduled>,
     /// Memory completion events.
     mem_events: BinaryHeap<Scheduled>,
+    /// Next cycle each thread's core must be polled (`u64::MAX` while a
+    /// core is blocked and only a response delivery can unblock it).
+    core_next_poll: Vec<u64>,
+    /// Step every cycle and sweep every router, bypassing all event-driven
+    /// shortcuts: the reference semantics the fast path must match.
+    reference: bool,
     cycle: u64,
     memory_lines: u64,
     request_latency: Histogram,
@@ -308,11 +477,12 @@ impl Machine {
             bank_free_at: vec![0; n_banks],
             bank_latency,
             mcs,
-            open: HashMap::new(),
-            snoop_parent: HashMap::new(),
-            response_meta: HashMap::new(),
+            txns: Slab::new(),
+            roles: SideTable::new(),
             bank_events: BinaryHeap::new(),
             mem_events: BinaryHeap::new(),
+            core_next_poll: vec![0; cfg.active_cores as usize],
+            reference: false,
             cycle: 0,
             memory_lines: 0,
             request_latency: Histogram::new(),
@@ -351,8 +521,26 @@ impl Machine {
         &self.registry
     }
 
+    /// Switches between the event-driven engine (default) and the
+    /// exhaustive reference semantics: stepping every cycle, sweeping
+    /// every router, polling every core. The two are bit-identical by
+    /// construction; the reference mode exists so equivalence tests can
+    /// prove it rather than assume it.
+    pub fn set_reference_mode(&mut self, reference: bool) {
+        self.reference = reference;
+    }
+
     fn bank_of(&self, line: LineAddr) -> usize {
-        (line.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 29) as usize % self.banks.len()
+        let n = self.banks.len();
+        let h = (line.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 29) as usize;
+        // Same value either way; the mask dodges a hardware divide on the
+        // warm-up and request hot paths (bank counts are usually powers
+        // of two).
+        if n.is_power_of_two() {
+            h & (n - 1)
+        } else {
+            h % n
+        }
     }
 
     fn llc_node_of_bank(&self, bank: usize) -> usize {
@@ -392,22 +580,20 @@ impl Machine {
             );
         }
         let packet = self.net.inject(src, dst, MessageClass::Request, 0, now);
-        self.open.insert(
-            packet,
-            OpenRequest {
-                core,
-                line: req.line,
-                write: req.write,
-                fetch: req.fetch,
-                bank,
-                issued_at: now,
-                pending_acks: 0,
-            },
-        );
+        let txn = self.txns.insert(OpenRequest {
+            core,
+            line: req.line,
+            write: req.write,
+            fetch: req.fetch,
+            bank,
+            issued_at: now,
+            pending_acks: 0,
+        });
+        self.roles.insert(packet, PacketRole::Request(txn));
     }
 
-    fn respond(&mut self, packet: PacketId, now: u64) {
-        let open = self.open.remove(&packet).expect("open request");
+    fn respond(&mut self, txn: Key, now: u64) {
+        let open = self.txns.remove(txn).expect("open request");
         // Fill the requester's private L1 (instruction fetches go to the
         // L1-I, which we do not track for coherence).
         if !open.fetch {
@@ -417,8 +603,14 @@ impl Machine {
         let src = self.llc_node_of_bank(open.bank);
         let dst = self.core_node(open.core);
         let resp = self.net.inject(src, dst, MessageClass::Response, 0, now);
-        self.response_meta
-            .insert(resp, (open.core, open.fetch, open.issued_at));
+        self.roles.insert(
+            resp,
+            PacketRole::Data {
+                core: open.core,
+                fetch: open.fetch,
+                issued_at: open.issued_at,
+            },
+        );
     }
 
     /// Runs `warmup` cycles, resets statistics, then runs `measure`
@@ -436,6 +628,7 @@ impl Machine {
     /// SimFlex sampling pattern — consecutive windows drawn over one long
     /// execution (§3.3).
     pub fn run_window(&mut self, warmup: u64, measure: u64) -> SimResult {
+        CYCLES_SIMULATED.fetch_add(warmup + measure, Ordering::Relaxed);
         if !self.warmed {
             self.functional_warmup();
             self.warmed = true;
@@ -498,134 +691,257 @@ impl Machine {
 
     /// Streams enough trace accesses through the banks to populate the
     /// working set (round-robin across cores, preserving sharing).
+    ///
+    /// The warmed state is a pure function of the workload, the core
+    /// microarchitecture, the seed, the LLC organisation, and the active
+    /// physical cores — notably *not* of the fabric's link width or
+    /// latency, which many sweep points vary while everything else stays
+    /// fixed. A process-wide memo therefore shares the warmed banks and
+    /// advanced trace generators between identically-keyed machines:
+    /// cloning the cached state is bit-identical to recomputing it.
     fn functional_warmup(&mut self) {
+        let key = WarmKey {
+            workload: self.cfg.workload,
+            core_kind: self.cfg.core_kind,
+            seed: self.cfg.seed,
+            llc_mb_bits: self.cfg.llc_mb.to_bits(),
+            n_banks: self.banks.len(),
+            active: self.active.clone(),
+        };
+        if let Some(state) = warm_states().lock().expect("warm memo lock").lookup(&key) {
+            self.banks = state.banks.clone();
+            self.cores = state.cores.clone();
+            return;
+        }
         let llc_lines = (self.cfg.llc_mb * 1024.0 * 1024.0 / 64.0) as u64;
         let per_core = (llc_lines * 6 / self.active.len() as u64).clamp(2_000, 100_000);
-        let batches: Vec<(u32, Vec<crate::core::CoreRequest>)> = (0..self.active.len())
-            .map(|t| (self.active[t], self.cores[t].functional_accesses(per_core)))
-            .collect();
+        let trace_key = WarmTraceKey {
+            workload: self.cfg.workload,
+            core_kind: self.cfg.core_kind,
+            seed: self.cfg.seed,
+            per_core,
+            active: self.active.clone(),
+        };
+        let cached = warm_traces()
+            .lock()
+            .expect("warm memo lock")
+            .lookup(&trace_key);
+        let trace = match cached {
+            Some(trace) => {
+                // Same accesses another banking already drew; fast-forward
+                // the trace streams to where generation would leave them.
+                self.cores = trace.cores.clone();
+                trace
+            }
+            None => {
+                let accesses: Vec<Vec<u64>> = (0..self.active.len())
+                    .map(|t| {
+                        self.cores[t]
+                            .functional_accesses(per_core)
+                            .into_iter()
+                            .map(|req| {
+                                debug_assert_eq!(req.line & WRITE_BIT, 0);
+                                req.line | if req.write { WRITE_BIT } else { 0 }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let trace = Arc::new(WarmTrace {
+                    accesses,
+                    cores: self.cores.clone(),
+                });
+                warm_traces()
+                    .lock()
+                    .expect("warm memo lock")
+                    .store(trace_key, Arc::clone(&trace));
+                trace
+            }
+        };
         // Interleave cores so sharer lists build up the way concurrent
         // execution would build them.
         for i in 0..per_core as usize {
-            for (physical, accesses) in &batches {
-                let req = accesses[i];
-                let bank = self.bank_of(req.line);
-                self.banks[bank].access(*physical, req.line, req.write);
+            for (slot, accesses) in trace.accesses.iter().enumerate() {
+                let packed = accesses[i];
+                let line = packed & !WRITE_BIT;
+                let bank = self.bank_of(line);
+                self.banks[bank].access(self.active[slot], line, packed & WRITE_BIT != 0);
             }
         }
         for bank in &mut self.banks {
             bank.reset_stats();
         }
+        warm_states().lock().expect("warm memo lock").store(
+            key,
+            Arc::new(WarmState {
+                banks: self.banks.clone(),
+                cores: self.cores.clone(),
+            }),
+        );
     }
 
+    /// Advances simulated time by `cycles`.
+    ///
+    /// The event-driven engine only executes a tick when something can
+    /// happen, then jumps straight to the next interesting cycle — the
+    /// minimum over the network's next event, the pending bank/memory
+    /// completions, and each core's next required poll. Every skipped
+    /// cycle is one where the per-cycle reference tick would have done
+    /// nothing, so results are bit-identical to stepping every cycle
+    /// (and the equivalence tests hold both engines to that).
     fn advance(&mut self, cycles: u64) {
         let end = self.cycle + cycles;
+        if self.reference {
+            while self.cycle < end {
+                let now = self.cycle;
+                self.tick(now, true);
+                self.cycle += 1;
+            }
+            return;
+        }
         while self.cycle < end {
             let now = self.cycle;
-            // 1. Network deliveries.
-            for d in self.net.step(now) {
-                match d.class {
-                    MessageClass::Request => {
-                        // Arrived at the home bank: start the array access
-                        // when the bank pipeline has a slot.
-                        let open = self.open[&d.packet];
-                        let start = now.max(self.bank_free_at[open.bank]);
-                        // Initiation interval of 2 cycles per bank.
-                        self.bank_free_at[open.bank] = start + 2;
-                        self.bank_events.push(Scheduled {
-                            due: start + self.bank_latency,
-                            packet: d.packet,
-                        });
-                    }
-                    MessageClass::SnoopRequest => {
-                        // Arrived at a core: invalidate the line in its L1
-                        // and acknowledge.
-                        let parent = self.snoop_parent.remove(&d.packet).expect("parent");
-                        if let Some(open) = self.open.get(&parent) {
-                            let line = open.line;
-                            // Map the snooped node back to a thread.
-                            if let Some(t) =
-                                self.active.iter().position(|&p| self.core_node(p) == d.dst)
-                            {
-                                self.l1s[t].snoop_invalidate(line);
-                            }
-                        }
-                        let ack = self
-                            .net
-                            .inject(d.dst, d.src, MessageClass::Response, 0, now);
-                        self.snoop_parent.insert(ack, parent);
-                    }
-                    MessageClass::Response => {
-                        if let Some(parent) = self.snoop_parent.remove(&d.packet) {
-                            // A snoop acknowledgement back at the directory.
-                            let open = self.open.get_mut(&parent).expect("parent open");
-                            open.pending_acks -= 1;
-                            if open.pending_acks == 0 {
-                                self.respond(parent, now);
-                            }
-                        } else {
-                            let (core, fetch, issued_at) =
-                                self.response_meta.remove(&d.packet).expect("response meta");
-                            self.request_latency.record(now - issued_at);
-                            if let Some(log) = &mut self.events {
-                                // One Chrome-trace slice per completed
-                                // transaction, spanning issue to retire on
-                                // the issuing core's track.
-                                log.record(sop_obs::Event {
-                                    ts: issued_at,
-                                    dur: Some(now - issued_at),
-                                    name: if fetch { "fetch" } else { "data" },
-                                    cat: "txn",
-                                    track: u64::from(core),
-                                    args: Vec::new(),
-                                });
-                            }
-                            let thread = self.thread_of(core);
-                            self.cores[thread].on_response(fetch);
-                        }
-                    }
-                }
+            self.tick(now, false);
+            let mut next = end;
+            if let Some(c) = self.net.next_event_cycle() {
+                next = next.min(c);
             }
-            // 2. Bank accesses completing.
-            while self
-                .bank_events
-                .peek()
-                .map(|e| e.due <= now)
-                .unwrap_or(false)
-            {
-                let ev = self.bank_events.pop().expect("peeked");
-                self.finish_bank_access(ev.packet, now);
+            if let Some(e) = self.bank_events.peek() {
+                next = next.min(e.due);
             }
-            // 3. Memory returns.
-            while self
-                .mem_events
-                .peek()
-                .map(|e| e.due <= now)
-                .unwrap_or(false)
-            {
-                let ev = self.mem_events.pop().expect("peeked");
-                self.respond(ev.packet, now);
+            if let Some(e) = self.mem_events.peek() {
+                next = next.min(e.due);
             }
-            // 4. Cores issue.
-            for t in 0..self.active.len() {
-                if let Some(req) = self.cores[t].poll(now) {
-                    let physical = self.active[t];
-                    self.issue_request(physical, req, now);
-                }
+            for &c in &self.core_next_poll {
+                next = next.min(c);
             }
-            self.cycle += 1;
+            self.cycle = next.clamp(now + 1, end);
         }
     }
 
-    fn finish_bank_access(&mut self, packet: PacketId, now: u64) {
-        let open = *self.open.get(&packet).expect("open request");
+    /// One simulation cycle, in the reference phase order: network
+    /// deliveries, bank completions, memory returns, core issue. With
+    /// `full` the network sweeps every router and every core is polled
+    /// (the reference semantics); otherwise only active routers and
+    /// cores whose poll is due run.
+    fn tick(&mut self, now: u64, full: bool) {
+        // 1. Network deliveries.
+        let delivered = if full {
+            self.net.step_full(now)
+        } else {
+            self.net.step(now)
+        };
+        for d in delivered {
+            match self.roles.remove(d.packet).expect("packet has a role") {
+                PacketRole::Request(txn) => {
+                    // Arrived at the home bank: start the array access
+                    // when the bank pipeline has a slot.
+                    let bank = self.txns.get(txn).expect("open request").bank;
+                    let start = now.max(self.bank_free_at[bank]);
+                    // Initiation interval of 2 cycles per bank.
+                    self.bank_free_at[bank] = start + 2;
+                    self.bank_events.push(Scheduled {
+                        due: start + self.bank_latency,
+                        txn,
+                    });
+                }
+                PacketRole::Snoop(txn) => {
+                    // Arrived at a core: invalidate the line in its L1
+                    // and acknowledge.
+                    if let Some(open) = self.txns.get(txn) {
+                        let line = open.line;
+                        // Map the snooped node back to a thread.
+                        if let Some(t) =
+                            self.active.iter().position(|&p| self.core_node(p) == d.dst)
+                        {
+                            self.l1s[t].snoop_invalidate(line);
+                        }
+                    }
+                    let ack = self
+                        .net
+                        .inject(d.dst, d.src, MessageClass::Response, 0, now);
+                    self.roles.insert(ack, PacketRole::SnoopAck(txn));
+                }
+                PacketRole::SnoopAck(txn) => {
+                    // A snoop acknowledgement back at the directory.
+                    let open = self.txns.get_mut(txn).expect("parent open");
+                    open.pending_acks -= 1;
+                    if open.pending_acks == 0 {
+                        self.respond(txn, now);
+                    }
+                }
+                PacketRole::Data {
+                    core,
+                    fetch,
+                    issued_at,
+                } => {
+                    self.request_latency.record(now - issued_at);
+                    if let Some(log) = &mut self.events {
+                        // One Chrome-trace slice per completed
+                        // transaction, spanning issue to retire on
+                        // the issuing core's track.
+                        log.record(sop_obs::Event {
+                            ts: issued_at,
+                            dur: Some(now - issued_at),
+                            name: if fetch { "fetch" } else { "data" },
+                            cat: "txn",
+                            track: u64::from(core),
+                            args: Vec::new(),
+                        });
+                    }
+                    let thread = self.thread_of(core);
+                    self.cores[thread].on_response(fetch);
+                    // The response may unblock the core this very cycle;
+                    // the issue phase below runs after deliveries, exactly
+                    // as the reference phase order has it.
+                    self.core_next_poll[thread] = now;
+                }
+            }
+        }
+        // 2. Bank accesses completing.
+        while self
+            .bank_events
+            .peek()
+            .map(|e| e.due <= now)
+            .unwrap_or(false)
+        {
+            let ev = self.bank_events.pop().expect("peeked");
+            self.finish_bank_access(ev.txn, now);
+        }
+        // 3. Memory returns.
+        while self
+            .mem_events
+            .peek()
+            .map(|e| e.due <= now)
+            .unwrap_or(false)
+        {
+            let ev = self.mem_events.pop().expect("peeked");
+            self.respond(ev.txn, now);
+        }
+        // 4. Cores issue, in ascending thread order (injection order
+        // decides packet ids, so the order is part of the semantics).
+        // Skipped cores are exactly those whose poll would return None
+        // without side effects — see `SimCore::next_poll_cycle`.
+        for t in 0..self.active.len() {
+            if !full && self.core_next_poll[t] > now {
+                continue;
+            }
+            if let Some(req) = self.cores[t].poll(now) {
+                let physical = self.active[t];
+                self.issue_request(physical, req, now);
+            }
+            self.core_next_poll[t] = self.cores[t].next_poll_cycle(now).unwrap_or(u64::MAX);
+        }
+    }
+
+    fn finish_bank_access(&mut self, txn: Key, now: u64) {
+        let open = *self.txns.get(txn).expect("open request");
         let outcome = self.banks[open.bank].access(open.core, open.line, open.write);
         match outcome {
             BankOutcome::Hit { snoop } if snoop.is_empty() => {
                 if let Some(log) = &mut self.events {
                     log.instant(now, "llc_hit", "llc", open.bank as u64);
                 }
-                self.respond(packet, now);
+                self.respond(txn, now);
             }
             BankOutcome::Hit { snoop } => {
                 if let Some(log) = &mut self.events {
@@ -641,9 +957,9 @@ impl Machine {
                     let sp = self
                         .net
                         .inject(src, dst, MessageClass::SnoopRequest, 0, now);
-                    self.snoop_parent.insert(sp, packet);
+                    self.roles.insert(sp, PacketRole::Snoop(txn));
                 }
-                self.open.get_mut(&packet).expect("open").pending_acks = n;
+                self.txns.get_mut(txn).expect("open").pending_acks = n;
             }
             BankOutcome::Miss { writeback } => {
                 if let Some(log) = &mut self.events {
@@ -662,7 +978,7 @@ impl Machine {
                     // its data returns.
                     log.complete(now, ready - now, "mem_fetch", "mem", ch as u64);
                 }
-                self.mem_events.push(Scheduled { due: ready, packet });
+                self.mem_events.push(Scheduled { due: ready, txn });
             }
         }
     }

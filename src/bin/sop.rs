@@ -10,9 +10,12 @@
 //! sop sweep  <ch2|ch3|ch4|ch5|ch6|all> [--jobs N] [--no-cache] [--resume]
 //!            [--json FILE] [--quick] [--stable]
 //!                                             run a named experiment campaign
+//! sop bench  [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE]
+//!            [--baseline FILE] [--tol PCT]    time the simulator hot paths
 //! sop list                                    list design names
 //! ```
 
+use scale_out_processors::bench::bench::{check_regression, run_suite, BENCH_CAMPAIGNS};
 use scale_out_processors::bench::campaign::{run_campaign, CAMPAIGNS};
 use scale_out_processors::core::designs::{reference_chip, DesignKind};
 use scale_out_processors::core::pod::{optimal_pod, preferred_pod, PodSearchSpace};
@@ -37,6 +40,7 @@ fn main() {
         "stack" => stack(&args),
         "trace" => trace(&args),
         "sweep" => sweep(&args),
+        "bench" => bench(&args),
         "list" => list(),
         _ => usage(),
     }
@@ -51,6 +55,10 @@ fn usage() {
     eprintln!(
         "       sop sweep <ch2|ch3|ch4|ch5|ch6|all> [--jobs N] [--no-cache] [--resume] \
          [--json FILE] [--quick] [--stable]"
+    );
+    eprintln!(
+        "       sop bench [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE] \
+         [--baseline FILE] [--tol PCT]"
     );
     eprintln!("       sop list");
     std::process::exit(2);
@@ -97,6 +105,101 @@ fn sweep(args: &[String]) {
         exec.workers()
     );
     println!("wrote {out}");
+}
+
+/// Times the simulator micro-benchmarks and cold chapter campaigns and
+/// writes the numbers as a `bench` section in a `sop-report/v1`
+/// document. With `--baseline FILE` the run becomes a regression gate:
+/// any campaign more than `--tol` percent (default 25) slower than the
+/// baseline document fails the command.
+fn bench(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let only_arg = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let only: Option<Vec<&str>> = only_arg.as_deref().map(|list| {
+        list.split(',')
+            .map(|name| {
+                BENCH_CAMPAIGNS
+                    .iter()
+                    .copied()
+                    .find(|c| *c == name)
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown bench campaign {name:?}; one of: {}",
+                            BENCH_CAMPAIGNS.join(" ")
+                        );
+                        std::process::exit(2);
+                    })
+            })
+            .collect()
+    });
+    let out = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_owned());
+    let tol: f64 = args
+        .iter()
+        .position(|a| a == "--tol")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+
+    let mut spans = SpanLog::new();
+    let data = spans.time("bench", |_| run_suite(quick, jobs, only.as_deref()));
+    let mut report = Report::new("bench", "Scale-Out Processors: simulator benchmarks");
+    report.set("bench", data.clone());
+    let doc = report.to_json(&spans, &Registry::new());
+    if let Err(e) = std::fs::write(&out, doc.to_pretty_string() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    for row in data.get("campaigns").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = row.get("campaign").and_then(Json::as_str).unwrap_or("?");
+        let wall = row.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+        match row.get("mcycles_per_sec").and_then(Json::as_f64) {
+            Some(rate) => println!("{name:5} {wall:7.0}ms  {rate:8.3} Mcycles/s"),
+            None => println!("{name:5} {wall:7.0}ms  (analytic)"),
+        }
+    }
+    if let Some(x) = data.get("speedup_vs_baseline").and_then(Json::as_f64) {
+        println!("speedup vs per-cycle baseline: {x:.2}x");
+    }
+    println!("wrote {out}");
+
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+    {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let base = scale_out_processors::obs::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("baseline {path} is not valid JSON: {e:?}");
+            std::process::exit(1);
+        });
+        let violations = check_regression(&doc, &base, tol);
+        if violations.is_empty() {
+            println!("bench within {tol:.0}% of {path}");
+        } else {
+            for v in &violations {
+                eprintln!("REGRESSION {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn core_kind(args: &[String]) -> CoreKind {

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use scale_out_processors::core::PodConfig;
 use scale_out_processors::model::{DesignPoint, Interconnect};
+use scale_out_processors::noc::slab::Slab;
 use scale_out_processors::noc::{MessageClass, Network, NocConfig, TopologyKind};
 use scale_out_processors::sim::{DirectoryState, LlcBank};
 use scale_out_processors::tco::estimated_price_usd;
@@ -251,6 +252,72 @@ proptest! {
         let done = net.drain(100_000);
         let d = done.iter().find(|d| d.packet == id).expect("delivered");
         prop_assert!(d.latency() >= u64::from(zero_load + serialization));
+    }
+
+    /// Slab keys never alias: whatever interleaving of inserts and
+    /// removes runs, a key handed out for a since-removed value sees
+    /// nothing, even when its slot has been recycled many times over.
+    #[test]
+    fn slab_generation_reuse_never_aliases(
+        ops in prop::collection::vec((prop::bool::ANY, 0usize..8), 1..200)
+    ) {
+        let mut slab = Slab::new();
+        let mut live: Vec<(scale_out_processors::noc::slab::Key, u64)> = Vec::new();
+        let mut dead: Vec<scale_out_processors::noc::slab::Key> = Vec::new();
+        let mut stamp = 0u64;
+        for &(insert, pick) in &ops {
+            if insert || live.is_empty() {
+                stamp += 1;
+                live.push((slab.insert(stamp), stamp));
+            } else {
+                let (key, _) = live.swap_remove(pick % live.len());
+                prop_assert!(slab.remove(key).is_some());
+                dead.push(key);
+            }
+            // Every live key reads exactly its own value…
+            for &(key, value) in &live {
+                prop_assert_eq!(slab.get(key), Some(&value));
+            }
+            // …and every retired key reads nothing, forever.
+            for &key in &dead {
+                prop_assert_eq!(slab.get(key), None);
+                prop_assert!(!slab.contains(key));
+            }
+            prop_assert_eq!(slab.len(), live.len());
+        }
+    }
+
+    /// The slab agrees with a HashMap oracle under random packet
+    /// inject/deliver traffic, including deferred slot reclaim at step
+    /// boundaries (the network's usage pattern).
+    #[test]
+    fn slab_matches_hashmap_oracle(
+        steps in prop::collection::vec(
+            prop::collection::vec((prop::bool::ANY, 0u64..1_000_000), 0..12),
+            1..30,
+        )
+    ) {
+        let mut slab = Slab::new();
+        let mut oracle = std::collections::HashMap::new();
+        let mut keys: Vec<scale_out_processors::noc::slab::Key> = Vec::new();
+        for step in &steps {
+            slab.reclaim_deferred();
+            for &(inject, payload) in step {
+                if inject || keys.is_empty() {
+                    let key = slab.insert(payload);
+                    oracle.insert(key, payload);
+                    keys.push(key);
+                } else {
+                    // Deliver the oldest in-flight packet, FIFO-ish.
+                    let key = keys.remove(payload as usize % keys.len());
+                    prop_assert_eq!(slab.remove_deferred(key), oracle.remove(&key));
+                }
+            }
+            prop_assert_eq!(slab.len(), oracle.len());
+            for (&key, value) in &oracle {
+                prop_assert_eq!(slab.get(key), Some(value));
+            }
+        }
     }
 
     /// The whole machine is deterministic: identical configurations give
