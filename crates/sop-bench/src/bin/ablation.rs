@@ -143,6 +143,7 @@ fn llc_row(exec: &Exec, metrics: &mut Registry) -> Json {
             llc_tiles: Some(tiles),
             warm: 4_000,
             measure: 10_000,
+            faults: None,
         })
         .collect();
     let points = sim_points(exec, "ablation.llcrow", &specs);
@@ -197,6 +198,7 @@ fn links(exec: &Exec, metrics: &mut Registry) -> Json {
             llc_tiles: None,
             warm: 3_000,
             measure: 8_000,
+            faults: None,
         })
         .collect();
     let points = sim_points(exec, "ablation.links", &specs);

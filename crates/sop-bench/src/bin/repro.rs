@@ -28,15 +28,25 @@
 //! * `--stable` — strip wall-clock spans and `exec.*` state from the
 //!   `--json` report so reports from different worker counts and cache
 //!   states compare byte-for-byte.
+//! * `--fault routers:N@CYCLE[:seed=S]` — run every simulation point
+//!   under N seeded router deaths at CYCLE (graceful-degradation
+//!   exercise). Faulted specs hash differently, so the fault-free cache
+//!   is never contaminated; goldens are measured on the healthy machine
+//!   and may legitimately fail under damage.
+//!
+//! The `degradation` experiment id prints the seeded router-death sweep
+//! (pod throughput vs fraction of failed routers); it is not part of
+//! `all`, which stays the canonical fault-free reproduction.
 //!
 //! After the requested figures, every run re-verifies the pinned golden
 //! values (see `tests/golden.rs` and EXPERIMENTS.md) and exits non-zero
 //! if any reproduced value deviates beyond tolerance.
 
+use sop_bench::points::{set_global_faults, SpecFaults};
 use sop_bench::report::{checks_json, golden_checks, pod_sample_metrics};
-use sop_bench::{ch2, ch3, ch4, ch5, ch6};
+use sop_bench::{ch2, ch3, ch4, ch5, ch6, degradation};
 use sop_exec::{Exec, ExecConfig};
-use sop_obs::{stabilized, Json, Registry, Report, SpanLog};
+use sop_obs::{stabilized, write_atomic, Json, Registry, Report, SpanLog};
 use sop_tech::{CoreKind, TechnologyNode};
 
 fn main() {
@@ -45,12 +55,24 @@ fn main() {
     let quiet = args.iter().any(|a| a == "--quiet");
     let stable = args.iter().any(|a| a == "--stable");
     let json_path = flag_value(&args, "--json");
+    let fault = match flag_value(&args, "--fault").as_deref().map(parse_fault) {
+        None => None,
+        Some(Ok(f)) => {
+            set_global_faults(f);
+            Some(f)
+        }
+        Some(Err(e)) => {
+            eprintln!("repro: bad --fault value: {e}");
+            eprintln!("       expected routers:<count>@<cycle>[:seed=<seed>]");
+            std::process::exit(2);
+        }
+    };
     let exec = Exec::new(ExecConfig::from_args(&args));
     let ids = experiment_ids(&args);
     if ids.is_empty() {
         eprintln!(
             "usage: repro <experiment id>... | all [--quick] [--json <path>] [--quiet] \
-             [--jobs N] [--no-cache] [--resume] [--stable]"
+             [--jobs N] [--no-cache] [--resume] [--stable] [--fault routers:N@CYCLE]"
         );
         eprintln!("see DESIGN.md for the experiment index");
         std::process::exit(2);
@@ -110,6 +132,13 @@ fn main() {
         );
     }
 
+    // Harness-level job failures: report them (and exit non-zero), but
+    // only after everything that succeeded has been printed and written.
+    let failures = exec.failures();
+    for f in &failures {
+        eprintln!("repro: job failed: {} ({})", f.name, f.error);
+    }
+
     if let Some(path) = json_path {
         // A sample pod window gives the report real simulation metrics;
         // the engine contributes its exec.* counters on top.
@@ -123,18 +152,53 @@ fn main() {
         report.set("quick", Json::from(quick));
         report.set("golden", checks_json(&checks));
         report.set("exec", exec_summary(&exec));
+        if let Some(f) = fault {
+            report.set("fault", f.to_json());
+        }
+        if !failures.is_empty() {
+            report.set(
+                "failures",
+                Json::Arr(failures.iter().map(sop_exec::JobFailure::to_json).collect()),
+            );
+        }
         let doc = report.to_json(&spans, &metrics);
         let doc = if stable { stabilized(&doc) } else { doc };
-        if let Err(e) = std::fs::write(&path, doc.to_pretty_string() + "\n") {
+        if let Err(e) = write_atomic(&path, &(doc.to_pretty_string() + "\n")) {
             eprintln!("repro: cannot write {path}: {e}");
             std::process::exit(1);
         }
         println!("wrote {path}");
     }
 
-    if failed > 0 {
+    if failed > 0 || !failures.is_empty() {
         std::process::exit(1);
     }
+}
+
+/// Parses `routers:<count>@<cycle>[:seed=<seed>]` into a [`SpecFaults`].
+fn parse_fault(v: &str) -> Result<SpecFaults, String> {
+    let rest = v
+        .strip_prefix("routers:")
+        .ok_or_else(|| format!("{v:?} does not start with \"routers:\""))?;
+    let (count_cycle, seed) = match rest.split_once(":seed=") {
+        Some((cc, s)) => (
+            cc,
+            s.parse::<u64>().map_err(|e| format!("seed {s:?}: {e}"))?,
+        ),
+        None => (rest, degradation::SWEEP_SEED),
+    };
+    let (count, cycle) = count_cycle
+        .split_once('@')
+        .ok_or_else(|| format!("{count_cycle:?} has no @<cycle>"))?;
+    Ok(SpecFaults {
+        seed,
+        dead: count
+            .parse::<u32>()
+            .map_err(|e| format!("count {count:?}: {e}"))?,
+        cycle: cycle
+            .parse::<u64>()
+            .map_err(|e| format!("cycle {cycle:?}: {e}"))?,
+    })
 }
 
 /// The `exec` report section: how the engine ran this time. Everything
@@ -172,7 +236,7 @@ fn experiment_ids(args: &[String]) -> Vec<String> {
             continue;
         }
         match a.as_str() {
-            "--json" | "--jobs" => skip = true,
+            "--json" | "--jobs" | "--fault" => skip = true,
             "--quick" | "--quiet" | "--no-cache" | "--resume" | "--stable" => {}
             _ => ids.push(a.clone()),
         }
@@ -258,6 +322,7 @@ fn dispatch(id: &str, quick: bool, exec: &Exec) {
         "fig6.7" => ch6::print_strategy_comparison(CoreKind::InOrder),
         "tab6.1" => ch2::print_tab2_1(),
         "tab6.2" => ch6::print_tab6_2(),
+        "degradation" => degradation::print_sweep_on(exec, quick),
         other => {
             eprintln!("unknown experiment id: {other}");
             std::process::exit(2);

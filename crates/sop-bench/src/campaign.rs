@@ -6,14 +6,17 @@
 //! out over the worker pool. `all` runs every chapter into one merged
 //! document.
 
-use crate::{ch2, ch3, ch4, ch5, ch6};
+use crate::{ch2, ch3, ch4, ch5, ch6, degradation};
 use sop_exec::Exec;
 use sop_noc::TopologyKind;
 use sop_obs::Json;
 use sop_workloads::Workload;
 
-/// The campaigns `sop sweep` accepts.
-pub const CAMPAIGNS: [&str; 6] = ["ch2", "ch3", "ch4", "ch5", "ch6", "all"];
+/// The campaigns `sop sweep` accepts. `all` merges the chapters only:
+/// `degradation` injects faults, and the canonical fault-free
+/// reproduction must stay byte-identical whether or not the sweep ever
+/// ran.
+pub const CAMPAIGNS: [&str; 7] = ["ch2", "ch3", "ch4", "ch5", "ch6", "degradation", "all"];
 
 /// Runs the named campaign and returns its data as a JSON section:
 /// one member per figure, rows in figure order. `None` for an unknown
@@ -25,6 +28,7 @@ pub fn run_campaign(name: &str, quick: bool, exec: &Exec) -> Option<Json> {
         "ch4" => Some(ch4_data(quick, exec)),
         "ch5" => Some(ch5_data(exec)),
         "ch6" => Some(ch6_data(exec)),
+        "degradation" => Some(degradation_data(quick, exec)),
         "all" => Some(
             Json::object()
                 .with("ch2", ch2_data(exec))
@@ -146,6 +150,18 @@ fn ch4_data(quick: bool, exec: &Exec) -> Json {
         .with("fig4.3", fig4_3)
         .with("fig4.6", fig4_6)
         .with("fig4.9", fig4_9)
+}
+
+fn degradation_data(quick: bool, exec: &Exec) -> Json {
+    Json::object().with(
+        "degradation",
+        Json::Arr(
+            degradation::sweep_on(exec, quick)
+                .iter()
+                .map(degradation::DegradationRow::to_json)
+                .collect(),
+        ),
+    )
 }
 
 fn ch5_data(exec: &Exec) -> Json {

@@ -92,6 +92,7 @@ pub fn fig3_3_specs(workload: Workload, topology: TopologyKind, quick: bool) -> 
             topology,
             warm,
             measure,
+            faults: None,
         })
         .collect()
 }
@@ -190,6 +191,12 @@ pub fn print_fig3_3_on(exec: &Exec, quick: bool) {
         let pts = fig3_3_rows(specs, &all_points[offset..offset + specs.len()]);
         offset += specs.len();
         for p in &pts {
+            // A degraded, halted, or failed point (fault injection, job
+            // failure) has no meaningful model error; keep it out of the
+            // statistics instead of panicking on a non-positive IPC.
+            if p.simulated_ipc.is_nan() || p.simulated_ipc <= 0.0 {
+                continue;
+            }
             if p.cores <= 16 {
                 small.record(p.modeled_ipc, p.simulated_ipc);
             } else {
@@ -206,6 +213,10 @@ pub fn print_fig3_3_on(exec: &Exec, quick: bool) {
             .collect();
         println!("    {:16} sim   {}", w.label(), sim.join(" "));
         println!("    {:16} model {}", "", model.join("    "));
+    }
+    if small.is_empty() || large.is_empty() {
+        println!("  model error statistics skipped (degraded or failed points)");
+        return;
     }
     println!(
         "  model error <=16 cores: mean {:.0}%, bias {:+.0}%, correlation {:.2}",

@@ -52,6 +52,7 @@ pub fn pod_spec(
         llc_tiles: None,
         warm,
         measure,
+        faults: None,
     }
 }
 
@@ -234,6 +235,7 @@ pub fn fig4_9_power_on(exec: &Exec, quick: bool) -> Vec<(TopologyKind, f64)> {
                 llc_tiles: None,
                 warm,
                 measure,
+                faults: None,
             })
         })
         .collect();

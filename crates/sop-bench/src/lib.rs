@@ -12,6 +12,7 @@ pub mod ch3;
 pub mod ch4;
 pub mod ch5;
 pub mod ch6;
+pub mod degradation;
 pub mod points;
 pub mod report;
 

@@ -13,10 +13,36 @@
 //! figure, only how fast it appears.
 
 use sop_exec::{Exec, Job};
+use sop_fault::FaultPlan;
 use sop_noc::TopologyKind;
 use sop_obs::Json;
-use sop_sim::{Machine, SimConfig};
+use sop_sim::{HaltReason, Machine, SimConfig};
 use sop_workloads::Workload;
+
+/// A seeded router-death schedule attached to a spec: `dead` distinct
+/// routers (chosen by `seed` over the machine's fabric) die at `cycle`.
+/// Kept `Copy`-small so specs stay plain values; the concrete
+/// [`FaultPlan`] is expanded at evaluation time once the router universe
+/// is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecFaults {
+    /// Victim-selection seed.
+    pub seed: u64,
+    /// Number of routers killed.
+    pub dead: u32,
+    /// Cycle at which they all die.
+    pub cycle: u64,
+}
+
+impl SpecFaults {
+    /// Cache-identity form.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("seed", self.seed)
+            .with("dead_routers", self.dead)
+            .with("cycle", self.cycle)
+    }
+}
 
 /// One fully-specified cycle-level simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +59,10 @@ pub enum SimPointSpec {
         warm: u64,
         /// Measured cycles.
         measure: u64,
+        /// Injected faults (`None` for the healthy machine; absent from
+        /// the cache identity when `None` so pre-fault entries stay
+        /// valid).
+        faults: Option<SpecFaults>,
     },
     /// The chapter 4 64-core pod (`SimConfig::pod_64`), with the
     /// ablations' knobs exposed.
@@ -49,6 +79,10 @@ pub enum SimPointSpec {
         warm: u64,
         /// Measured cycles.
         measure: u64,
+        /// Injected faults (`None` for the healthy machine; absent from
+        /// the cache identity when `None` so pre-fault entries stay
+        /// valid).
+        faults: Option<SpecFaults>,
     },
 }
 
@@ -56,20 +90,24 @@ impl SimPointSpec {
     /// The spec's cache identity. Every field that influences the
     /// simulation appears here; the seed is fixed by the presets.
     pub fn to_json(&self) -> Json {
-        match *self {
+        let (doc, faults) = match *self {
             SimPointSpec::Validation {
                 workload,
                 cores,
                 topology,
                 warm,
                 measure,
-            } => Json::object()
-                .with("kind", "sim.validation")
-                .with("workload", workload.label())
-                .with("cores", cores)
-                .with("topology", format!("{topology:?}").as_str())
-                .with("warm", warm)
-                .with("measure", measure),
+                faults,
+            } => (
+                Json::object()
+                    .with("kind", "sim.validation")
+                    .with("workload", workload.label())
+                    .with("cores", cores)
+                    .with("topology", format!("{topology:?}").as_str())
+                    .with("warm", warm)
+                    .with("measure", measure),
+                faults,
+            ),
             SimPointSpec::Pod64 {
                 workload,
                 topology,
@@ -77,23 +115,33 @@ impl SimPointSpec {
                 llc_tiles,
                 warm,
                 measure,
-            } => Json::object()
-                .with("kind", "sim.pod64")
-                .with("workload", workload.label())
-                .with("topology", format!("{topology:?}").as_str())
-                .with("link_bits", link_bits)
-                .with(
-                    "llc_tiles",
-                    llc_tiles.map_or(Json::Null, |t| Json::UInt(u64::from(t))),
-                )
-                .with("warm", warm)
-                .with("measure", measure),
+                faults,
+            } => (
+                Json::object()
+                    .with("kind", "sim.pod64")
+                    .with("workload", workload.label())
+                    .with("topology", format!("{topology:?}").as_str())
+                    .with("link_bits", link_bits)
+                    .with(
+                        "llc_tiles",
+                        llc_tiles.map_or(Json::Null, |t| Json::UInt(u64::from(t))),
+                    )
+                    .with("warm", warm)
+                    .with("measure", measure),
+                faults,
+            ),
+        };
+        // Only faulted specs carry the key: healthy specs hash exactly as
+        // they did before fault injection existed, preserving caches.
+        match faults {
+            Some(f) => doc.with("faults", f.to_json()),
+            None => doc,
         }
     }
 
     /// A short label for manifests and progress output.
     pub fn name(&self) -> String {
-        match *self {
+        let base = match *self {
             SimPointSpec::Validation {
                 workload,
                 cores,
@@ -110,7 +158,28 @@ impl SimPointSpec {
                 Some(t) => format!("pod/{}/{topology:?}/{link_bits}b/{t}t", workload.label()),
                 None => format!("pod/{}/{topology:?}/{link_bits}b", workload.label()),
             },
+        };
+        match self.faults() {
+            Some(f) => format!("{base}/kill{}r@{}s{}", f.dead, f.cycle, f.seed),
+            None => base,
         }
+    }
+
+    /// The spec's fault schedule, if any.
+    pub fn faults(&self) -> Option<SpecFaults> {
+        match *self {
+            SimPointSpec::Validation { faults, .. } | SimPointSpec::Pod64 { faults, .. } => faults,
+        }
+    }
+
+    /// The same spec with `faults` attached (sweep construction).
+    pub fn with_faults(mut self, f: Option<SpecFaults>) -> Self {
+        match &mut self {
+            SimPointSpec::Validation { faults, .. } | SimPointSpec::Pod64 { faults, .. } => {
+                *faults = f;
+            }
+        }
+        self
     }
 
     /// Runs the simulation this spec describes.
@@ -122,6 +191,7 @@ impl SimPointSpec {
                 topology,
                 warm,
                 measure,
+                ..
             } => (
                 SimConfig::validation(workload, cores, topology),
                 warm,
@@ -134,6 +204,7 @@ impl SimPointSpec {
                 llc_tiles,
                 warm,
                 measure,
+                ..
             } => {
                 let mut cfg = SimConfig::pod_64(workload, topology);
                 cfg.noc = cfg.noc.with_link_bits(link_bits);
@@ -143,7 +214,12 @@ impl SimPointSpec {
                 (cfg, warm, measure)
             }
         };
-        let r = Machine::new(cfg).run(warm, measure);
+        let mut m = Machine::new(cfg);
+        if let Some(f) = self.faults() {
+            let plan = FaultPlan::seeded_router_deaths(f.seed, f.dead, m.router_count(), f.cycle);
+            m.set_fault_plan(&plan);
+        }
+        let r = m.run(warm, measure);
         SimPoint {
             aggregate_ipc: r.aggregate_ipc(),
             per_core_ipc: r.per_core_ipc(),
@@ -151,6 +227,7 @@ impl SimPointSpec {
             mean_packet_latency: r.mean_packet_latency,
             noc_flit_hops: r.noc_flit_hops,
             noc_flit_mm: r.noc_flit_mm,
+            halted: r.halted,
         }
     }
 }
@@ -170,18 +247,41 @@ pub struct SimPoint {
     pub noc_flit_hops: u64,
     /// Flit-millimetres of wire traversed during the window.
     pub noc_flit_mm: f64,
+    /// Structured early-stop outcome (`None` for a healthy run; only
+    /// faulted machines ever halt).
+    pub halted: Option<HaltReason>,
 }
 
 impl SimPoint {
     /// Serializes for the result cache.
     pub fn to_json(&self) -> Json {
-        Json::object()
+        let doc = Json::object()
             .with("aggregate_ipc", self.aggregate_ipc)
             .with("per_core_ipc", self.per_core_ipc)
             .with("snoop_fraction", self.snoop_fraction)
             .with("mean_packet_latency", self.mean_packet_latency)
             .with("noc_flit_hops", self.noc_flit_hops)
-            .with("noc_flit_mm", self.noc_flit_mm)
+            .with("noc_flit_mm", self.noc_flit_mm);
+        // Written only when set: healthy results stay byte-identical to
+        // their pre-fault form.
+        match self.halted {
+            Some(h) => doc.with("halted", h.key()),
+            None => doc,
+        }
+    }
+
+    /// The placeholder for a job that failed: every scalar is NaN so a
+    /// poisoned value can never silently pass a golden check.
+    pub fn failed() -> Self {
+        SimPoint {
+            aggregate_ipc: f64::NAN,
+            per_core_ipc: f64::NAN,
+            snoop_fraction: f64::NAN,
+            mean_packet_latency: f64::NAN,
+            noc_flit_hops: 0,
+            noc_flit_mm: f64::NAN,
+            halted: None,
+        }
     }
 
     /// Deserializes a cached result.
@@ -199,18 +299,39 @@ impl SimPoint {
             mean_packet_latency: f("mean_packet_latency"),
             noc_flit_hops: f("noc_flit_hops") as u64,
             noc_flit_mm: f("noc_flit_mm"),
+            halted: doc
+                .get("halted")
+                .and_then(Json::as_str)
+                .and_then(HaltReason::from_key),
         }
     }
+}
+
+/// Process-wide fault override (`repro --fault routers:N@CYCLE`): every
+/// simulation point that does not already carry a schedule runs under
+/// this one. Set once at startup, before any campaign; faulted specs
+/// hash differently, so the override never contaminates fault-free cache
+/// entries.
+static GLOBAL_FAULTS: std::sync::OnceLock<SpecFaults> = std::sync::OnceLock::new();
+
+/// Installs the process-wide fault override. Returns `false` if one was
+/// already set (the first one wins).
+pub fn set_global_faults(f: SpecFaults) -> bool {
+    GLOBAL_FAULTS.set(f).is_ok()
 }
 
 /// Evaluates `specs` as one campaign on `exec`: duplicates collapse,
 /// cached points are served from disk, fresh points run on the worker
 /// pool, and the results come back in spec order.
 pub fn sim_points(exec: &Exec, campaign: &str, specs: &[SimPointSpec]) -> Vec<SimPoint> {
+    let global = GLOBAL_FAULTS.get().copied();
     let jobs: Vec<Job<'_>> = specs
         .iter()
         .map(|spec| {
-            let spec = *spec;
+            let spec = match (spec.faults(), global) {
+                (None, Some(g)) => spec.with_faults(Some(g)),
+                _ => *spec,
+            };
             Job::new(spec.name(), spec.to_json(), move |_| {
                 spec.evaluate().to_json()
             })
@@ -219,7 +340,13 @@ pub fn sim_points(exec: &Exec, campaign: &str, specs: &[SimPointSpec]) -> Vec<Si
     exec.run_campaign(campaign, jobs)
         .results
         .iter()
-        .map(SimPoint::from_json)
+        .map(|r| match r {
+            // A failed job leaves a `Json::Null` slot; surface it as a
+            // poisoned point instead of killing the whole campaign — the
+            // caller's report carries the failure details.
+            Json::Null => SimPoint::failed(),
+            doc => SimPoint::from_json(doc),
+        })
         .collect()
 }
 
@@ -235,6 +362,7 @@ mod tests {
             llc_tiles: None,
             warm: 500,
             measure: 1_000,
+            faults: None,
         }
     }
 
@@ -247,6 +375,7 @@ mod tests {
             mean_packet_latency: 14.2,
             noc_flit_hops: 123_456,
             noc_flit_mm: 789.25,
+            halted: Some(HaltReason::Partition),
         };
         assert_eq!(SimPoint::from_json(&p.to_json()), p);
     }
@@ -280,6 +409,7 @@ mod tests {
             llc_tiles: Some(4),
             warm,
             measure,
+            faults: None,
         };
         assert_ne!(
             sop_exec::spec_hash(&base.to_json()),

@@ -173,6 +173,74 @@ impl ResultCache {
     }
 }
 
+/// The outcome of [`audit_dir`]: a census of every file under a cache
+/// directory, classified by whether it would be trusted on read.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct CacheAudit {
+    /// Entries that pass full validation (schema + hash + filename).
+    pub valid: usize,
+    /// `.json` entries that fail validation — truncated, corrupt,
+    /// hash-mismatched, or misnamed — listed by file name.
+    pub invalid: Vec<String>,
+    /// Leftover `*.tmp.<pid>` files from interrupted writes. Harmless
+    /// (never read) but evidence a writer died mid-put.
+    pub stray_tmp: Vec<String>,
+    /// Anything else (not `.json`, not a temp file).
+    pub other: Vec<String>,
+}
+
+impl CacheAudit {
+    /// True when every entry validates and no debris is present.
+    pub fn is_clean(&self) -> bool {
+        self.invalid.is_empty() && self.stray_tmp.is_empty() && self.other.is_empty()
+    }
+
+    /// The audit as a JSON section for run reports.
+    pub fn to_json(&self) -> Json {
+        let names = |v: &[String]| Json::Arr(v.iter().map(|n| Json::Str(n.clone())).collect());
+        Json::object()
+            .with("valid", self.valid as u64)
+            .with("invalid", names(&self.invalid))
+            .with("stray_tmp", names(&self.stray_tmp))
+            .with("other", names(&self.other))
+    }
+}
+
+/// Audits every file under `dir`, re-validating each `.json` entry the
+/// same way a read would (schema tag, embedded spec re-hash, filename
+/// agreement). A missing directory audits as empty and clean — an
+/// unpopulated cache is not an error. Used by the CI chaos job to assert
+/// that fault-injected campaigns leave zero truncated cache files.
+pub fn audit_dir(dir: impl AsRef<Path>) -> std::io::Result<CacheAudit> {
+    let dir = dir.as_ref();
+    let mut audit = CacheAudit::default();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(audit),
+        Err(e) => return Err(e),
+    };
+    let probe = ResultCache::on_disk(dir);
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .filter_map(|e| e.file_name().into_string().ok())
+        .collect();
+    names.sort();
+    for name in names {
+        let path = dir.join(&name);
+        let key = name
+            .strip_suffix(".json")
+            .and_then(crate::hash::parse_hash_hex);
+        match key {
+            Some(hash) if probe.read_disk(&path, hash).is_some() => audit.valid += 1,
+            Some(_) => audit.invalid.push(name),
+            None if name.contains(".tmp.") => audit.stray_tmp.push(name),
+            None => audit.other.push(name),
+        }
+    }
+    Ok(audit)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +336,46 @@ mod tests {
         .expect("write");
         let cache = ResultCache::on_disk(&dir);
         assert_eq!(cache.get(h), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn audit_classifies_valid_invalid_and_debris() {
+        let dir = scratch_dir("audit");
+        let cache = ResultCache::on_disk(&dir);
+        for x in 0..3u64 {
+            let spec = Json::object().with("x", x);
+            cache.put(spec_hash(&spec), &spec, &Json::UInt(x));
+        }
+        // Truncate one entry, drop a stray temp file and a README.
+        let spec = Json::object().with("x", 1u64);
+        let victim = dir.join(format!("{}.json", hash_hex(spec_hash(&spec))));
+        let full = std::fs::read_to_string(&victim).expect("entry");
+        std::fs::write(&victim, &full[..full.len() / 3]).expect("truncate");
+        std::fs::write(dir.join("deadbeef.json.tmp.123"), "partial").expect("tmp");
+        std::fs::write(dir.join("README"), "not an entry").expect("other");
+
+        let audit = audit_dir(&dir).expect("audit");
+        assert_eq!(audit.valid, 2);
+        assert_eq!(audit.invalid.len(), 1);
+        assert_eq!(audit.stray_tmp, vec!["deadbeef.json.tmp.123".to_owned()]);
+        assert_eq!(audit.other, vec!["README".to_owned()]);
+        assert!(!audit.is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn audit_of_missing_or_clean_dir_is_clean() {
+        let dir = scratch_dir("audit-clean");
+        let audit = audit_dir(&dir).expect("missing dir audits clean");
+        assert_eq!(audit, CacheAudit::default());
+        assert!(audit.is_clean());
+        let cache = ResultCache::on_disk(&dir);
+        let spec = Json::object().with("y", 9u64);
+        cache.put(spec_hash(&spec), &spec, &Json::UInt(9));
+        let audit = audit_dir(&dir).expect("audit");
+        assert_eq!(audit.valid, 1);
+        assert!(audit.is_clean());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,9 +16,10 @@
 
 use std::collections::{HashMap, HashSet};
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use sop_obs::{Json, Registry};
 
@@ -36,6 +37,8 @@ pub struct Job<'a> {
     pub spec: Json,
     /// Indices of jobs in the same campaign that must complete first.
     pub deps: Vec<usize>,
+    /// Whether a failure is worth retrying (see [`Job::transient`]).
+    pub retryable: bool,
     run: Box<dyn Fn(&Json) -> Json + Send + Sync + 'a>,
 }
 
@@ -50,6 +53,7 @@ impl<'a> Job<'a> {
             name: name.into(),
             spec,
             deps: Vec::new(),
+            retryable: false,
             run: Box::new(run),
         }
     }
@@ -58,6 +62,16 @@ impl<'a> Job<'a> {
     #[must_use]
     pub fn after(mut self, deps: &[usize]) -> Self {
         self.deps.extend_from_slice(deps);
+        self
+    }
+
+    /// Flags the job's failures as transient: the campaign runner retries
+    /// it (bounded, with exponential backoff) before declaring it failed.
+    /// Only appropriate when the failure mode really is transient —
+    /// flaky I/O, resource exhaustion — never for deterministic panics.
+    #[must_use]
+    pub fn transient(mut self) -> Self {
+        self.retryable = true;
         self
     }
 }
@@ -82,6 +96,45 @@ pub enum JobSource {
     /// Skipped via the campaign manifest on a resumed run (result came
     /// from the cache).
     Resumed,
+    /// Produced no result: the job panicked, timed out, or depended on a
+    /// failed job. Its slot in `results` is `Json::Null` and the details
+    /// live in [`CampaignRun::failures`].
+    Failed,
+}
+
+impl JobSource {
+    fn name(self) -> &'static str {
+        match self {
+            JobSource::Computed => "computed",
+            JobSource::Cached => "cached",
+            JobSource::Resumed => "resumed",
+            JobSource::Failed => "failed",
+        }
+    }
+}
+
+/// Details of one failed job in a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the job in the campaign's job list.
+    pub index: usize,
+    /// The job's label.
+    pub name: String,
+    /// The job's content hash (hex).
+    pub hash: String,
+    /// Human-readable cause ("panicked: ...", "timed out after ...",
+    /// "dependency failed: ...").
+    pub error: String,
+}
+
+impl JobFailure {
+    /// Report-embeddable form (`failures` array entries).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", self.name.as_str())
+            .with("hash", self.hash.as_str())
+            .with("error", self.error.as_str())
+    }
 }
 
 /// Per-job record of a campaign run.
@@ -100,10 +153,14 @@ pub struct JobOutcome {
 /// Results and bookkeeping of one campaign run.
 #[derive(Debug, Clone)]
 pub struct CampaignRun {
-    /// One result per job, in job order.
+    /// One result per job, in job order. A failed job's slot holds
+    /// `Json::Null`; everything that succeeded is real data (campaigns
+    /// complete with partial results rather than discarding them).
     pub results: Vec<Json>,
     /// One outcome per job, in job order.
     pub outcomes: Vec<JobOutcome>,
+    /// The jobs that produced no result, with their causes.
+    pub failures: Vec<JobFailure>,
 }
 
 impl CampaignRun {
@@ -112,14 +169,21 @@ impl CampaignRun {
         self.outcomes.iter().filter(|o| o.source == source).count()
     }
 
+    /// True when every job produced a result.
+    pub fn is_fully_green(&self) -> bool {
+        self.failures.is_empty()
+    }
+
     /// The campaign summary block reports embed:
-    /// `{jobs, computed, cached, resumed, jobs: [{name, hash, us, source}]}`.
+    /// `{total, computed, cached, resumed, failed, jobs: [{name, hash,
+    /// us, source}], failures: [{name, hash, error}]}`.
     pub fn to_json(&self) -> Json {
         Json::object()
             .with("total", self.outcomes.len())
             .with("computed", self.count(JobSource::Computed))
             .with("cached", self.count(JobSource::Cached))
             .with("resumed", self.count(JobSource::Resumed))
+            .with("failed", self.failures.len())
             .with(
                 "jobs",
                 Json::Arr(
@@ -130,17 +194,14 @@ impl CampaignRun {
                                 .with("name", o.name.as_str())
                                 .with("hash", o.hash.as_str())
                                 .with("duration_us", o.duration_us)
-                                .with(
-                                    "source",
-                                    match o.source {
-                                        JobSource::Computed => "computed",
-                                        JobSource::Cached => "cached",
-                                        JobSource::Resumed => "resumed",
-                                    },
-                                )
+                                .with("source", o.source.name())
                         })
                         .collect(),
                 ),
+            )
+            .with(
+                "failures",
+                Json::Arr(self.failures.iter().map(JobFailure::to_json).collect()),
             )
     }
 }
@@ -158,6 +219,14 @@ pub struct ExecConfig {
     /// Replay completed jobs recorded in the campaign manifest
     /// (`--resume`).
     pub resume: bool,
+    /// Per-job watchdog timeout in seconds (`--timeout-secs N`); `None`
+    /// lets jobs run unbounded.
+    pub timeout_secs: Option<u64>,
+    /// Retry budget for jobs flagged [`transient`](Job::transient)
+    /// (`--retries N`).
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff_ms: u64,
 }
 
 impl Default for ExecConfig {
@@ -167,26 +236,32 @@ impl Default for ExecConfig {
             cache_dir: Some(crate::cache::default_cache_dir()),
             no_cache: false,
             resume: false,
+            timeout_secs: None,
+            retries: 2,
+            backoff_ms: 25,
         }
     }
 }
 
 impl ExecConfig {
     /// Parses the engine's standard flags from argv: `--jobs N`,
-    /// `--no-cache`, `--resume`. Unknown arguments are ignored (they
-    /// belong to the host binary).
+    /// `--no-cache`, `--resume`, `--timeout-secs N`, `--retries N`.
+    /// Unknown arguments are ignored (they belong to the host binary).
     pub fn from_args(args: &[String]) -> Self {
-        let jobs = args
-            .iter()
-            .position(|a| a == "--jobs")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
+        fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        }
+        let defaults = ExecConfig::default();
         ExecConfig {
-            jobs,
+            jobs: flag_value(args, "--jobs").unwrap_or(0),
             no_cache: args.iter().any(|a| a == "--no-cache"),
             resume: args.iter().any(|a| a == "--resume"),
-            ..ExecConfig::default()
+            timeout_secs: flag_value(args, "--timeout-secs"),
+            retries: flag_value(args, "--retries").unwrap_or(defaults.retries),
+            ..defaults
         }
     }
 }
@@ -199,7 +274,11 @@ pub struct Exec {
     workers: usize,
     cache: Option<ResultCache>,
     resume: bool,
+    timeout: Option<Duration>,
+    retries: u32,
+    backoff_ms: u64,
     metrics: Mutex<Registry>,
+    failures: Mutex<Vec<JobFailure>>,
 }
 
 impl Exec {
@@ -209,8 +288,7 @@ impl Exec {
         Exec::new(ExecConfig {
             jobs: 1,
             cache_dir: None,
-            no_cache: false,
-            resume: false,
+            ..ExecConfig::default()
         })
     }
 
@@ -219,15 +297,25 @@ impl Exec {
         Exec::new(ExecConfig {
             jobs: n,
             cache_dir: None,
-            no_cache: false,
-            resume: false,
+            ..ExecConfig::default()
         })
     }
 
     /// An engine configured from [`ExecConfig`].
     pub fn new(cfg: ExecConfig) -> Self {
+        let mut metrics = Registry::new();
         let workers = if cfg.jobs == 0 {
-            pool::default_workers()
+            let (detected, fallback) = pool::detect_workers();
+            if fallback {
+                // Not silent: degraded parallelism is a real operational
+                // condition (cgroup limits, exotic platforms) worth seeing.
+                eprintln!(
+                    "sop-exec: available_parallelism() failed; \
+                     falling back to 1 worker (pass --jobs N to override)"
+                );
+                metrics.counter_add("exec.workers.fallback", 1);
+            }
+            detected
         } else {
             cfg.jobs
         };
@@ -239,14 +327,25 @@ impl Exec {
                 None => ResultCache::in_memory(),
             })
         };
-        let mut metrics = Registry::new();
         metrics.gauge_set("exec.workers", workers as f64);
         Exec {
             workers,
             cache,
             resume: cfg.resume,
+            timeout: cfg.timeout_secs.map(Duration::from_secs),
+            retries: cfg.retries,
+            backoff_ms: cfg.backoff_ms,
             metrics: Mutex::new(metrics),
+            failures: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Every job failure recorded by campaigns run on this engine, in
+    /// the order they were observed. Binaries embed these in their report
+    /// and exit non-zero when the list is non-empty — after writing
+    /// everything that succeeded.
+    pub fn failures(&self) -> Vec<JobFailure> {
+        self.failures.lock().expect("failures lock").clone()
     }
 
     /// The number of worker threads this engine uses.
@@ -291,36 +390,69 @@ impl Exec {
 
     /// Runs a named campaign: hashes every job, satisfies what it can
     /// from the manifest (resume) and cache, evaluates the rest in
-    /// dependency wavefronts on the pool, and persists new results and
-    /// manifest lines as it goes.
+    /// dependency wavefronts on the fault-isolating pool, and persists
+    /// new results and manifest lines as it goes.
+    ///
+    /// Failure is per-job, not per-campaign: a panicking or hung job gets
+    /// a [`JobFailure`] entry (and fails its dependents with a
+    /// dependency-failed cause) while every other job completes normally.
+    /// Failed jobs are noted in the manifest as `# fail` comment lines —
+    /// which the resume parser ignores — so a `--resume` rerun replays
+    /// the successes from the cache and recomputes only the failed
+    /// subset. Jobs flagged [`transient`](Job::transient) are retried
+    /// with exponential backoff before being declared failed.
     ///
     /// # Panics
     ///
     /// Panics if a dependency index is out of range or the dependency
     /// graph has a cycle — both are campaign-construction bugs.
-    pub fn run_campaign(&self, name: &str, jobs: Vec<Job<'_>>) -> CampaignRun {
+    pub fn run_campaign(&self, name: &str, jobs: Vec<Job<'static>>) -> CampaignRun {
         let n = jobs.len();
         for (i, job) in jobs.iter().enumerate() {
             for &d in &job.deps {
                 assert!(d < n, "job {i} ({}) depends on missing job {d}", job.name);
             }
         }
+        // Shared (not borrowed) because the resilient pool's workers are
+        // detached threads: a hung job may outlive this call, so it must
+        // keep its Job alive on its own.
+        let jobs = Arc::new(jobs);
         let hashes: Vec<u64> = jobs.iter().map(|j| spec_hash(&j.spec)).collect();
         let mut manifest = Manifest::open(self.manifest_path(name), self.resume);
 
         let mut results: Vec<Option<Json>> = (0..n).map(|_| None).collect();
         let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
+        let mut failures: Vec<JobFailure> = Vec::new();
         let mut remaining: Vec<usize> = (0..n).collect();
         while !remaining.is_empty() {
             let (ready, blocked): (Vec<usize>, Vec<usize>) = remaining
                 .into_iter()
-                .partition(|&i| jobs[i].deps.iter().all(|&d| results[d].is_some()));
+                .partition(|&i| jobs[i].deps.iter().all(|&d| outcomes[d].is_some()));
             assert!(!ready.is_empty(), "dependency cycle among jobs {blocked:?}");
             remaining = blocked;
 
-            // Satisfy what the manifest + cache already know.
+            // Satisfy what the manifest + cache already know, and fail
+            // dependents of failed jobs without running them.
             let mut to_compute = Vec::new();
             for &i in &ready {
+                let failed_dep = jobs[i].deps.iter().copied().find(|&d| {
+                    outcomes[d]
+                        .as_ref()
+                        .is_some_and(|o| o.source == JobSource::Failed)
+                });
+                if let Some(d) = failed_dep {
+                    let error = pool::JobError::DepFailed(jobs[d].name.clone()).to_string();
+                    mark_failed(
+                        i,
+                        error,
+                        &jobs,
+                        &hashes,
+                        &mut outcomes,
+                        &mut failures,
+                        &mut manifest,
+                    );
+                    continue;
+                }
                 let hash = hashes[i];
                 let from_manifest = self.resume && manifest.contains(hash);
                 let cached = self.cache.as_ref().and_then(|c| c.get(hash));
@@ -360,48 +492,130 @@ impl Exec {
                 }
             }
 
-            // Evaluate the rest concurrently; results return in order.
-            let computed: Vec<(Json, u64)> = {
-                let jobs = &jobs;
-                let (done, stats) = pool::run_ordered(self.workers, unique.clone(), |_, i| {
-                    let started = Instant::now();
-                    let result = (jobs[i].run)(&jobs[i].spec);
-                    (result, started.elapsed().as_micros() as u64)
-                });
+            // Evaluate the rest concurrently with panic isolation, the
+            // per-job watchdog, and bounded exponential-backoff retry for
+            // transient jobs; results return in order.
+            type Evaluated = Result<(Json, u64, u32), (String, u32)>;
+            let computed: Vec<Result<Evaluated, pool::JobError>> = {
+                let jobs = Arc::clone(&jobs);
+                let retries = self.retries;
+                let backoff_ms = self.backoff_ms;
+                let (done, stats) = pool::run_ordered_resilient(
+                    self.workers,
+                    unique.clone(),
+                    self.timeout,
+                    move |_, i| {
+                        let job = &jobs[i];
+                        let budget = if job.retryable { retries } else { 0 };
+                        let started = Instant::now();
+                        let mut attempt = 0u32;
+                        loop {
+                            match catch_unwind(AssertUnwindSafe(|| (job.run)(&job.spec))) {
+                                Ok(result) => {
+                                    let us = started.elapsed().as_micros() as u64;
+                                    return Ok((result, us, attempt));
+                                }
+                                Err(payload) => {
+                                    if attempt >= budget {
+                                        return Err((pool::panic_message(payload), attempt));
+                                    }
+                                    std::thread::sleep(Duration::from_millis(
+                                        backoff_ms << attempt,
+                                    ));
+                                    attempt += 1;
+                                }
+                            }
+                        }
+                    },
+                );
                 self.record_pool_stats(&stats);
                 done
             };
-            for (&i, (result, us)) in unique.iter().zip(computed) {
-                if let Some(cache) = &self.cache {
-                    cache.put(hashes[i], &jobs[i].spec, &result);
-                }
-                manifest.record(hashes[i], &jobs[i].name);
+            for (&i, evaluated) in unique.iter().zip(computed) {
+                let (error, retried) = match evaluated {
+                    Ok(Ok((result, us, retried))) => {
+                        if let Some(cache) = &self.cache {
+                            cache.put(hashes[i], &jobs[i].spec, &result);
+                        }
+                        manifest.record(hashes[i], &jobs[i].name);
+                        {
+                            let mut m = self.metrics.lock().expect("metrics lock");
+                            m.histogram_record("exec.job.us", us);
+                            m.counter_add("exec.job.retries", u64::from(retried));
+                        }
+                        outcomes[i] = Some(JobOutcome {
+                            name: jobs[i].name.clone(),
+                            hash: hash_hex(hashes[i]),
+                            duration_us: us,
+                            source: JobSource::Computed,
+                        });
+                        results[i] = Some(result);
+                        continue;
+                    }
+                    Ok(Err((panic_msg, retried))) => {
+                        (pool::JobError::Panicked(panic_msg).to_string(), retried)
+                    }
+                    // Pool-level failure: the watchdog timed the job out.
+                    Err(e) => (e.to_string(), 0),
+                };
                 {
                     let mut m = self.metrics.lock().expect("metrics lock");
-                    m.histogram_record("exec.job.us", us);
+                    m.counter_add("exec.job.retries", u64::from(retried));
                 }
-                outcomes[i] = Some(JobOutcome {
-                    name: jobs[i].name.clone(),
-                    hash: hash_hex(hashes[i]),
-                    duration_us: us,
-                    source: JobSource::Computed,
-                });
-                results[i] = Some(result);
+                mark_failed(
+                    i,
+                    error,
+                    &jobs,
+                    &hashes,
+                    &mut outcomes,
+                    &mut failures,
+                    &mut manifest,
+                );
             }
             for (i, pos) in dup_of {
-                results[i] = results[unique[pos]].clone();
-                outcomes[i] = Some(JobOutcome {
-                    name: jobs[i].name.clone(),
-                    hash: hash_hex(hashes[i]),
-                    duration_us: 0,
-                    source: JobSource::Cached,
-                });
+                let u = unique[pos];
+                match &results[u] {
+                    Some(result) => {
+                        results[i] = Some(result.clone());
+                        outcomes[i] = Some(JobOutcome {
+                            name: jobs[i].name.clone(),
+                            hash: hash_hex(hashes[i]),
+                            duration_us: 0,
+                            source: JobSource::Cached,
+                        });
+                    }
+                    // The job that evaluated this spec failed; its
+                    // duplicates fail with it.
+                    None => {
+                        let error = failures
+                            .iter()
+                            .find(|f| f.index == u)
+                            .map(|f| f.error.clone())
+                            .unwrap_or_else(|| "duplicate of a failed job".to_owned());
+                        mark_failed(
+                            i,
+                            error,
+                            &jobs,
+                            &hashes,
+                            &mut outcomes,
+                            &mut failures,
+                            &mut manifest,
+                        );
+                    }
+                }
             }
         }
 
         let run = CampaignRun {
-            results: results.into_iter().map(|r| r.expect("all ran")).collect(),
-            outcomes: outcomes.into_iter().map(|o| o.expect("all ran")).collect(),
+            results: results
+                .into_iter()
+                .map(|r| r.unwrap_or(Json::Null))
+                .collect(),
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("all jobs resolved"))
+                .collect(),
+            failures,
         };
         {
             let mut m = self.metrics.lock().expect("metrics lock");
@@ -409,7 +623,12 @@ impl Exec {
             m.counter_add("exec.jobs.computed", run.count(JobSource::Computed) as u64);
             m.counter_add("exec.jobs.cached", run.count(JobSource::Cached) as u64);
             m.counter_add("exec.jobs.resumed", run.count(JobSource::Resumed) as u64);
+            m.counter_add("exec.jobs.failed", run.failures.len() as u64);
         }
+        self.failures
+            .lock()
+            .expect("failures lock")
+            .extend(run.failures.iter().cloned());
         run
     }
 
@@ -437,9 +656,39 @@ impl Exec {
     }
 }
 
-/// The per-campaign checkpoint: one line per completed job hash. Lives
-/// under `<cache dir>/campaigns/`. A fresh (non-resume) run truncates it;
-/// a resumed run loads it and appends.
+/// Records one job's failure everywhere it must be visible: the outcome
+/// slot (so dependents see it), the failures list (so reports carry it),
+/// and the manifest (as a comment line, so a resumed run retries it).
+fn mark_failed(
+    i: usize,
+    error: String,
+    jobs: &[Job<'static>],
+    hashes: &[u64],
+    outcomes: &mut [Option<JobOutcome>],
+    failures: &mut Vec<JobFailure>,
+    manifest: &mut Manifest,
+) {
+    outcomes[i] = Some(JobOutcome {
+        name: jobs[i].name.clone(),
+        hash: hash_hex(hashes[i]),
+        duration_us: 0,
+        source: JobSource::Failed,
+    });
+    manifest.note_failure(hashes[i], &jobs[i].name, &error);
+    failures.push(JobFailure {
+        index: i,
+        name: jobs[i].name.clone(),
+        hash: hash_hex(hashes[i]),
+        error,
+    });
+}
+
+/// The per-campaign checkpoint: one line per completed job hash, plus
+/// `# fail <hash> <name>: <cause>` comment lines for jobs that produced
+/// no result. Lives under `<cache dir>/campaigns/`. A fresh (non-resume)
+/// run truncates it; a resumed run loads it and appends. Only completed
+/// hashes are parsed back (comment lines fail the hash parse), so a
+/// resumed run recomputes exactly the failed subset.
 struct Manifest {
     path: Option<PathBuf>,
     resume: bool,
@@ -478,31 +727,53 @@ impl Manifest {
         self.done.contains(&hash)
     }
 
+    fn ensure_file(&mut self) {
+        let Some(path) = &self.path else { return };
+        if self.file.is_some() {
+            return;
+        }
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        // Resume appends to the existing record; a fresh run starts
+        // the manifest over.
+        let appendable = self.resume && path.exists();
+        self.file = if appendable {
+            std::fs::OpenOptions::new().append(true).open(path).ok()
+        } else {
+            std::fs::File::create(path)
+                .map(|mut f| {
+                    let _ = writeln!(f, "{}", Self::HEADER);
+                    f
+                })
+                .ok()
+        };
+    }
+
     fn record(&mut self, hash: u64, name: &str) {
         if !self.done.insert(hash) {
             return;
         }
-        let Some(path) = &self.path else { return };
-        if self.file.is_none() {
-            if let Some(parent) = path.parent() {
-                let _ = std::fs::create_dir_all(parent);
-            }
-            // Resume appends to the existing record; a fresh run starts
-            // the manifest over.
-            let appendable = self.resume && path.exists();
-            self.file = if appendable {
-                std::fs::OpenOptions::new().append(true).open(path).ok()
-            } else {
-                std::fs::File::create(path)
-                    .map(|mut f| {
-                        let _ = writeln!(f, "{}", Self::HEADER);
-                        f
-                    })
-                    .ok()
-            };
+        if self.path.is_none() {
+            return;
         }
+        self.ensure_file();
         if let Some(f) = &mut self.file {
             let _ = writeln!(f, "{} {name}", hash_hex(hash));
+        }
+    }
+
+    /// Appends a `# fail` comment line. The hash is *not* added to the
+    /// completed set, and comment lines never parse as completed hashes,
+    /// so resume retries exactly these jobs.
+    fn note_failure(&mut self, hash: u64, name: &str, error: &str) {
+        if self.path.is_none() {
+            return;
+        }
+        self.ensure_file();
+        if let Some(f) = &mut self.file {
+            let cause = error.lines().next().unwrap_or("");
+            let _ = writeln!(f, "# fail {} {name}: {cause}", hash_hex(hash));
         }
     }
 }

@@ -29,10 +29,12 @@ pub mod campaign;
 pub mod hash;
 pub mod pool;
 
-pub use cache::{default_cache_dir, ResultCache};
-pub use campaign::{CampaignRun, Exec, ExecConfig, Job, JobOutcome, JobSource};
+pub use cache::{audit_dir, default_cache_dir, CacheAudit, ResultCache};
+pub use campaign::{CampaignRun, Exec, ExecConfig, Job, JobFailure, JobOutcome, JobSource};
 pub use hash::{canonicalize, hash_hex, parse_hash_hex, spec_hash};
-pub use pool::{default_workers, run_ordered, WorkerStats};
+pub use pool::{
+    default_workers, detect_workers, run_ordered, run_ordered_resilient, JobError, WorkerStats,
+};
 
 #[cfg(test)]
 mod tests {
@@ -40,6 +42,7 @@ mod tests {
     use sop_obs::Json;
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     fn scratch_dir(test: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("sop-exec-lib-{}-{test}", std::process::id()));
@@ -72,12 +75,13 @@ mod tests {
 
     #[test]
     fn duplicate_specs_within_a_campaign_compute_once() {
-        let calls = AtomicU64::new(0);
+        let calls = Arc::new(AtomicU64::new(0));
         let exec = Exec::sequential();
         let spec = Json::object().with("kind", "dup");
         let jobs = (0..4)
             .map(|i| {
-                Job::new(format!("dup{i}"), spec.clone(), |_| {
+                let calls = Arc::clone(&calls);
+                Job::new(format!("dup{i}"), spec.clone(), move |_| {
                     calls.fetch_add(1, Ordering::Relaxed);
                     Json::UInt(9)
                 })
@@ -92,9 +96,9 @@ mod tests {
     #[test]
     fn dependencies_complete_before_dependents_run() {
         let exec = Exec::with_workers(4);
-        let order = std::sync::Mutex::new(Vec::new());
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
         let mk = |name: &str, stage: u64| {
-            let order = &order;
+            let order = Arc::clone(&order);
             Job::new(
                 name.to_owned(),
                 Json::object().with("kind", "dag").with("stage", stage),
@@ -109,7 +113,7 @@ mod tests {
         let jobs = vec![mk("a", 0), mk("b", 1), mk("c", 2).after(&[0, 1])];
         let run = exec.run_campaign("dag", jobs);
         assert_eq!(run.results.len(), 3);
-        let order = order.into_inner().expect("order");
+        let order = order.lock().expect("order").clone();
         let pos = |s: u64| order.iter().position(|&x| x == s).expect("ran");
         assert!(pos(2) > pos(0) && pos(2) > pos(1));
     }
@@ -132,14 +136,15 @@ mod tests {
             Exec::new(ExecConfig {
                 jobs: 1,
                 cache_dir: Some(dir.clone()),
-                no_cache: false,
                 resume,
+                ..ExecConfig::default()
             })
         };
-        let calls = AtomicU64::new(0);
-        fn mk_jobs(calls: &AtomicU64) -> Vec<Job<'_>> {
+        let calls = Arc::new(AtomicU64::new(0));
+        fn mk_jobs(calls: &Arc<AtomicU64>) -> Vec<Job<'static>> {
             (0..5u64)
                 .map(|x| {
+                    let calls = Arc::clone(calls);
                     Job::new(
                         format!("r{x}"),
                         Json::object().with("kind", "resume").with("x", x),
@@ -167,17 +172,18 @@ mod tests {
 
     #[test]
     fn no_cache_recomputes_everything() {
-        let calls = AtomicU64::new(0);
+        let calls = Arc::new(AtomicU64::new(0));
         let exec = Exec::new(ExecConfig {
             jobs: 1,
             cache_dir: None,
             no_cache: true,
-            resume: false,
+            ..ExecConfig::default()
         });
         let spec = Json::object().with("kind", "nocache");
         let jobs = (0..3)
             .map(|i| {
-                Job::new(format!("n{i}"), spec.clone(), |_| {
+                let calls = Arc::clone(&calls);
+                Job::new(format!("n{i}"), spec.clone(), move |_| {
                     calls.fetch_add(1, Ordering::Relaxed);
                     Json::UInt(1)
                 })
@@ -186,6 +192,143 @@ mod tests {
         let run = exec.run_campaign("nocache", jobs);
         assert_eq!(calls.load(Ordering::Relaxed), 3);
         assert_eq!(run.count(JobSource::Computed), 3);
+    }
+
+    #[test]
+    fn failed_jobs_yield_partial_results_and_fail_their_dependents() {
+        let exec = Exec::with_workers(2);
+        let mut jobs: Vec<Job<'static>> = (0..6u64)
+            .map(|x| {
+                Job::new(
+                    format!("f{x}"),
+                    Json::object().with("kind", "fail-some").with("x", x),
+                    move |_| {
+                        if x == 2 {
+                            panic!("simulated fault in job 2");
+                        }
+                        Json::UInt(x)
+                    },
+                )
+            })
+            .collect();
+        // Job 6 depends on the failing job 2; job 7 on the healthy job 0.
+        jobs.push(
+            Job::new("needs-f2", Json::object().with("kind", "dep-bad"), |_| {
+                panic!("must never run")
+            })
+            .after(&[2]),
+        );
+        jobs.push(
+            Job::new("needs-f0", Json::object().with("kind", "dep-good"), |_| {
+                Json::UInt(100)
+            })
+            .after(&[0]),
+        );
+        let run = exec.run_campaign("partial", jobs);
+        assert_eq!(run.results.len(), 8);
+        assert_eq!(run.failures.len(), 2, "{:?}", run.failures);
+        assert_eq!(run.results[2], Json::Null);
+        assert_eq!(run.results[6], Json::Null);
+        assert_eq!(run.results[7], Json::UInt(100));
+        assert!(run.failures[0].error.contains("simulated fault"));
+        assert!(run.failures[1].error.contains("dependency failed"));
+        assert_eq!(run.count(JobSource::Failed), 2);
+        assert!(!run.is_fully_green());
+        assert_eq!(exec.failures().len(), 2);
+        let m = exec.metrics_snapshot();
+        assert_eq!(m.counter("exec.jobs.failed"), 2);
+    }
+
+    #[test]
+    fn transient_jobs_retry_with_backoff_until_they_succeed() {
+        let attempts = Arc::new(AtomicU64::new(0));
+        let exec = Exec::sequential();
+        let job = {
+            let attempts = Arc::clone(&attempts);
+            Job::new("flaky", Json::object().with("kind", "flaky"), move |_| {
+                // Fails twice, succeeds on the third attempt — within
+                // the default retry budget of 2.
+                if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient failure");
+                }
+                Json::UInt(7)
+            })
+            .transient()
+        };
+        let run = exec.run_campaign("flaky", vec![job]);
+        assert!(run.is_fully_green(), "{:?}", run.failures);
+        assert_eq!(run.results[0], Json::UInt(7));
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+        assert_eq!(exec.metrics_snapshot().counter("exec.job.retries"), 2);
+    }
+
+    #[test]
+    fn non_transient_jobs_do_not_retry() {
+        let attempts = Arc::new(AtomicU64::new(0));
+        let exec = Exec::sequential();
+        let job = {
+            let attempts = Arc::clone(&attempts);
+            Job::new("det", Json::object().with("kind", "det"), move |_| {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                panic!("deterministic failure");
+            })
+        };
+        let run = exec.run_campaign("det", vec![job]);
+        assert_eq!(run.failures.len(), 1);
+        assert_eq!(attempts.load(Ordering::Relaxed), 1, "no retry");
+    }
+
+    #[test]
+    fn resume_recomputes_only_the_failed_subset() {
+        let dir = scratch_dir("resume-failed");
+        let mk_exec = |resume| {
+            Exec::new(ExecConfig {
+                jobs: 1,
+                cache_dir: Some(dir.clone()),
+                resume,
+                ..ExecConfig::default()
+            })
+        };
+        // First run: jobs 1 and 3 fail; the other three succeed.
+        let calls = Arc::new(AtomicU64::new(0));
+        let mk_jobs = |fail: &'static [u64], calls: &Arc<AtomicU64>| -> Vec<Job<'static>> {
+            (0..5u64)
+                .map(|x| {
+                    let calls = Arc::clone(calls);
+                    Job::new(
+                        format!("rf{x}"),
+                        Json::object().with("kind", "resume-failed").with("x", x),
+                        move |spec| {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            if fail.contains(&x) {
+                                panic!("injected fault in job {x}");
+                            }
+                            let x = spec.get("x").and_then(Json::as_f64).expect("x") as u64;
+                            Json::UInt(x * 10)
+                        },
+                    )
+                })
+                .collect()
+        };
+        let first = mk_exec(false).run_campaign("resume-failed", mk_jobs(&[1, 3], &calls));
+        assert_eq!(first.failures.len(), 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+
+        // Resumed run with the fault cleared: the three successes replay
+        // from the manifest + cache; only jobs 1 and 3 recompute.
+        let calls2 = Arc::new(AtomicU64::new(0));
+        let second = mk_exec(true).run_campaign("resume-failed", mk_jobs(&[], &calls2));
+        assert!(second.is_fully_green(), "{:?}", second.failures);
+        assert_eq!(
+            calls2.load(Ordering::Relaxed),
+            2,
+            "resume must recompute exactly the failed subset"
+        );
+        assert_eq!(second.count(JobSource::Resumed), 3);
+        assert_eq!(second.count(JobSource::Computed), 2);
+        let expected: Vec<Json> = (0..5u64).map(|x| Json::UInt(x * 10)).collect();
+        assert_eq!(second.results, expected);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

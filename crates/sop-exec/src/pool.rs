@@ -15,8 +15,10 @@
 //! implementation stays obviously correct.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// What one worker did during a [`run_ordered`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,11 +29,195 @@ pub struct WorkerStats {
     pub stolen: u64,
 }
 
+/// Detects the number of workers for "all cores", and whether detection
+/// failed. On failure the pool degrades to one worker; callers should
+/// surface the second component (see `exec.workers.fallback`) so degraded
+/// parallelism is observable rather than silent.
+pub fn detect_workers() -> (usize, bool) {
+    match std::thread::available_parallelism() {
+        Ok(n) => (n.get(), false),
+        Err(_) => (1, true),
+    }
+}
+
 /// The number of workers to use when the caller asked for "all cores".
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    detect_workers().0
+}
+
+/// Why a job run under [`run_ordered_resilient`] produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's closure panicked; the payload's message is preserved.
+    Panicked(String),
+    /// The job exceeded the per-job timeout. The worker thread running it
+    /// is abandoned (it cannot be interrupted), but the pool keeps
+    /// processing the remaining jobs on the other workers.
+    TimedOut(Duration),
+    /// The job was skipped because a dependency failed.
+    DepFailed(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            JobError::TimedOut(t) => write!(f, "timed out after {:.1}s", t.as_secs_f64()),
+            JobError::DepFailed(dep) => write!(f, "dependency failed: {dep}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Fault-isolating variant of [`run_ordered`]: every job runs under
+/// `catch_unwind`, so one panicking job yields `Err(JobError::Panicked)`
+/// in its own slot instead of poisoning the pool and discarding everyone
+/// else's results. With `timeout` set, a watchdog marks jobs that run too
+/// long as `Err(JobError::TimedOut)` and spawns a replacement worker so
+/// throughput is preserved; the hung thread itself is abandoned (detached)
+/// and its eventual result, if any, is discarded.
+///
+/// Unlike [`run_ordered`] the workers are detached threads pulling from a
+/// single shared queue (abandoning a hung job is impossible with scoped
+/// threads, whose join blocks on it), hence the `'static` bounds. Results
+/// still come back in input order.
+pub fn run_ordered_resilient<T, R, F>(
+    workers: usize,
+    items: Vec<T>,
+    timeout: Option<Duration>,
+    f: F,
+) -> (Vec<Result<R, JobError>>, Vec<WorkerStats>)
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(usize, T) -> R + Send + Sync + 'static,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers == 1 && timeout.is_none() {
+        // Sequential fast path: no threads, but the same panic isolation.
+        let results = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                catch_unwind(AssertUnwindSafe(|| f(i, t)))
+                    .map_err(|p| JobError::Panicked(panic_message(p)))
+            })
+            .collect();
+        let stats = vec![WorkerStats {
+            executed: n as u64,
+            stolen: 0,
+        }];
+        return (results, stats);
+    }
+
+    let queue: Arc<Mutex<VecDeque<(usize, T)>>> =
+        Arc::new(Mutex::new(items.into_iter().enumerate().collect()));
+    let started: Arc<Mutex<Vec<Option<Instant>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let stats: Arc<Mutex<Vec<WorkerStats>>> =
+        Arc::new(Mutex::new(vec![WorkerStats::default(); workers]));
+    let f = Arc::new(f);
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, JobError>)>();
+
+    let spawn_worker = |id: usize| {
+        let queue = Arc::clone(&queue);
+        let started = Arc::clone(&started);
+        let stats = Arc::clone(&stats);
+        let f = Arc::clone(&f);
+        let tx = tx.clone();
+        std::thread::spawn(move || loop {
+            let Some((idx, item)) = queue.lock().expect("queue lock").pop_front() else {
+                break;
+            };
+            started.lock().expect("started lock")[idx] = Some(Instant::now());
+            let result = catch_unwind(AssertUnwindSafe(|| f(idx, item)))
+                .map_err(|p| JobError::Panicked(panic_message(p)));
+            {
+                let mut s = stats.lock().expect("stats lock");
+                if s.len() <= id {
+                    s.resize(id + 1, WorkerStats::default());
+                }
+                s[id].executed += 1;
+            }
+            // A send can only fail if the collector is gone (all live
+            // slots already resolved); the late result is then discarded.
+            if tx.send((idx, result)).is_err() {
+                break;
+            }
+        });
+    };
+    for w in 0..workers {
+        spawn_worker(w);
+    }
+
+    let mut slots: Vec<Option<Result<R, JobError>>> = (0..n).map(|_| None).collect();
+    let mut remaining = n;
+    let mut next_worker_id = workers;
+    // The watchdog tick bounds how stale a timeout decision can be; the
+    // tick itself costs nothing when jobs finish promptly.
+    let tick = timeout.map_or(Duration::from_millis(200), |t| {
+        t.min(Duration::from_millis(50))
+    });
+    while remaining > 0 {
+        match rx.recv_timeout(tick) {
+            Ok((idx, result)) => {
+                // `None` guards against a late result racing the watchdog:
+                // first writer wins, duplicates are discarded.
+                if slots[idx].is_none() {
+                    slots[idx] = Some(result);
+                    remaining -= 1;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let Some(limit) = timeout else { continue };
+                let overdue: Vec<usize> = {
+                    let started = started.lock().expect("started lock");
+                    (0..n)
+                        .filter(|&i| {
+                            slots[i].is_none() && started[i].is_some_and(|at| at.elapsed() > limit)
+                        })
+                        .collect()
+                };
+                for idx in overdue {
+                    slots[idx] = Some(Err(JobError::TimedOut(limit)));
+                    remaining -= 1;
+                    // The thread stuck on this job is abandoned; spawn a
+                    // replacement so parallelism does not decay.
+                    spawn_worker(next_worker_id);
+                    next_worker_id += 1;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Unreachable in practice: the collector itself holds a
+                // sender, so the channel cannot disconnect. Kept as a
+                // defensive exit so a future refactor cannot hang here.
+                for slot in slots.iter_mut().filter(|s| s.is_none()) {
+                    *slot = Some(Err(JobError::Panicked("worker thread died".into())));
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every slot resolved"))
+        .collect();
+    let stats = stats.lock().expect("stats lock").clone();
+    (results, stats)
 }
 
 /// Runs `f` over every item on `workers` threads and returns the results
@@ -182,5 +368,96 @@ mod tests {
         let (out, stats) = run_ordered(16, vec![1, 2, 3], |_, x| x * 2);
         assert_eq!(out, vec![2, 4, 6]);
         assert!(stats.len() <= 3);
+    }
+
+    #[test]
+    fn resilient_isolates_panics_to_their_own_slot() {
+        for workers in [1, 4] {
+            let (out, stats) =
+                run_ordered_resilient(workers, (0..20u64).collect::<Vec<_>>(), None, |i, x| {
+                    assert_eq!(i as u64, x);
+                    if x % 5 == 3 {
+                        panic!("job {x} exploded");
+                    }
+                    x * 2
+                });
+            assert_eq!(out.len(), 20);
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    match r {
+                        Err(JobError::Panicked(msg)) => {
+                            assert!(msg.contains("exploded"), "got {msg:?}")
+                        }
+                        other => panic!("expected a panic error, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(r.as_ref().expect("success"), &((i as u64) * 2));
+                }
+            }
+            assert_eq!(stats.iter().map(|s| s.executed).sum::<u64>(), 20);
+        }
+    }
+
+    #[test]
+    fn resilient_watchdog_times_out_hung_jobs_and_finishes_the_rest() {
+        let started = Instant::now();
+        let (out, _) = run_ordered_resilient(
+            2,
+            (0..8u64).collect::<Vec<_>>(),
+            Some(Duration::from_millis(100)),
+            |_, x| {
+                if x == 2 {
+                    // Far longer than the timeout: the watchdog must fire
+                    // long before this job would complete on its own.
+                    std::thread::sleep(Duration::from_secs(30));
+                }
+                x + 1
+            },
+        );
+        assert!(
+            matches!(out[2], Err(JobError::TimedOut(_))),
+            "got {:?}",
+            out[2]
+        );
+        for (i, r) in out.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(r.as_ref().expect("success"), &((i as u64) + 1));
+            }
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "the pool must not wait out the hung job"
+        );
+    }
+
+    #[test]
+    fn resilient_matches_run_ordered_on_clean_jobs() {
+        let items: Vec<u64> = (0..50).collect();
+        let (clean, _) = run_ordered(3, items.clone(), |_, x| x * x);
+        let (resilient, _) = run_ordered_resilient(3, items, None, |_, x| x * x);
+        let unwrapped: Vec<u64> = resilient.into_iter().map(|r| r.expect("success")).collect();
+        assert_eq!(clean, unwrapped);
+    }
+
+    #[test]
+    fn resilient_empty_input_is_fine() {
+        let (out, _) = run_ordered_resilient(4, Vec::<u8>::new(), None, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn job_error_displays_cleanly() {
+        assert_eq!(
+            JobError::Panicked("boom".into()).to_string(),
+            "panicked: boom"
+        );
+        assert_eq!(
+            JobError::TimedOut(Duration::from_secs(3)).to_string(),
+            "timed out after 3.0s"
+        );
+        assert_eq!(
+            JobError::DepFailed("fig4.7:sim".into()).to_string(),
+            "dependency failed: fig4.7:sim"
+        );
     }
 }

@@ -1,0 +1,360 @@
+//! Deterministic fault schedules for the simulated machine.
+//!
+//! The thesis' pod argument is ultimately an availability argument: a pod is a
+//! self-contained failure and service domain, and the TCO chapter prices
+//! servers whose capacity degrades as components fail. This crate provides the
+//! vocabulary for injecting those failures into the simulated machine in a
+//! fully deterministic way: a [`FaultPlan`] is an ordered schedule of
+//! [`Fault`]s, each naming a component kind, a component id, the cycle at
+//! which the fault strikes, and a [`FaultMode`].
+//!
+//! Determinism guarantees:
+//!
+//! - A plan is a plain value. Two machines given equal plans (and equal
+//!   configurations) produce bit-identical results regardless of host,
+//!   worker count, or cache state.
+//! - The seeded constructors use a fixed splitmix64 generator, so victim
+//!   selection depends only on `(seed, count, universe)`.
+//! - Plans serialize to canonical JSON ([`FaultPlan::to_json`]) so they can
+//!   participate in content-addressed cache identity.
+//!
+//! How each fault materializes (reroute, remap, failover, offlining) is
+//! decided by the consuming crates (`sop-noc`, `sop-sim`); see DESIGN.md
+//! "Fault model and graceful degradation".
+
+use sop_obs::Json;
+
+/// The kind of machine component a fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComponentKind {
+    /// A NOC router (a node in the topology graph). Killing a router also
+    /// kills whatever is co-located on its tile (core, LLC bank slice).
+    Router,
+    /// A single directed NOC link, identified by [`link_id`].
+    Link,
+    /// One LLC bank. Death triggers a pow2 mask shrink and warm-state
+    /// invalidation in the consuming simulator.
+    LlcBank,
+    /// One memory channel. Death fails traffic over to the survivors.
+    MemChannel,
+    /// One core (by physical core id). Death offlines the core; surviving
+    /// cores keep running, so throughput degrades by the offlined fraction.
+    Core,
+}
+
+impl ComponentKind {
+    /// Stable lower-case name used in JSON and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            ComponentKind::Router => "router",
+            ComponentKind::Link => "link",
+            ComponentKind::LlcBank => "llc_bank",
+            ComponentKind::MemChannel => "mem_channel",
+            ComponentKind::Core => "core",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "router" => ComponentKind::Router,
+            "link" => ComponentKind::Link,
+            "llc_bank" => ComponentKind::LlcBank,
+            "mem_channel" => ComponentKind::MemChannel,
+            "core" => ComponentKind::Core,
+            _ => return None,
+        })
+    }
+}
+
+/// What the fault does to the component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultMode {
+    /// Fail-stop: the component is gone for the rest of the run.
+    Dead,
+    /// The component keeps working at reduced speed (doubled latency /
+    /// halved bandwidth, per the consuming crate's policy).
+    Degraded,
+    /// The component goes dead at `cycle` and is restored `down_cycles`
+    /// later. Consumers may only support this for a subset of component
+    /// kinds (links, in the current machine) and treat the rest as `Dead`.
+    Intermittent {
+        /// How many cycles the component stays down before restoration.
+        down_cycles: u64,
+    },
+}
+
+/// One scheduled fault: component kind x id x cycle x mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// Which kind of component fails.
+    pub component: ComponentKind,
+    /// Component id within its kind (router/node index, [`link_id`],
+    /// bank index, channel index, physical core id).
+    pub id: u32,
+    /// Cycle at which the fault strikes (relative to machine cycle 0,
+    /// i.e. the start of the timed warm-up window).
+    pub cycle: u64,
+    /// What happens to the component.
+    pub mode: FaultMode,
+}
+
+impl Fault {
+    /// A fail-stop fault.
+    pub fn dead(component: ComponentKind, id: u32, cycle: u64) -> Self {
+        Fault {
+            component,
+            id,
+            cycle,
+            mode: FaultMode::Dead,
+        }
+    }
+
+    /// A degraded-performance fault.
+    pub fn degraded(component: ComponentKind, id: u32, cycle: u64) -> Self {
+        Fault {
+            component,
+            id,
+            cycle,
+            mode: FaultMode::Degraded,
+        }
+    }
+
+    /// A link that goes down at `cycle` and comes back `down_cycles` later.
+    pub fn intermittent_link(node: u32, port: u32, cycle: u64, down_cycles: u64) -> Self {
+        Fault {
+            component: ComponentKind::Link,
+            id: link_id(node, port),
+            cycle,
+            mode: FaultMode::Intermittent { down_cycles },
+        }
+    }
+
+    fn mode_json(&self) -> Json {
+        match self.mode {
+            FaultMode::Dead => Json::Str("dead".into()),
+            FaultMode::Degraded => Json::Str("degraded".into()),
+            FaultMode::Intermittent { down_cycles } => {
+                Json::object().with("intermittent", down_cycles as f64)
+            }
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::object()
+            .with("component", self.component.name())
+            .with("id", f64::from(self.id))
+            .with("cycle", self.cycle as f64)
+            .with("mode", self.mode_json())
+    }
+
+    fn from_json(doc: &Json) -> Option<Self> {
+        let component = ComponentKind::from_name(doc.get("component")?.as_str()?)?;
+        let id = doc.get("id")?.as_f64()? as u32;
+        let cycle = doc.get("cycle")?.as_f64()? as u64;
+        let mode = match doc.get("mode")? {
+            Json::Str(s) if s == "dead" => FaultMode::Dead,
+            Json::Str(s) if s == "degraded" => FaultMode::Degraded,
+            m => FaultMode::Intermittent {
+                down_cycles: m.get("intermittent")?.as_f64()? as u64,
+            },
+        };
+        Some(Fault {
+            component,
+            id,
+            cycle,
+            mode,
+        })
+    }
+}
+
+/// Pack a directed link's (source node, output port) into a single fault id.
+pub fn link_id(node: u32, port: u32) -> u32 {
+    assert!(
+        port < 256,
+        "output port {port} does not fit the link id encoding"
+    );
+    (node << 8) | port
+}
+
+/// Inverse of [`link_id`]: (source node, output port).
+pub fn split_link_id(id: u32) -> (u32, u32) {
+    (id >> 8, id & 0xff)
+}
+
+/// An ordered, deterministic schedule of faults.
+///
+/// Faults are kept sorted by cycle (stable, so faults pushed for the same
+/// cycle apply in insertion order). The empty plan is the fault-free machine:
+/// consumers guarantee that an empty plan leaves behavior bit-identical to a
+/// machine with no plan at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty (fault-free) plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Add a fault, keeping the schedule sorted by cycle.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+        self.faults.sort_by_key(|f| f.cycle);
+    }
+
+    /// The scheduled faults, sorted by cycle.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Kill `count` distinct routers chosen by `seed` out of `routers`
+    /// nodes, all at `cycle`. The selection is a seeded partial
+    /// Fisher-Yates shuffle: same (seed, count, routers) always picks the
+    /// same victims in the same order.
+    pub fn seeded_router_deaths(seed: u64, count: u32, routers: u32, cycle: u64) -> Self {
+        let mut plan = FaultPlan::new();
+        for id in seeded_distinct(seed, count, routers) {
+            plan.push(Fault::dead(ComponentKind::Router, id, cycle));
+        }
+        plan
+    }
+
+    /// Canonical JSON form (array of fault objects), suitable for
+    /// content-addressed cache identity.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.faults.iter().map(|f| f.to_json()).collect())
+    }
+
+    /// Parse a plan back from [`FaultPlan::to_json`] output. Returns `None`
+    /// on any malformed entry.
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        let mut plan = FaultPlan::new();
+        for entry in doc.as_arr()? {
+            plan.push(Fault::from_json(entry)?);
+        }
+        Some(plan)
+    }
+}
+
+/// Pick `count` distinct ids out of `0..universe` with a seeded partial
+/// Fisher-Yates shuffle over a fixed splitmix64 stream. Deterministic across
+/// hosts and builds; `count` is clamped to the universe size.
+pub fn seeded_distinct(seed: u64, count: u32, universe: u32) -> Vec<u32> {
+    let count = count.min(universe) as usize;
+    let mut pool: Vec<u32> = (0..universe).collect();
+    let mut state = seed;
+    let mut picks = Vec::with_capacity(count);
+    for i in 0..count {
+        let r = splitmix64(&mut state);
+        let j = i + (r % (pool.len() - i) as u64) as usize;
+        pool.swap(i, j);
+        picks.push(pool[i]);
+    }
+    picks
+}
+
+/// The splitmix64 step: a tiny, well-known, dependency-free PRNG with
+/// full-period 64-bit state. Used only for victim selection, never for
+/// anything timing-related inside the machine.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.to_json().to_compact_string(), "[]");
+    }
+
+    #[test]
+    fn push_keeps_cycle_order_stably() {
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::dead(ComponentKind::Router, 5, 200));
+        plan.push(Fault::dead(ComponentKind::Link, 1, 100));
+        plan.push(Fault::dead(ComponentKind::Core, 2, 200));
+        let cycles: Vec<u64> = plan.faults().iter().map(|f| f.cycle).collect();
+        assert_eq!(cycles, vec![100, 200, 200]);
+        // Stable: router pushed before core at the same cycle stays first.
+        assert_eq!(plan.faults()[1].component, ComponentKind::Router);
+        assert_eq!(plan.faults()[2].component, ComponentKind::Core);
+    }
+
+    #[test]
+    fn seeded_router_deaths_are_deterministic_and_distinct() {
+        let a = FaultPlan::seeded_router_deaths(7, 8, 64, 1000);
+        let b = FaultPlan::seeded_router_deaths(7, 8, 64, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let mut ids: Vec<u32> = a.faults().iter().map(|f| f.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "victims must be distinct");
+        assert!(ids.iter().all(|&id| id < 64));
+        let c = FaultPlan::seeded_router_deaths(8, 8, 64, 1000);
+        assert_ne!(a, c, "different seeds should pick different victims");
+    }
+
+    #[test]
+    fn seeded_count_clamps_to_universe() {
+        let plan = FaultPlan::seeded_router_deaths(1, 100, 16, 0);
+        assert_eq!(plan.len(), 16);
+    }
+
+    #[test]
+    fn seeded_prefixes_nest() {
+        // Picking k victims yields a prefix of picking k+1 with the same
+        // seed, so a sweep over k grows the victim set monotonically.
+        let four = seeded_distinct(42, 4, 64);
+        let six = seeded_distinct(42, 6, 64);
+        assert_eq!(four[..], six[..4]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut plan = FaultPlan::seeded_router_deaths(3, 4, 64, 500);
+        plan.push(Fault::degraded(ComponentKind::MemChannel, 1, 700));
+        plan.push(Fault::intermittent_link(9, 2, 900, 4000));
+        let doc = plan.to_json();
+        let back = FaultPlan::from_json(&doc).expect("round trip");
+        assert_eq!(plan, back);
+        let reparsed = sop_obs::json::parse(&doc.to_compact_string()).expect("parse");
+        assert_eq!(FaultPlan::from_json(&reparsed).expect("round trip"), plan);
+    }
+
+    #[test]
+    fn link_id_round_trip() {
+        for (node, port) in [(0, 0), (63, 3), (1000, 255)] {
+            assert_eq!(split_link_id(link_id(node, port)), (node, port));
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let doc =
+            sop_obs::json::parse(r#"[{"component":"warp_core","id":1,"cycle":0,"mode":"dead"}]"#)
+                .expect("parse");
+        assert!(FaultPlan::from_json(&doc).is_none());
+    }
+}

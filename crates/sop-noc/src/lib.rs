@@ -37,4 +37,4 @@ pub use area::{NocAreaBreakdown, NocPowerEstimate};
 pub use message::{Delivered, MessageClass, PacketId};
 pub use scaled::ScaledNocOut;
 pub use sim::{Network, NocConfig, TrafficCounters};
-pub use topology::{NodeRole, Topology, TopologyKind};
+pub use topology::{NodeRole, RouteHealth, Topology, TopologyKind, UNREACHABLE};

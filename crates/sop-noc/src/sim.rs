@@ -11,7 +11,7 @@
 
 use crate::message::{Delivered, Flit, MessageClass, PacketId};
 use crate::slab::Slab;
-use crate::topology::{Topology, TopologyKind};
+use crate::topology::{RouteHealth, Topology, TopologyKind};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Number of virtual channels (one per message class).
@@ -277,6 +277,12 @@ pub struct Network {
     /// Nodes activated since the last step, merged into `worklist` (and
     /// re-sorted) when the next step begins.
     pending_activation: Vec<usize>,
+    /// Routers removed by faults. Empty on fault-free runs; routing
+    /// tables (not per-flit checks) carry the effect, so the hot path
+    /// never consults this.
+    dead_routers: Vec<bool>,
+    /// Directed channels removed by faults, as `(node, out_port)`.
+    dead_links: Vec<(usize, usize)>,
     cycle: u64,
 }
 
@@ -330,6 +336,8 @@ impl Network {
             worklist: Vec::new(),
             is_active: vec![false; n],
             pending_activation: Vec::new(),
+            dead_routers: vec![false; n],
+            dead_links: Vec::new(),
             cycle: 0,
         }
     }
@@ -606,6 +614,82 @@ impl Network {
             }
         }
         out
+    }
+
+    /// Fault operations must run on an idle fabric: routing tables are
+    /// rewritten wholesale, and a flit already committed to a removed
+    /// channel would be silently re-aimed (or stranded) mid-flight. The
+    /// machine layer quiesces (stops issuing, drains) before applying a
+    /// fault, so this only fires on a sequencing bug.
+    /// (In-flight credit returns are fine: credits reference channel
+    /// structures, which faults disable in the routing tables but never
+    /// remove.)
+    fn assert_idle_for_fault(&self, what: &str) {
+        assert!(
+            self.packets.is_empty() && self.arrivals.is_empty(),
+            "{what} requires an idle fabric ({} packets in flight)",
+            self.packets.len()
+        );
+    }
+
+    fn reroute(&mut self) -> RouteHealth {
+        let dead = std::mem::take(&mut self.dead_routers);
+        let links = std::mem::take(&mut self.dead_links);
+        let health = self.topo.reroute(&dead, |u, p| links.contains(&(u, p)));
+        self.dead_routers = dead;
+        self.dead_links = links;
+        health
+    }
+
+    /// Removes router `node` from the fabric: nothing routes to, from, or
+    /// through it again. Returns the surviving fabric's reachability.
+    /// Idempotent. Must be called on an idle fabric.
+    pub fn fail_router(&mut self, node: usize) -> RouteHealth {
+        self.assert_idle_for_fault("fail_router");
+        self.dead_routers[node] = true;
+        self.reroute()
+    }
+
+    /// Removes the directed channel at `(node, out_port)`; traffic takes
+    /// a deterministic detour where one exists. Idle fabric only.
+    pub fn fail_link(&mut self, node: usize, port: usize) -> RouteHealth {
+        self.assert_idle_for_fault("fail_link");
+        assert!(port < self.topo.channels[node].len(), "no such port");
+        if !self.dead_links.contains(&(node, port)) {
+            self.dead_links.push((node, port));
+        }
+        self.reroute()
+    }
+
+    /// Restores a previously failed link (an intermittent fault ending
+    /// its down window). Idle fabric only.
+    pub fn restore_link(&mut self, node: usize, port: usize) -> RouteHealth {
+        self.assert_idle_for_fault("restore_link");
+        self.dead_links.retain(|&l| l != (node, port));
+        self.reroute()
+    }
+
+    /// Degrades router `node`: +2 pipeline stages (a faulty stage retimed
+    /// with spares). Routes shift away from it where a cheaper detour
+    /// exists. Idle fabric only.
+    pub fn degrade_router(&mut self, node: usize) -> RouteHealth {
+        self.assert_idle_for_fault("degrade_router");
+        self.topo.pipeline[node] += 2;
+        self.reroute()
+    }
+
+    /// Degrades the channel at `(node, out_port)`: flight latency doubles
+    /// (half-width operation after a lane failure). Idle fabric only.
+    pub fn degrade_link(&mut self, node: usize, port: usize) -> RouteHealth {
+        self.assert_idle_for_fault("degrade_link");
+        let ch = &mut self.topo.channels[node][port];
+        ch.latency = ch.latency.saturating_mul(2);
+        self.reroute()
+    }
+
+    /// Whether router `node` has been removed by a fault.
+    pub fn router_is_dead(&self, node: usize) -> bool {
+        self.dead_routers[node]
     }
 
     /// Picks the input (port, vc) that wins output `out` at `node` this
@@ -890,6 +974,111 @@ mod tests {
             let lat = run_single(kind, MessageClass::Request);
             assert!(lat > 0 && lat < 20, "{kind:?}: {lat}");
         }
+    }
+
+    #[test]
+    fn dead_router_forces_a_deterministic_detour() {
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        let baseline = net.topology().hops(0, 63);
+        // Kill a router on the pristine XY path from corner 0 to corner
+        // 63 (X-first along row 0: node 1 is the first hop).
+        let health = net.fail_router(1);
+        assert!(!health.is_partitioned());
+        assert!(net.router_is_dead(1));
+        assert!(net.topology().routes(0, 63));
+        net.inject(0, 63, MessageClass::Request, 0, 0);
+        let done = net.drain(10_000);
+        assert_eq!(done.len(), 1, "detoured packet must still deliver");
+        // The detour never transits the dead router and costs at most two
+        // extra hops in a mesh.
+        assert!(net.topology().hops(0, 63) <= baseline + 2);
+        let path_avoids_dead = {
+            let topo = net.topology();
+            let mut at = 0;
+            let mut ok = true;
+            while at != 63 {
+                let port = topo.next_hop[at][63];
+                at = topo.channels[at][port].to;
+                ok &= at != 1;
+            }
+            ok
+        };
+        assert!(path_avoids_dead);
+    }
+
+    #[test]
+    fn dead_link_reroutes_and_restore_heals() {
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        let topo = net.topology().clone();
+        let east = topo.next_hop[0][1];
+        let health = net.fail_link(0, east);
+        assert!(!health.is_partitioned());
+        // 0 -> 1 must now leave through a different port but still route.
+        assert_ne!(net.topology().next_hop[0][1], east);
+        net.inject(0, 1, MessageClass::Request, 0, 0);
+        assert_eq!(net.drain(10_000).len(), 1);
+        // Restoring the link brings the original table back.
+        net.restore_link(0, east);
+        assert_eq!(net.topology().next_hop[0][1], east);
+    }
+
+    #[test]
+    fn severed_fabric_reports_a_partition_instead_of_hanging() {
+        // 2x2 mesh: killing routers 1 and 2 isolates node 0 from node 3.
+        let mut net = Network::new(NocConfig {
+            topology: TopologyKind::Mesh,
+            cores: 4,
+            llc_tiles: 4,
+            link_bits: 128,
+            vc_depth: 5,
+            tile_mm: 1.0,
+            hub_cycles: 3,
+        });
+        assert!(!net.fail_router(1).is_partitioned());
+        let health = net.fail_router(2);
+        assert!(health.is_partitioned());
+        assert!(health.unreachable.contains(&(0, 3)));
+        assert!(health.unreachable.contains(&(3, 0)));
+        assert!(!net.topology().routes(0, 3));
+    }
+
+    #[test]
+    fn degraded_link_stretches_latency_without_losing_packets() {
+        let mut healthy = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        let mut faulty = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        // Degrade every outgoing channel of node 0 so no detour escapes
+        // the slowdown.
+        for port in 0..faulty.topology().channels[0].len() {
+            faulty.degrade_link(0, port);
+        }
+        for net in [&mut healthy, &mut faulty] {
+            net.inject(0, 63, MessageClass::Request, 0, 0);
+        }
+        let h = healthy.drain(10_000)[0].latency();
+        let f = faulty.drain(10_000)[0].latency();
+        assert!(f > h, "degraded {f} vs healthy {h}");
+    }
+
+    #[test]
+    fn same_faults_produce_identical_routing_tables() {
+        let build = || {
+            let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+            net.fail_router(27);
+            net.fail_link(0, 0);
+            net.degrade_router(9);
+            net
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.topology().next_hop, b.topology().next_hop);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle fabric")]
+    fn faults_on_a_busy_fabric_panic() {
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        net.inject(0, 63, MessageClass::Request, 0, 0);
+        net.fail_router(5);
     }
 
     #[test]

@@ -49,6 +49,29 @@ pub struct Channel {
     pub length_mm: f64,
 }
 
+/// Sentinel value in [`Topology::next_hop`] marking a destination with no
+/// surviving route (after faults). No output port ever equals this, so a
+/// flit aimed at an unreachable destination can never win switch
+/// allocation — callers must consult [`Topology::routes`] *before*
+/// injecting and treat an unreachable pair as a partition, not retry.
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// Endpoint reachability summary produced by [`Topology::reroute`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteHealth {
+    /// Live endpoint pairs `(src, dst)` — over core and LLC nodes whose
+    /// routers survive — with no remaining path, sorted and deduplicated.
+    /// Empty means the surviving fabric is fully connected.
+    pub unreachable: Vec<(usize, usize)>,
+}
+
+impl RouteHealth {
+    /// True when some surviving endpoint pair can no longer communicate.
+    pub fn is_partitioned(&self) -> bool {
+        !self.unreachable.is_empty()
+    }
+}
+
 /// An explicit network graph with routing.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -116,6 +139,96 @@ impl Topology {
             at = ch.to;
         }
         cycles
+    }
+
+    /// Whether the routing tables carry a path from `src` to `dst`
+    /// (trivially true for `src == dst`). Only faulted topologies ever
+    /// answer `false`.
+    pub fn routes(&self, src: usize, dst: usize) -> bool {
+        src == dst || self.next_hop[src][dst] != UNREACHABLE
+    }
+
+    /// Recomputes every routing table over the surviving graph, then
+    /// reports which live endpoint pairs were severed.
+    ///
+    /// `dead_node[u]` removes router `u` entirely (nothing routes to,
+    /// from, or through it); `dead_link(u, port)` removes one directed
+    /// channel. Routes are rebuilt by per-destination reverse Dijkstra
+    /// over channel flight time plus upstream router pipeline, with ties
+    /// broken toward the lowest output port — in the mesh, whose ports
+    /// order W, E, N, S, that prefers X-first detours, the deterministic
+    /// analogue of the pristine XY tables. Destinations with no surviving
+    /// path get [`UNREACHABLE`].
+    ///
+    /// Deterministic: same faults in, same tables out. Never called on a
+    /// fault-free run, whose tables stay exactly as built.
+    pub fn reroute(
+        &mut self,
+        dead_node: &[bool],
+        dead_link: impl Fn(usize, usize) -> bool,
+    ) -> RouteHealth {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.len();
+        assert_eq!(dead_node.len(), n, "one liveness flag per node");
+        // Reverse adjacency: edges arriving at each node.
+        let mut rev: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (u, chans) in self.channels.iter().enumerate() {
+            for (port, ch) in chans.iter().enumerate() {
+                rev[ch.to].push((u, port));
+            }
+        }
+        for dst in 0..n {
+            let mut dist = vec![u64::MAX; n];
+            let mut port_of = vec![UNREACHABLE; n];
+            if !dead_node[dst] {
+                dist[dst] = 0;
+                let mut heap = BinaryHeap::new();
+                heap.push(Reverse((0u64, dst)));
+                while let Some(Reverse((d, v))) = heap.pop() {
+                    if d > dist[v] {
+                        continue;
+                    }
+                    for &(u, port) in &rev[v] {
+                        if dead_node[u] || dead_link(u, port) {
+                            continue;
+                        }
+                        let edge =
+                            u64::from(self.pipeline[u]) + u64::from(self.channels[u][port].latency);
+                        let cost = d + edge;
+                        match cost.cmp(&dist[u]) {
+                            std::cmp::Ordering::Less => {
+                                dist[u] = cost;
+                                port_of[u] = port;
+                                heap.push(Reverse((cost, u)));
+                            }
+                            std::cmp::Ordering::Equal if port < port_of[u] => {
+                                port_of[u] = port;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            for (u, &port) in port_of.iter().enumerate() {
+                if u != dst {
+                    self.next_hop[u][dst] = port;
+                }
+            }
+        }
+        let mut health = RouteHealth::default();
+        for &c in &self.core_nodes {
+            for &l in &self.llc_nodes {
+                for (s, d) in [(c, l), (l, c)] {
+                    if s != d && !dead_node[s] && !dead_node[d] && !self.routes(s, d) {
+                        health.unreachable.push((s, d));
+                    }
+                }
+            }
+        }
+        health.unreachable.sort_unstable();
+        health.unreachable.dedup();
+        health
     }
 
     fn verify(self) -> Self {

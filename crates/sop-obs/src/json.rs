@@ -249,6 +249,22 @@ impl From<Vec<Json>> for Json {
     }
 }
 
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// `.tmp.<pid>` sibling (same directory, so the rename cannot cross a
+/// filesystem boundary) and are renamed over the target. A killed or
+/// faulted run therefore never leaves a truncated report under the final
+/// name — readers see either the previous complete file or the new one.
+pub fn write_atomic(path: impl AsRef<std::path::Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 /// Why a document failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {

@@ -30,7 +30,7 @@ pub mod span;
 
 pub use event::{Event, EventLog};
 pub use hist::Histogram;
-pub use json::Json;
+pub use json::{write_atomic, Json};
 pub use registry::{Metric, Registry, RenameError};
 pub use report::{stabilized, Report, SCHEMA_VERSION};
 pub use span::{SpanLog, SpanRecord};

@@ -6,8 +6,6 @@
 //! changes meaning (adding fields is backward-compatible and does not
 //! require a bump).
 
-use std::io::Write as _;
-
 use crate::json::Json;
 use crate::registry::Registry;
 use crate::span::SpanLog;
@@ -63,11 +61,11 @@ impl Report {
     }
 
     /// Writes the pretty-printed document (plus trailing newline) to
-    /// `path`.
+    /// `path` atomically (temp file + rename, see
+    /// [`write_atomic`](crate::json::write_atomic)).
     pub fn write_to(&self, path: &str, spans: &SpanLog, metrics: &Registry) -> std::io::Result<()> {
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(self.to_json(spans, metrics).to_pretty_string().as_bytes())?;
-        file.write_all(b"\n")
+        let doc = self.to_json(spans, metrics).to_pretty_string() + "\n";
+        crate::json::write_atomic(path, &doc)
     }
 }
 

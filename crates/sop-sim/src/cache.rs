@@ -245,6 +245,17 @@ impl LlcBank {
         self.misses = 0;
         self.snoops = 0;
     }
+
+    /// Drops every resident line — tags, LRU state, and directory —
+    /// returning how many lines were lost. Statistics are untouched.
+    /// Used when a bank-death remap reassigns line homes: the warm state
+    /// left in surviving banks belongs to the old mapping and must not
+    /// be served as hits.
+    pub fn clear(&mut self) -> u64 {
+        let lines = self.len.iter().map(|&l| u64::from(l)).sum();
+        self.len.iter_mut().for_each(|l| *l = 0);
+        lines
+    }
 }
 
 #[cfg(test)]

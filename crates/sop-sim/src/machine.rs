@@ -14,6 +14,7 @@ use crate::core::{CoreRequest, SimCore};
 use crate::l1::L1Cache;
 use crate::memory::{channel_of, MemoryController};
 use crate::stats::Histogram;
+use sop_fault::{ComponentKind, Fault, FaultMode, FaultPlan};
 use sop_noc::slab::{Key, SideTable, Slab};
 use sop_noc::{MessageClass, Network, NocConfig, TopologyKind};
 use sop_obs::{EventLog, Registry};
@@ -109,6 +110,126 @@ impl SimConfig {
     }
 }
 
+/// Why a faulted machine stopped simulating. Reported as a structured
+/// outcome — never a hang: the quiesce barrier applies faults on an idle
+/// fabric and checks reachability immediately, so a request that could
+/// never complete is never issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// Some surviving core and some live LLC bank can no longer reach
+    /// each other across the faulted fabric.
+    Partition,
+    /// Every LLC bank has failed.
+    NoLlc,
+    /// Every memory channel has failed.
+    NoMemory,
+    /// Every active core has failed.
+    NoCores,
+}
+
+impl HaltReason {
+    /// Stable machine-readable key (`degradation` report sections).
+    pub fn key(self) -> &'static str {
+        match self {
+            HaltReason::Partition => "partition",
+            HaltReason::NoLlc => "no_llc",
+            HaltReason::NoMemory => "no_memory",
+            HaltReason::NoCores => "no_cores",
+        }
+    }
+
+    /// Inverse of [`HaltReason::key`], for cache round-trips.
+    pub fn from_key(key: &str) -> Option<Self> {
+        match key {
+            "partition" => Some(HaltReason::Partition),
+            "no_llc" => Some(HaltReason::NoLlc),
+            "no_memory" => Some(HaltReason::NoMemory),
+            "no_cores" => Some(HaltReason::NoCores),
+            _ => None,
+        }
+    }
+}
+
+/// Live fault-injection state: the not-yet-applied schedule plus the
+/// degraded-machine bookkeeping. Boxed behind an `Option` on [`Machine`]
+/// — `None` (the empty-plan case) leaves every hot path on its original
+/// branch, so fault support costs a fault-free run nothing but a
+/// null check.
+#[derive(Debug)]
+struct FaultState {
+    /// Faults not yet applied, ascending by cycle.
+    pending: VecDeque<Fault>,
+    /// Scheduled ends of intermittent link outages: `(cycle, link id)`,
+    /// ascending.
+    restores: Vec<(u64, u32)>,
+    /// True while draining in-flight work before applying a fault; the
+    /// issue phase is frozen so the fabric empties.
+    quiescing: bool,
+    /// Which threads still execute (indexed like `Machine::cores`).
+    online: Vec<bool>,
+    /// Which LLC banks still serve lines.
+    bank_live: Vec<bool>,
+    /// Power-of-two remap over the live banks, once any bank has died:
+    /// a line hashes into this table instead of `0..banks`. `None`
+    /// while all banks live (mapping identical to fault-free).
+    bank_map: Option<Vec<usize>>,
+    /// Per-bank access latency (doubled by degradation faults).
+    bank_latency: Vec<u64>,
+    /// Memory channels still accepting requests, ascending.
+    live_channels: Vec<usize>,
+    /// Set once the machine can no longer make forward progress.
+    halted: Option<HaltReason>,
+    /// Cycles spent draining at quiesce barriers.
+    quiesce_cycles: u64,
+    applied: u64,
+    routers_dead: u64,
+    routers_degraded: u64,
+    links_dead: u64,
+    links_degraded: u64,
+    links_restored: u64,
+    banks_dead: u64,
+    banks_degraded: u64,
+    channels_dead: u64,
+    channels_degraded: u64,
+    cores_offline: u64,
+    llc_lines_invalidated: u64,
+}
+
+impl FaultState {
+    /// Publishes the degradation bookkeeping as `sim.fault.*` gauges
+    /// (gauges, not counters: these are state snapshots, idempotent
+    /// across windows).
+    fn export(&self, reg: &mut Registry) {
+        reg.gauge_set("sim.fault.applied", self.applied as f64);
+        reg.gauge_set("sim.fault.routers.dead", self.routers_dead as f64);
+        reg.gauge_set("sim.fault.routers.degraded", self.routers_degraded as f64);
+        reg.gauge_set("sim.fault.links.dead", self.links_dead as f64);
+        reg.gauge_set("sim.fault.links.degraded", self.links_degraded as f64);
+        reg.gauge_set("sim.fault.links.restored", self.links_restored as f64);
+        reg.gauge_set("sim.fault.llc_banks.dead", self.banks_dead as f64);
+        reg.gauge_set("sim.fault.llc_banks.degraded", self.banks_degraded as f64);
+        reg.gauge_set(
+            "sim.fault.llc.lines_invalidated",
+            self.llc_lines_invalidated as f64,
+        );
+        reg.gauge_set("sim.fault.mem_channels.dead", self.channels_dead as f64);
+        reg.gauge_set(
+            "sim.fault.mem_channels.degraded",
+            self.channels_degraded as f64,
+        );
+        reg.gauge_set("sim.fault.cores.offline", self.cores_offline as f64);
+        reg.gauge_set(
+            "sim.fault.cores.online",
+            self.online.iter().filter(|&&o| o).count() as f64,
+        );
+        reg.gauge_set("sim.fault.quiesce_cycles", self.quiesce_cycles as f64);
+        reg.gauge_set(
+            "sim.fault.halted",
+            if self.halted.is_some() { 1.0 } else { 0.0 },
+        );
+    }
+}
+
 /// Aggregated simulation results over the measurement window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
@@ -138,6 +259,9 @@ pub struct SimResult {
     pub noc_flit_mm: f64,
     /// Cores that ran threads.
     pub active_cores: u32,
+    /// Why the machine stopped early, if injected faults made forward
+    /// progress impossible. Always `None` on fault-free runs.
+    pub halted: Option<HaltReason>,
     /// Every named metric of the window: `sim.llc.bank<i>.*`, `sim.l1.*`,
     /// `mem.chan<i>.*`, `noc.*`, `sim.cycles`, `sim.instructions`, and
     /// the `sim.request_latency` histogram. The typed fields above are a
@@ -389,6 +513,9 @@ pub struct Machine {
     /// must find real lines, and finite capacity drops stale sharers).
     l1s: Vec<L1Cache>,
     warmed: bool,
+    /// Fault-injection state; `None` (always, for an empty plan) keeps
+    /// every hot path on its fault-free branch.
+    faults: Option<Box<FaultState>>,
     /// Cumulative named metrics across all measurement windows.
     registry: Registry,
     /// Optional transaction-lifecycle trace (off by default: recording
@@ -493,9 +620,63 @@ impl Machine {
                     .collect()
             },
             warmed: false,
+            faults: None,
             registry: Registry::new(),
             events: None,
         }
+    }
+
+    /// Arms a deterministic fault schedule. Faults are applied at their
+    /// cycles behind quiesce barriers (issue freezes, in-flight work
+    /// drains, the fault lands on an idle fabric), which keeps the run
+    /// bit-deterministic and identical between the event-driven and
+    /// reference engines. An empty plan stores nothing: the machine is
+    /// byte-identical to one that never saw a plan.
+    ///
+    /// Component ids: routers/links use NOC node ids ([`sop_fault::
+    /// link_id`] packs links), LLC banks and memory channels their
+    /// machine indices, cores *physical* core ids (faults on inactive
+    /// cores are no-ops).
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            self.faults = None;
+            return;
+        }
+        self.faults = Some(Box::new(FaultState {
+            pending: plan.faults().iter().copied().collect(),
+            restores: Vec::new(),
+            quiescing: false,
+            online: vec![true; self.cores.len()],
+            bank_live: vec![true; self.banks.len()],
+            bank_map: None,
+            bank_latency: vec![self.bank_latency; self.banks.len()],
+            live_channels: (0..self.mcs.len()).collect(),
+            halted: None,
+            quiesce_cycles: 0,
+            applied: 0,
+            routers_dead: 0,
+            routers_degraded: 0,
+            links_dead: 0,
+            links_degraded: 0,
+            links_restored: 0,
+            banks_dead: 0,
+            banks_degraded: 0,
+            channels_dead: 0,
+            channels_degraded: 0,
+            cores_offline: 0,
+            llc_lines_invalidated: 0,
+        }));
+    }
+
+    /// Why the machine stopped early, if it did.
+    pub fn halted(&self) -> Option<HaltReason> {
+        self.faults.as_ref().and_then(|f| f.halted)
+    }
+
+    /// Number of NOC routers in the fabric — the victim universe for
+    /// seeded router-death plans ([`FaultPlan::seeded_router_deaths`]).
+    pub fn router_count(&self) -> u32 {
+        self.net.topology().len() as u32
     }
 
     /// The configuration in use.
@@ -533,6 +714,13 @@ impl Machine {
     fn bank_of(&self, line: LineAddr) -> usize {
         let n = self.banks.len();
         let h = (line.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 29) as usize;
+        // After a bank death the same hash lands in the power-of-two
+        // remap over the surviving banks instead.
+        if let Some(f) = &self.faults {
+            if let Some(map) = &f.bank_map {
+                return map[h & (map.len() - 1)];
+            }
+        }
         // Same value either way; the mask dodges a hardware divide on the
         // warm-up and request hot paths (bank counts are usually powers
         // of two).
@@ -670,6 +858,11 @@ impl Machine {
         window.counter_add("mem.lines", self.memory_lines);
         noc.export_metrics(&mut window, "noc.");
         window.histogram_merge("sim.request_latency", &self.request_latency);
+        // Degradation bookkeeping appears only when a plan is armed, so
+        // empty-plan reports stay byte-identical to fault-free ones.
+        if let Some(f) = &self.faults {
+            f.export(&mut window);
+        }
         self.registry.merge(&window);
 
         SimResult {
@@ -685,6 +878,7 @@ impl Machine {
             noc_flit_hops: noc.flit_hops,
             noc_flit_mm: noc.flit_mm,
             active_cores: self.cfg.active_cores,
+            halted: self.halted(),
             metrics: window,
         }
     }
@@ -790,6 +984,33 @@ impl Machine {
     /// (and the equivalence tests hold both engines to that).
     fn advance(&mut self, cycles: u64) {
         let end = self.cycle + cycles;
+        if self.faults.is_none() {
+            return self.advance_plain(end);
+        }
+        // Fault path: run normally between fault cycles; at each one,
+        // quiesce, apply everything due, and continue on the degraded
+        // machine. A halt pins the clock to the end of the window so the
+        // caller gets a structured result instead of a hang.
+        while self.cycle < end {
+            if self.faults.as_ref().is_some_and(|f| f.halted.is_some()) {
+                self.cycle = end;
+                return;
+            }
+            match self.next_fault_cycle() {
+                Some(due) if due <= end => {
+                    if due > self.cycle {
+                        self.advance_plain(due);
+                    }
+                    self.quiesce_and_apply();
+                }
+                _ => self.advance_plain(end),
+            }
+        }
+    }
+
+    /// [`advance`](Self::advance) without fault barriers, to an absolute
+    /// end cycle.
+    fn advance_plain(&mut self, end: u64) {
         if self.reference {
             while self.cycle < end {
                 let now = self.cycle;
@@ -818,6 +1039,230 @@ impl Machine {
         }
     }
 
+    /// The earliest cycle at which a pending fault (or intermittent-link
+    /// restore) is due. Fault path only.
+    fn next_fault_cycle(&self) -> Option<u64> {
+        let f = self.faults.as_ref().expect("fault path");
+        let fault = f.pending.front().map(|fa| fa.cycle);
+        let restore = f.restores.first().map(|&(c, _)| c);
+        match (fault, restore) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Whether no transaction, packet, or scheduled completion is in
+    /// flight anywhere in the machine.
+    fn is_drained(&self) -> bool {
+        self.txns.is_empty()
+            && self.net.in_flight() == 0
+            && self.bank_events.is_empty()
+            && self.mem_events.is_empty()
+    }
+
+    /// Freezes issue, drains every in-flight transaction (per-cycle
+    /// stepping, exact in both engines), then applies everything due on
+    /// the now-idle machine and re-checks core↔bank reachability.
+    fn quiesce_and_apply(&mut self) {
+        self.faults.as_mut().expect("fault path").quiescing = true;
+        let start = self.cycle;
+        while !self.is_drained() {
+            let now = self.cycle;
+            self.tick(now, self.reference);
+            self.cycle += 1;
+            assert!(
+                self.cycle - start < 10_000_000,
+                "quiesce failed to drain by cycle {}",
+                self.cycle
+            );
+        }
+        let mut f = self.faults.take().expect("fault path");
+        f.quiescing = false;
+        f.quiesce_cycles += self.cycle - start;
+        let now = self.cycle;
+        while f.restores.first().is_some_and(|&(c, _)| c <= now) {
+            let (_, link) = f.restores.remove(0);
+            let (node, port) = sop_fault::split_link_id(link);
+            self.net.restore_link(node as usize, port as usize);
+            f.links_restored += 1;
+        }
+        while f.pending.front().is_some_and(|fa| fa.cycle <= now) {
+            let fault = f.pending.pop_front().expect("peeked");
+            self.apply_one(&mut f, fault, now);
+        }
+        self.check_connectivity(&mut f);
+        self.faults = Some(f);
+    }
+
+    /// Applies one fault to the idle machine. `f` is detached from
+    /// `self.faults` for the duration (the machine is not ticking).
+    fn apply_one(&mut self, f: &mut FaultState, fault: Fault, now: u64) {
+        f.applied += 1;
+        match fault.component {
+            ComponentKind::Router => {
+                let node = fault.id as usize;
+                assert!(node < self.net.topology().len(), "router id out of range");
+                match fault.mode {
+                    FaultMode::Dead => {
+                        if self.net.router_is_dead(node) {
+                            return;
+                        }
+                        self.net.fail_router(node);
+                        f.routers_dead += 1;
+                        // A tile's router carries its core and its LLC
+                        // slice with it.
+                        for t in 0..self.active.len() {
+                            if self.core_node(self.active[t]) == node {
+                                Self::offline_thread(f, &mut self.core_next_poll, t);
+                            }
+                        }
+                        let colocated: Vec<usize> = (0..self.banks.len())
+                            .filter(|&b| self.llc_node_of_bank(b) == node)
+                            .collect();
+                        for bank in colocated {
+                            self.kill_bank(f, bank);
+                        }
+                    }
+                    // Degraded (or flaky) router: +2 pipeline stages;
+                    // routing detours around it where cheaper paths exist.
+                    FaultMode::Degraded | FaultMode::Intermittent { .. } => {
+                        self.net.degrade_router(node);
+                        f.routers_degraded += 1;
+                    }
+                }
+            }
+            ComponentKind::Link => {
+                let (node, port) = sop_fault::split_link_id(fault.id);
+                let (node, port) = (node as usize, port as usize);
+                match fault.mode {
+                    FaultMode::Dead => {
+                        self.net.fail_link(node, port);
+                        f.links_dead += 1;
+                    }
+                    FaultMode::Intermittent { down_cycles } => {
+                        self.net.fail_link(node, port);
+                        f.links_dead += 1;
+                        f.restores.push((now + down_cycles.max(1), fault.id));
+                        f.restores.sort_unstable();
+                    }
+                    FaultMode::Degraded => {
+                        self.net.degrade_link(node, port);
+                        f.links_degraded += 1;
+                    }
+                }
+            }
+            ComponentKind::LlcBank => {
+                let bank = fault.id as usize;
+                assert!(bank < self.banks.len(), "bank id out of range");
+                match fault.mode {
+                    FaultMode::Dead => self.kill_bank(f, bank),
+                    FaultMode::Degraded | FaultMode::Intermittent { .. } => {
+                        f.bank_latency[bank] = f.bank_latency[bank].saturating_mul(2);
+                        f.banks_degraded += 1;
+                    }
+                }
+            }
+            ComponentKind::MemChannel => {
+                let ch = fault.id as usize;
+                assert!(ch < self.mcs.len(), "memory channel id out of range");
+                match fault.mode {
+                    FaultMode::Dead => {
+                        if f.live_channels.contains(&ch) {
+                            f.live_channels.retain(|&c| c != ch);
+                            f.channels_dead += 1;
+                            if f.live_channels.is_empty() {
+                                f.halted.get_or_insert(HaltReason::NoMemory);
+                            }
+                        }
+                    }
+                    FaultMode::Degraded | FaultMode::Intermittent { .. } => {
+                        self.mcs[ch].degrade();
+                        f.channels_degraded += 1;
+                    }
+                }
+            }
+            // The trace-driven core has no partial-speed mode, so a
+            // degraded core is treated as dead. Ids are physical; faults
+            // on inactive cores are no-ops.
+            ComponentKind::Core => {
+                if let Some(t) = self.active.iter().position(|&p| p == fault.id) {
+                    Self::offline_thread(f, &mut self.core_next_poll, t);
+                }
+            }
+        }
+        if f.online.iter().all(|&o| !o) {
+            f.halted.get_or_insert(HaltReason::NoCores);
+        }
+    }
+
+    fn offline_thread(f: &mut FaultState, polls: &mut [u64], t: usize) {
+        if f.online[t] {
+            f.online[t] = false;
+            f.cores_offline += 1;
+            polls[t] = u64::MAX;
+        }
+    }
+
+    /// Removes a bank: the surviving banks shrink to a power-of-two
+    /// remap (so the line hash stays a mask), and every bank's warm
+    /// contents are invalidated — the remap reassigns nearly every
+    /// line's home, so stale state must not serve wrong-home hits.
+    fn kill_bank(&mut self, f: &mut FaultState, bank: usize) {
+        if !f.bank_live[bank] {
+            return;
+        }
+        f.bank_live[bank] = false;
+        f.banks_dead += 1;
+        let live: Vec<usize> = f
+            .bank_live
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l)
+            .map(|(b, _)| b)
+            .collect();
+        if live.is_empty() {
+            f.bank_map = None;
+            f.halted.get_or_insert(HaltReason::NoLlc);
+            return;
+        }
+        let pow2 = 1usize << live.len().ilog2();
+        f.bank_map = Some(live[..pow2].to_vec());
+        for bank in &mut self.banks {
+            f.llc_lines_invalidated += bank.clear();
+        }
+    }
+
+    /// Halts with [`HaltReason::Partition`] if any online core and any
+    /// traffic-bearing live bank can no longer reach each other.
+    fn check_connectivity(&mut self, f: &mut FaultState) {
+        if f.halted.is_some() {
+            return;
+        }
+        let topo = self.net.topology();
+        for (t, &online) in f.online.iter().enumerate() {
+            if !online {
+                continue;
+            }
+            let core_node = self.net.core_endpoints()[self.active[t] as usize];
+            for (bank, &live) in f.bank_live.iter().enumerate() {
+                if !live {
+                    continue;
+                }
+                // Banks outside the remap receive no traffic.
+                if let Some(map) = &f.bank_map {
+                    if !map.contains(&bank) {
+                        continue;
+                    }
+                }
+                let bank_node = self.llc_node_of_bank(bank);
+                if !(topo.routes(core_node, bank_node) && topo.routes(bank_node, core_node)) {
+                    f.halted = Some(HaltReason::Partition);
+                    return;
+                }
+            }
+        }
+    }
+
     /// One simulation cycle, in the reference phase order: network
     /// deliveries, bank completions, memory returns, core issue. With
     /// `full` the network sweeps every router and every core is polled
@@ -839,8 +1284,12 @@ impl Machine {
                     let start = now.max(self.bank_free_at[bank]);
                     // Initiation interval of 2 cycles per bank.
                     self.bank_free_at[bank] = start + 2;
+                    let latency = match &self.faults {
+                        Some(f) => f.bank_latency[bank],
+                        None => self.bank_latency,
+                    };
                     self.bank_events.push(Scheduled {
-                        due: start + self.bank_latency,
+                        due: start + latency,
                         txn,
                     });
                 }
@@ -925,6 +1374,14 @@ impl Machine {
             if !full && self.core_next_poll[t] > now {
                 continue;
             }
+            // Quiesce barriers freeze issue; offline cores never resume
+            // (their poll is also pinned to u64::MAX for the fast path,
+            // but reference mode polls unconditionally and needs this).
+            if let Some(f) = &self.faults {
+                if f.quiescing || !f.online[t] {
+                    continue;
+                }
+            }
             if let Some(req) = self.cores[t].poll(now) {
                 let physical = self.active[t];
                 self.issue_request(physical, req, now);
@@ -935,7 +1392,22 @@ impl Machine {
 
     fn finish_bank_access(&mut self, txn: Key, now: u64) {
         let open = *self.txns.get(txn).expect("open request");
-        let outcome = self.banks[open.bank].access(open.core, open.line, open.write);
+        let mut outcome = self.banks[open.bank].access(open.core, open.line, open.write);
+        // Directory entries may still name offline cores; those snoops
+        // would wait forever for an acknowledgement. The inclusive LLC
+        // holds the data, so dropping them is safe and exact.
+        if let (Some(f), BankOutcome::Hit { snoop }) = (&self.faults, &mut outcome) {
+            if !snoop.is_empty() && f.cores_offline > 0 {
+                let active = &self.active;
+                snoop.retain(|&c| {
+                    let t = active
+                        .iter()
+                        .position(|&p| p == c)
+                        .expect("snoops target active cores");
+                    f.online[t]
+                });
+            }
+        }
         match outcome {
             BankOutcome::Hit { snoop } if snoop.is_empty() => {
                 if let Some(log) = &mut self.events {
@@ -965,7 +1437,14 @@ impl Machine {
                 if let Some(log) = &mut self.events {
                     log.instant(now, "llc_miss", "llc", open.bank as u64);
                 }
-                let ch = channel_of(open.line, self.cfg.memory_channels);
+                // Channel failover: with any channel dead, lines
+                // re-interleave across the survivors.
+                let ch = match &self.faults {
+                    Some(f) if f.channels_dead > 0 => {
+                        f.live_channels[channel_of(open.line, f.live_channels.len() as u32)]
+                    }
+                    _ => channel_of(open.line, self.cfg.memory_channels),
+                };
                 if writeback {
                     // Write-backs consume channel bandwidth only.
                     self.mcs[ch].request(now);
@@ -1141,5 +1620,154 @@ mod tests {
         let mut cfg = SimConfig::pod_64(Workload::MapReduceW, TopologyKind::Mesh);
         cfg.active_cores = 65;
         Machine::new(cfg);
+    }
+
+    fn faulted_run(plan: &FaultPlan, reference: bool) -> SimResult {
+        let cfg = SimConfig::validation(Workload::WebSearch, 16, TopologyKind::Mesh);
+        let mut m = Machine::new(cfg);
+        m.set_reference_mode(reference);
+        m.set_fault_plan(plan);
+        m.run_window(1_000, 3_000)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        let cfg = SimConfig::validation(Workload::WebSearch, 8, TopologyKind::Mesh);
+        let plain = Machine::new(cfg).run(1_000, 3_000);
+        let mut m = Machine::new(cfg);
+        m.set_fault_plan(&FaultPlan::new());
+        let with_plan = m.run_window(1_000, 3_000);
+        assert_eq!(plain, with_plan);
+        assert_eq!(with_plan.halted, None);
+    }
+
+    #[test]
+    fn router_death_degrades_but_does_not_stop_the_machine() {
+        let healthy = faulted_run(&FaultPlan::new(), false);
+        let mut plan = FaultPlan::new();
+        // An interior mesh router dies mid-warmup: its tile's core and
+        // LLC slice go with it, traffic detours around the hole.
+        plan.push(Fault::dead(ComponentKind::Router, 5, 500));
+        let r = faulted_run(&plan, false);
+        assert_eq!(r.halted, None);
+        assert!(r.instructions > 0, "survivors keep executing");
+        assert!(
+            r.instructions < healthy.instructions,
+            "losing a tile must cost throughput: {} vs {}",
+            r.instructions,
+            healthy.instructions
+        );
+        assert_eq!(r.metrics.gauge("sim.fault.routers.dead"), Some(1.0));
+        assert_eq!(r.metrics.gauge("sim.fault.cores.offline"), Some(1.0));
+        assert!(r.metrics.gauge("sim.fault.llc_banks.dead").expect("gauge") >= 1.0);
+        assert!(healthy.metrics.gauge("sim.fault.routers.dead").is_none());
+    }
+
+    #[test]
+    fn same_fault_plan_is_bit_deterministic_and_engine_independent() {
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::dead(ComponentKind::Router, 9, 600));
+        plan.push(Fault::dead(ComponentKind::Core, 3, 1_500));
+        plan.push(Fault::degraded(ComponentKind::MemChannel, 0, 2_000));
+        let a = faulted_run(&plan, false);
+        let b = faulted_run(&plan, false);
+        assert_eq!(a, b, "same plan, same bits");
+        let reference = faulted_run(&plan, true);
+        assert_eq!(a, reference, "event-driven vs per-cycle reference");
+    }
+
+    #[test]
+    fn bank_death_remaps_and_invalidates_warm_state() {
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::dead(ComponentKind::LlcBank, 2, 0));
+        let r = faulted_run(&plan, false);
+        assert_eq!(r.halted, None);
+        assert!(r.llc_accesses > 0, "remapped LLC still serves requests");
+        assert_eq!(r.metrics.gauge("sim.fault.llc_banks.dead"), Some(1.0));
+        assert!(
+            r.metrics
+                .gauge("sim.fault.llc.lines_invalidated")
+                .expect("gauge")
+                > 0.0,
+            "warm state must be invalidated on remap"
+        );
+        // The dead bank serves nothing during the window.
+        assert_eq!(r.metrics.counter("sim.llc.bank2.accesses"), 0);
+    }
+
+    #[test]
+    fn memory_channel_death_fails_over_to_survivors() {
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::dead(ComponentKind::MemChannel, 1, 0));
+        let r = faulted_run(&plan, false);
+        assert_eq!(r.halted, None);
+        assert!(r.memory_lines > 0, "memory still serves lines");
+        assert_eq!(r.metrics.counter("mem.chan1.lines"), 0);
+        assert_eq!(
+            r.metrics.sum_counters_matching("mem.chan", ".lines"),
+            r.memory_lines
+        );
+    }
+
+    #[test]
+    fn hub_death_partitions_the_star_and_halts_structurally() {
+        let cfg = SimConfig::validation(Workload::WebSearch, 8, TopologyKind::Crossbar);
+        let mut m = Machine::new(cfg);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::dead(ComponentKind::Router, 0, 500)); // the hub
+        m.set_fault_plan(&plan);
+        let r = m.run_window(1_000, 2_000);
+        assert_eq!(r.halted, Some(HaltReason::Partition));
+        assert_eq!(m.halted(), Some(HaltReason::Partition));
+        assert_eq!(r.metrics.gauge("sim.fault.halted"), Some(1.0));
+    }
+
+    #[test]
+    fn all_cores_dead_halts_with_no_cores() {
+        let cfg = SimConfig::validation(Workload::WebSearch, 2, TopologyKind::Mesh);
+        let mut m = Machine::new(cfg);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::dead(ComponentKind::Core, 0, 100));
+        plan.push(Fault::dead(ComponentKind::Core, 1, 100));
+        m.set_fault_plan(&plan);
+        let r = m.run_window(500, 1_000);
+        assert_eq!(r.halted, Some(HaltReason::NoCores));
+    }
+
+    #[test]
+    fn intermittent_link_outage_heals() {
+        let cfg = SimConfig::validation(Workload::WebSearch, 16, TopologyKind::Mesh);
+        let mut m = Machine::new(cfg);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::intermittent_link(0, 0, 500, 1_000));
+        m.set_fault_plan(&plan);
+        let r = m.run_window(1_000, 3_000);
+        assert_eq!(r.halted, None);
+        assert!(r.instructions > 0);
+        assert_eq!(r.metrics.gauge("sim.fault.links.dead"), Some(1.0));
+        assert_eq!(r.metrics.gauge("sim.fault.links.restored"), Some(1.0));
+    }
+
+    #[test]
+    fn seeded_router_deaths_sweep_is_monotone_under_growing_damage() {
+        // The degradation experiment's core claim: more dead routers,
+        // no more throughput. (Seeded victim sets nest by construction.)
+        let cfg = SimConfig::validation(Workload::WebSearch, 16, TopologyKind::Mesh);
+        let routers = Machine::new(cfg).net.topology().len() as u32;
+        let ipc = |k: u32| {
+            let plan = FaultPlan::seeded_router_deaths(4, k, routers, 0);
+            let mut m = Machine::new(cfg);
+            m.set_fault_plan(&plan);
+            let r = m.run_window(1_000, 3_000);
+            (r.aggregate_ipc(), r.halted)
+        };
+        // Adjacent victim counts can tie within noise; well-separated
+        // damage levels must order strictly.
+        let (ipc0, h0) = ipc(0);
+        let (ipc2, h2) = ipc(2);
+        let (ipc4, h4) = ipc(4);
+        assert_eq!((h0, h2, h4), (None, None, None));
+        assert!(ipc0 > 0.0 && ipc2 > 0.0 && ipc4 > 0.0);
+        assert!(ipc0 > ipc2 && ipc2 > ipc4, "{ipc0} {ipc2} {ipc4}");
     }
 }

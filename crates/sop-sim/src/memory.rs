@@ -72,6 +72,13 @@ impl MemoryController {
     pub fn reset_stats(&mut self) {
         self.served = 0;
     }
+
+    /// Halves the channel's useful bandwidth (a failed rank or lane
+    /// forces degraded-width transfers); DRAM access latency is
+    /// unchanged. Applying it twice quarters the bandwidth, and so on.
+    pub fn degrade(&mut self) {
+        self.cycles_per_line = self.cycles_per_line.saturating_mul(2);
+    }
 }
 
 /// Picks the channel serving `line` among `channels` (static interleave,

@@ -1,0 +1,149 @@
+//! Availability-derated capacity: what a datacenter's performance is
+//! worth once components fail faster than technicians replace them.
+//!
+//! The thesis' TCO model (chapter 5) assumes every pod runs at full
+//! throughput for the machine's life. A scale-out facility actually
+//! operates with some fraction of its fabric dead at any instant —
+//! routers, links, whole pods — and the interesting policy question is
+//! whether to *drain* a damaged pod (capacity 0 until repair) or keep
+//! it serving degraded. The degradation curve measured by the simulator
+//! (`sop-bench`'s `degradation` campaign: relative performance vs
+//! fraction of failed routers) answers that: a [`DegradationCurve`]
+//! interpolates it, and [`derated_performance`] folds it with an
+//! expected steady-state failure fraction into the effective capacity
+//! multiplier a TCO comparison should use.
+
+/// A measured performance-vs-damage curve: `(failed_fraction,
+/// relative_performance)` points, interpolated linearly between samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl DegradationCurve {
+    /// Builds a curve from `(failed_fraction, relative_performance)`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer than two samples, the first is not at
+    /// zero damage with relative performance 1.0, fractions do not
+    /// strictly increase, any value falls outside `[0, 1]`, or the curve
+    /// is not monotone non-increasing (more damage must never *add*
+    /// throughput — an inversion means the sweep that produced the data
+    /// is broken, not that the datacenter got lucky).
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "a curve needs at least two samples");
+        assert!(
+            points[0] == (0.0, 1.0),
+            "curve must start healthy: (0, 1), got {:?}",
+            points[0]
+        );
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].0 > pair[0].0,
+                "failed fractions must strictly increase: {pair:?}"
+            );
+            assert!(
+                pair[1].1 <= pair[0].1,
+                "degradation must be monotone: {pair:?}"
+            );
+        }
+        for &(x, y) in &points {
+            assert!(
+                (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y),
+                "samples must lie in [0,1]: ({x}, {y})"
+            );
+        }
+        DegradationCurve { points }
+    }
+
+    /// Relative performance at `failed_fraction`, linearly interpolated.
+    /// Beyond the last sample the curve is held flat at its final value
+    /// (the measured sweep ends before total loss; extrapolating a slope
+    /// past it would invent data).
+    pub fn relative_performance(&self, failed_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&failed_fraction),
+            "failed fraction must lie in [0,1]: {failed_fraction}"
+        );
+        let pts = &self.points;
+        if failed_fraction >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let i = pts.partition_point(|&(x, _)| x <= failed_fraction);
+        let (x0, y0) = pts[i - 1];
+        let (x1, y1) = pts[i];
+        y0 + (y1 - y0) * (failed_fraction - x0) / (x1 - x0)
+    }
+
+    /// The samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// Effective capacity multiplier for a fleet whose pods sit at
+/// `expected_failed_fraction` of dead components in steady state
+/// (failure rate x repair latency), under two repair policies:
+///
+/// * **degrade** — damaged pods keep serving at the measured curve's
+///   relative performance;
+/// * **drain** — damaged pods are taken out entirely until repaired, so
+///   a pod with *any* damage contributes zero.
+///
+/// Returns `(degrade_multiplier, drain_multiplier)`; the gap between
+/// them is what graceful degradation is worth. `damaged_pod_fraction`
+/// is the share of pods carrying any damage at all.
+pub fn derated_performance(
+    curve: &DegradationCurve,
+    expected_failed_fraction: f64,
+    damaged_pod_fraction: f64,
+) -> (f64, f64) {
+    assert!(
+        (0.0..=1.0).contains(&damaged_pod_fraction),
+        "pod fraction must lie in [0,1]: {damaged_pod_fraction}"
+    );
+    let degraded = curve.relative_performance(expected_failed_fraction);
+    let degrade = 1.0 - damaged_pod_fraction * (1.0 - degraded);
+    let drain = 1.0 - damaged_pod_fraction;
+    (degrade, drain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> DegradationCurve {
+        DegradationCurve::new(vec![(0.0, 1.0), (0.125, 0.9), (0.25, 0.7)])
+    }
+
+    #[test]
+    fn interpolates_between_samples_and_holds_flat_past_the_end() {
+        let c = curve();
+        assert_eq!(c.relative_performance(0.0), 1.0);
+        assert!((c.relative_performance(0.0625) - 0.95).abs() < 1e-12);
+        assert_eq!(c.relative_performance(0.25), 0.7);
+        assert_eq!(c.relative_performance(1.0), 0.7);
+    }
+
+    #[test]
+    fn degrading_beats_draining() {
+        let (degrade, drain) = derated_performance(&curve(), 0.125, 0.3);
+        assert!(degrade > drain, "{degrade} vs {drain}");
+        assert!((drain - 0.7).abs() < 1e-12);
+        assert!((degrade - (1.0 - 0.3 * 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_curves_are_rejected() {
+        DegradationCurve::new(vec![(0.0, 1.0), (0.1, 0.8), (0.2, 0.9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start healthy")]
+    fn curves_must_start_at_zero_damage() {
+        DegradationCurve::new(vec![(0.1, 1.0), (0.2, 0.9)]);
+    }
+}

@@ -29,12 +29,14 @@
 //! ```
 
 pub mod datacenter;
+pub mod derate;
 pub mod params;
 pub mod price;
 pub mod qos;
 pub mod sensitivity;
 
 pub use datacenter::{Datacenter, TcoBreakdown};
+pub use derate::{derated_performance, DegradationCurve};
 pub use params::TcoParams;
 pub use price::{estimated_price_usd, market_price_usd};
 pub use qos::{MixedFleet, PoolChoice};

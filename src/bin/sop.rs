@@ -7,11 +7,12 @@
 //! sop stack  <ooo|io> <dies> [--fixed-distance]   evaluate a 3D pod
 //! sop trace  <workload> [--topo mesh|fbfly|nocout] [--out FILE] [--quick]
 //!                                             capture a Chrome trace of a pod run
-//! sop sweep  <ch2|ch3|ch4|ch5|ch6|all> [--jobs N] [--no-cache] [--resume]
+//! sop sweep  <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] [--resume]
 //!            [--json FILE] [--quick] [--stable]
 //!                                             run a named experiment campaign
 //! sop bench  [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE]
 //!            [--baseline FILE] [--tol PCT]    time the simulator hot paths
+//! sop cache  [--dir DIR]                      audit the result cache for debris
 //! sop list                                    list design names
 //! ```
 
@@ -19,9 +20,10 @@ use scale_out_processors::bench::bench::{check_regression, run_suite, BENCH_CAMP
 use scale_out_processors::bench::campaign::{run_campaign, CAMPAIGNS};
 use scale_out_processors::core::designs::{reference_chip, DesignKind};
 use scale_out_processors::core::pod::{optimal_pod, preferred_pod, PodSearchSpace};
+use scale_out_processors::exec::audit_dir;
 use scale_out_processors::exec::{Exec, ExecConfig};
 use scale_out_processors::noc::TopologyKind;
-use scale_out_processors::obs::{stabilized, Json, Registry, Report, SpanLog};
+use scale_out_processors::obs::{stabilized, write_atomic, Json, Registry, Report, SpanLog};
 use scale_out_processors::sim::{Machine, SimConfig};
 use scale_out_processors::tco::{Datacenter, TcoParams};
 use scale_out_processors::tech::{CoreKind, TechnologyNode};
@@ -41,6 +43,7 @@ fn main() {
         "trace" => trace(&args),
         "sweep" => sweep(&args),
         "bench" => bench(&args),
+        "cache" => cache(&args),
         "list" => list(),
         _ => usage(),
     }
@@ -53,13 +56,14 @@ fn usage() {
     eprintln!("       sop stack <ooo|io> <dies> [--fixed-distance]");
     eprintln!("       sop trace <workload> [--topo mesh|fbfly|nocout] [--out FILE] [--quick]");
     eprintln!(
-        "       sop sweep <ch2|ch3|ch4|ch5|ch6|all> [--jobs N] [--no-cache] [--resume] \
-         [--json FILE] [--quick] [--stable]"
+        "       sop sweep <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] \
+         [--resume] [--json FILE] [--quick] [--stable]"
     );
     eprintln!(
         "       sop bench [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE] \
          [--baseline FILE] [--tol PCT]"
     );
+    eprintln!("       sop cache [--dir DIR]");
     eprintln!("       sop list");
     std::process::exit(2);
 }
@@ -94,7 +98,7 @@ fn sweep(args: &[String]) {
     report.set("data", data);
     let doc = report.to_json(&spans, &metrics);
     let doc = if stable { stabilized(&doc) } else { doc };
-    if let Err(e) = std::fs::write(&out, doc.to_pretty_string() + "\n") {
+    if let Err(e) = write_atomic(&out, &(doc.to_pretty_string() + "\n")) {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     }
@@ -105,6 +109,49 @@ fn sweep(args: &[String]) {
         exec.workers()
     );
     println!("wrote {out}");
+    let failures = exec.failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("sweep: job failed: {} ({})", f.name, f.error);
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Audits the on-disk result cache: every entry re-validated against its
+/// content hash, stray `*.tmp.*` debris and foreign files called out.
+/// Exits non-zero if anything but valid entries is found.
+fn cache(args: &[String]) {
+    let dir = args
+        .iter()
+        .position(|a| a == "--dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(scale_out_processors::exec::default_cache_dir);
+    let audit = match audit_dir(&dir) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot audit {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    println!("cache {}", dir.display());
+    println!("  valid entries: {}", audit.valid);
+    println!("  invalid entries: {}", audit.invalid.len());
+    for name in &audit.invalid {
+        println!("    {name}");
+    }
+    println!("  stray tmp files: {}", audit.stray_tmp.len());
+    for name in &audit.stray_tmp {
+        println!("    {name}");
+    }
+    println!("  other files: {}", audit.other.len());
+    for name in &audit.other {
+        println!("    {name}");
+    }
+    if !audit.is_clean() {
+        std::process::exit(1);
+    }
 }
 
 /// Times the simulator micro-benchmarks and cold chapter campaigns and
@@ -160,7 +207,7 @@ fn bench(args: &[String]) {
     let mut report = Report::new("bench", "Scale-Out Processors: simulator benchmarks");
     report.set("bench", data.clone());
     let doc = report.to_json(&spans, &Registry::new());
-    if let Err(e) = std::fs::write(&out, doc.to_pretty_string() + "\n") {
+    if let Err(e) = write_atomic(&out, &(doc.to_pretty_string() + "\n")) {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     }
@@ -377,7 +424,7 @@ fn trace(args: &[String]) {
     let log = machine.event_log().expect("tracing was enabled");
     let process = format!("pod_64 {workload:?} {topo:?}");
     let trace = log.to_chrome_trace(&process);
-    if let Err(e) = std::fs::write(&out, trace.to_compact_string() + "\n") {
+    if let Err(e) = write_atomic(&out, &(trace.to_compact_string() + "\n")) {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     }

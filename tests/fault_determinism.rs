@@ -1,0 +1,84 @@
+//! Fault-injection determinism: the same seeded `FaultPlan` must yield
+//! bit-identical simulation results however the work is scheduled — any
+//! worker count, warm or cold cache, event-driven or per-cycle engine.
+
+use proptest::prelude::*;
+use scale_out_processors::bench::points::{sim_points, SimPointSpec, SpecFaults};
+use scale_out_processors::exec::{Exec, ExecConfig};
+use scale_out_processors::fault::FaultPlan;
+use scale_out_processors::noc::TopologyKind;
+use scale_out_processors::sim::{Machine, SimConfig};
+use scale_out_processors::workloads::Workload;
+
+fn faulted_spec(seed: u64, dead: u32) -> SimPointSpec {
+    SimPointSpec::Validation {
+        workload: Workload::WebSearch,
+        cores: 16,
+        topology: TopologyKind::Mesh,
+        warm: 500,
+        measure: 1_500,
+        faults: (dead > 0).then_some(SpecFaults {
+            seed,
+            dead,
+            cycle: 200,
+        }),
+    }
+}
+
+proptest! {
+    // Each case is several full machine runs; a handful of cases per
+    // property keeps the suite under test-time budget while still
+    // varying seed and damage depth.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// One seed, one plan: the machine's visible outcome is a pure
+    /// function of the plan, not of the engine (event-driven vs
+    /// per-cycle reference) and not of repetition.
+    #[test]
+    fn same_plan_same_machine_outcome(seed in 0u64..1_000, dead in 1u32..4) {
+        let cfg = SimConfig::validation(Workload::WebSearch, 16, TopologyKind::Mesh);
+        let run = |reference: bool| {
+            let mut m = Machine::new(cfg);
+            m.set_reference_mode(reference);
+            let plan = FaultPlan::seeded_router_deaths(seed, dead, m.router_count(), 200);
+            m.set_fault_plan(&plan);
+            let r = m.run_window(500, 1_500);
+            (r.aggregate_ipc().to_bits(), r.halted)
+        };
+        let fast = run(false);
+        prop_assert_eq!(fast, run(false), "repetition changed the outcome");
+        prop_assert_eq!(fast, run(true), "engine choice changed the outcome");
+    }
+
+    /// The same faulted spec through the execution engine: every worker
+    /// count and cache state returns bit-identical scalars.
+    #[test]
+    fn schedule_and_cache_state_never_leak_into_results(seed in 0u64..1_000, dead in 1u32..4) {
+        let spec = faulted_spec(seed, dead);
+        let direct = spec.evaluate();
+        let dir = std::env::temp_dir().join(format!(
+            "sop-fault-det-{}-{seed}-{dead}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        for workers in [1usize, 4] {
+            // Cold disk cache, then warm disk cache, then no cache.
+            for _pass in 0..2 {
+                let exec = Exec::new(ExecConfig {
+                    jobs: workers,
+                    cache_dir: Some(dir.clone()),
+                    ..ExecConfig::default()
+                });
+                let pts = sim_points(&exec, "fault-det", &[spec, spec]);
+                prop_assert_eq!(pts[0].aggregate_ipc.to_bits(), direct.aggregate_ipc.to_bits());
+                prop_assert_eq!(pts[1].mean_packet_latency.to_bits(), direct.mean_packet_latency.to_bits());
+                prop_assert_eq!(pts[0].halted, direct.halted);
+            }
+            let exec = Exec::with_workers(workers);
+            let pts = sim_points(&exec, "fault-det", &[spec]);
+            prop_assert_eq!(pts[0].aggregate_ipc.to_bits(), direct.aggregate_ipc.to_bits());
+            prop_assert_eq!(pts[0].noc_flit_hops, direct.noc_flit_hops);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
