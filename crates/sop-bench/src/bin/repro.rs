@@ -134,15 +134,23 @@ fn main() {
 
     // Harness-level job failures: report them (and exit non-zero), but
     // only after everything that succeeded has been printed and written.
+    // The header and list appear only when there is something to say, so
+    // a clean run's stderr stays empty.
     let failures = exec.failures();
-    for f in &failures {
-        eprintln!("repro: job failed: {} ({})", f.name, f.error);
+    if !failures.is_empty() {
+        eprintln!("repro: {} job failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {} ({})", f.name, f.error);
+        }
     }
 
     if let Some(path) = json_path {
         // A sample pod window gives the report real simulation metrics;
-        // the engine contributes its exec.* counters on top.
+        // the engine contributes its exec.* counters on top. The window
+        // runs with transaction tracing armed, so the report also gets a
+        // `txn` section: the per-stage causal latency breakdown.
         let mut metrics: Registry = spans.time("pod_sample", |_| pod_sample_metrics(quick));
+        let txn = sop_obs::TxnBreakdown::from_registry(&metrics).map(|b| b.to_json());
         metrics.merge(&exec.metrics_snapshot());
         let mut report = Report::new("repro", "Scale-Out Processors: reproduced figures");
         report.set(
@@ -152,6 +160,9 @@ fn main() {
         report.set("quick", Json::from(quick));
         report.set("golden", checks_json(&checks));
         report.set("exec", exec_summary(&exec));
+        if let Some(t) = txn {
+            report.set("txn", t);
+        }
         if let Some(f) = fault {
             report.set("fault", f.to_json());
         }

@@ -216,9 +216,18 @@ pub fn checks_json(checks: &[GoldenCheck]) -> Json {
     )
 }
 
+/// Deterministic 1-in-N transaction sampling period for the sample pod
+/// window. Sampling (rather than tracing everything) keeps the report
+/// window cheap while still populating every `sim.txn.*` stage.
+pub const TXN_SAMPLE_EVERY: u64 = 4;
+
 /// Runs one 64-core NOC-Out pod window and returns its metric registry —
-/// the `sim.llc.*`, `sim.l1.*`, `noc.*`, and `mem.*` keys that give a
-/// report's `metrics` block real simulation content.
+/// the `sim.llc.*`, `sim.l1.*`, `noc.*`, `mem.*`, and `sim.txn.*` keys
+/// that give a report's `metrics` block real simulation content. The
+/// window runs with transaction tracing armed at
+/// [`TXN_SAMPLE_EVERY`], so the registry carries the per-stage causal
+/// latency histograms (and stays bit-deterministic: sampling is by
+/// issue-order id, independent of worker count or engine).
 pub fn pod_sample_metrics(quick: bool) -> Registry {
     let cfg = SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut);
     let (warm, measure) = if quick {
@@ -226,7 +235,9 @@ pub fn pod_sample_metrics(quick: bool) -> Registry {
     } else {
         (4_000, 12_000)
     };
-    Machine::new(cfg).run(warm, measure).metrics
+    let mut machine = Machine::new(cfg);
+    machine.enable_txn_tracing(TXN_SAMPLE_EVERY);
+    machine.run_window(warm, measure).metrics
 }
 
 #[cfg(test)]
@@ -243,6 +254,18 @@ mod tests {
         );
         let failing: Vec<&GoldenCheck> = checks.iter().filter(|c| !c.ok()).collect();
         assert!(failing.is_empty(), "failing golden checks: {failing:?}");
+    }
+
+    #[test]
+    fn pod_sample_metrics_carries_consistent_txn_breakdown() {
+        let metrics = pod_sample_metrics(true);
+        let b = sop_obs::TxnBreakdown::from_registry(&metrics).expect("tracing armed");
+        assert!(b.total.count > 0);
+        assert!(b.consistent(), "{}", b.render());
+        assert_eq!(
+            metrics.gauge("sim.txn.sample_every"),
+            Some(TXN_SAMPLE_EVERY as f64)
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn repro_report_has_the_documented_shape() {
     let Json::Obj(metric_rows) = doc.get("metrics").expect("metrics object") else {
         panic!("metrics is not an object");
     };
-    for prefix in ["sim.llc.", "sim.l1.", "noc.", "mem."] {
+    for prefix in ["sim.llc.", "sim.l1.", "noc.", "mem.", "sim.txn."] {
         assert!(
             metric_rows.iter().any(|(k, _)| k.starts_with(prefix)),
             "no {prefix}* metric in the report"

@@ -540,7 +540,11 @@ impl Exec {
                         manifest.record(hashes[i], &jobs[i].name);
                         {
                             let mut m = self.metrics.lock().expect("metrics lock");
-                            m.histogram_record("exec.job.us", us);
+                            // exec.* keys are engine-owned, so a kind
+                            // collision is unreachable; skip rather than
+                            // abort the campaign if one ever appears.
+                            let recorded = m.histogram_record("exec.job.us", us);
+                            debug_assert!(recorded.is_ok(), "{recorded:?}");
                             m.counter_add("exec.job.retries", u64::from(retried));
                         }
                         outcomes[i] = Some(JobOutcome {

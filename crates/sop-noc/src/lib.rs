@@ -36,5 +36,5 @@ pub mod topology;
 pub use area::{NocAreaBreakdown, NocPowerEstimate};
 pub use message::{Delivered, MessageClass, PacketId};
 pub use scaled::ScaledNocOut;
-pub use sim::{Network, NocConfig, TrafficCounters};
+pub use sim::{Network, NocConfig, NocSpans, TrafficCounters};
 pub use topology::{NodeRole, RouteHealth, Topology, TopologyKind, UNREACHABLE};

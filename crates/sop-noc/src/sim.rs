@@ -10,7 +10,7 @@
 //! packets reassemble in order at the destination.
 
 use crate::message::{Delivered, Flit, MessageClass, PacketId};
-use crate::slab::Slab;
+use crate::slab::{SideTable, Slab};
 use crate::topology::{RouteHealth, Topology, TopologyKind};
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -162,6 +162,32 @@ struct PacketMeta {
     received: u32,
 }
 
+/// Causal timestamps collected for one traced packet: when its head
+/// flit first won switch allocation (leaving the source's injection
+/// queue) and when its tail flit reached the destination's input
+/// buffer. Both stay `None` for hops the packet never took — a
+/// self-injected packet bypasses the fabric entirely — and the span
+/// decomposition in [`Network::take_packet_trace`] degrades gracefully.
+#[derive(Debug, Clone, Copy, Default)]
+struct PacketTrace {
+    depart: Option<u64>,
+    tail_arrived: Option<u64>,
+}
+
+/// One delivered packet's time split into the three NOC hop stages:
+/// source queueing (`inject`), fabric traversal (`route`), and
+/// destination ejection (`eject`). The three always sum exactly to
+/// [`Delivered::latency`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocSpans {
+    /// Cycles the head flit waited at the source for link access.
+    pub inject: u64,
+    /// Head departure until the tail reached the destination buffer.
+    pub route: u64,
+    /// Tail arrival until the packet was fully ejected.
+    pub eject: u64,
+}
+
 /// Aggregate traffic counters for power estimation, with per-message-class
 /// breakdowns (indexed by [`MessageClass::vc`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -283,6 +309,10 @@ pub struct Network {
     dead_routers: Vec<bool>,
     /// Directed channels removed by faults, as `(node, out_port)`.
     dead_links: Vec<(usize, usize)>,
+    /// Hop timestamps for packets marked by [`Network::trace_packet`].
+    /// `None` until [`Network::enable_packet_tracing`] arms it, so an
+    /// untraced run pays exactly one pointer-null test per hook.
+    trace: Option<Box<SideTable<PacketTrace>>>,
     cycle: u64,
 }
 
@@ -338,8 +368,52 @@ impl Network {
             pending_activation: Vec::new(),
             dead_routers: vec![false; n],
             dead_links: Vec::new(),
+            trace: None,
             cycle: 0,
         }
+    }
+
+    /// Arms per-packet hop tracing. Until a packet is marked with
+    /// [`Network::trace_packet`] nothing is recorded; without arming,
+    /// marking is a no-op and the hot path stays on its original branch.
+    pub fn enable_packet_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Box::default());
+        }
+    }
+
+    /// Marks an in-flight packet for hop tracing (no-op when tracing is
+    /// not armed). Call between [`Network::inject`] and the packet's
+    /// first step.
+    pub fn trace_packet(&mut self, packet: PacketId) {
+        if let Some(trace) = &mut self.trace {
+            trace.insert(packet, PacketTrace::default());
+        }
+    }
+
+    /// Consumes the hop timestamps of a delivered traced packet and
+    /// returns its inject/route/eject span split, which sums exactly to
+    /// `d.latency()`. Returns `None` for untraced packets. Must be
+    /// called in the same inter-step window as the delivery (packet
+    /// slots are reclaimed at the next step).
+    pub fn take_packet_trace(&mut self, d: &Delivered) -> Option<NocSpans> {
+        let t = self.trace.as_mut()?.remove(d.packet)?;
+        // A self-injected packet never wins a fabric switch slot nor
+        // crosses a link: both timestamps default so its whole latency
+        // lands in the eject span.
+        let depart = t
+            .depart
+            .unwrap_or(d.injected_at)
+            .clamp(d.injected_at, d.delivered_at);
+        let tail = t
+            .tail_arrived
+            .unwrap_or(d.delivered_at)
+            .clamp(depart, d.delivered_at);
+        Some(NocSpans {
+            inject: depart - d.injected_at,
+            route: tail - depart,
+            eject: d.delivered_at - tail,
+        })
     }
 
     /// The configuration this network was built from.
@@ -516,6 +590,16 @@ impl Network {
                 break;
             }
             let a = self.arrivals.pop().expect("peeked");
+            if let Some(trace) = &mut self.trace {
+                // A traced packet's tail reaching its destination's input
+                // buffer ends the route span; later re-deliveries of the
+                // timestamp are impossible (the tail arrives once).
+                if a.flit.is_tail && a.node == a.flit.dst {
+                    if let Some(t) = trace.get_mut(a.flit.packet) {
+                        t.tail_arrived.get_or_insert(cycle);
+                    }
+                }
+            }
             self.routers[a.node].inputs[a.in_port].queues[a.flit.class.vc()].push_back(a.flit);
             self.activate(a.node);
         }
@@ -544,6 +628,16 @@ impl Network {
                     let flit = self.routers[node].inputs[in_port].queues[vc]
                         .pop_front()
                         .expect("picked head exists");
+                    if let Some(trace) = &mut self.trace {
+                        // A traced head flit's *first* switch win is at
+                        // the source (later hops happen at later cycles),
+                        // ending the inject span.
+                        if flit.is_head {
+                            if let Some(t) = trace.get_mut(flit.packet) {
+                                t.depart.get_or_insert(cycle);
+                            }
+                        }
+                    }
                     // Return a credit to the upstream router feeding this
                     // input buffer (injection ports have no upstream).
                     if let Some(Some((u, uport))) = self.link_src[node].get(in_port).copied() {
@@ -787,6 +881,60 @@ mod tests {
                 "{kind:?}: measured {measured} vs zero-load {zero_load}"
             );
         }
+    }
+
+    #[test]
+    fn traced_packet_spans_sum_to_latency() {
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        net.enable_packet_tracing();
+        let src = net.core_endpoints()[0];
+        let dst = *net.llc_endpoints().last().expect("has llc endpoints");
+        let id = net.inject(src, dst, MessageClass::Response, 0, 0);
+        net.trace_packet(id);
+        let done = net.drain(10_000);
+        assert_eq!(done.len(), 1);
+        let spans = net.take_packet_trace(&done[0]).expect("traced");
+        assert_eq!(
+            spans.inject + spans.route + spans.eject,
+            done[0].latency(),
+            "{spans:?}"
+        );
+        assert!(spans.route > 0, "multi-hop trip crosses the fabric");
+        assert_eq!(net.take_packet_trace(&done[0]), None, "consumed");
+    }
+
+    #[test]
+    fn self_injection_attributes_everything_to_ejection() {
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        net.enable_packet_tracing();
+        let node = net.core_endpoints()[0];
+        let id = net.inject(node, node, MessageClass::Request, 0, 0);
+        net.trace_packet(id);
+        let done = net.drain(10_000);
+        assert_eq!(done.len(), 1);
+        let spans = net.take_packet_trace(&done[0]).expect("traced");
+        assert_eq!(spans.inject + spans.route + spans.eject, done[0].latency());
+        assert_eq!(spans.route, 0, "never touched the fabric: {spans:?}");
+    }
+
+    #[test]
+    fn untraced_packets_yield_no_spans() {
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        let src = net.core_endpoints()[0];
+        let dst = net.llc_endpoints()[0];
+        // Not armed: marking is a no-op, delivery yields nothing.
+        let id = net.inject(src, dst, MessageClass::Request, 0, 0);
+        net.trace_packet(id);
+        let done = net.drain(10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(net.take_packet_trace(&done[0]), None);
+        // Armed but unmarked packets also stay invisible.
+        let mut net = Network::new(NocConfig::pod_64(TopologyKind::Mesh));
+        net.enable_packet_tracing();
+        net.inject(src, dst, MessageClass::Request, 0, 0);
+        let done = net.drain(10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(net.take_packet_trace(&done[0]), None);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Latency-attribution analysis over a traced run's registry.
+//!
+//! [`TxnBreakdown`] reads the `sim.txn.*` histograms a traced simulation
+//! exported (see [`crate::txn`]) and renders the Fig-4.x-style
+//! "where did the cycles go" table: per-stage sample counts, p50/p95/p99
+//! upper estimates, means, and each stage's share of total transaction
+//! cycles. It also re-checks the tracer's structural invariant — stage
+//! span sums must equal the end-to-end `sim.txn.total` sum — so a
+//! broken attribution can never print a silently-wrong table.
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use crate::registry::Registry;
+use crate::txn::{Stage, TOTAL_KEY};
+
+/// Summary statistics for one stage (or for the end-to-end total).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Table label (`"noc inject"`, …, `"total"`).
+    pub label: &'static str,
+    /// Registry key the row was read from.
+    pub key: &'static str,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Sum of all spans in cycles.
+    pub sum: u64,
+    /// Mean span in cycles.
+    pub mean: f64,
+    /// p50/p95/p99 bucket upper estimates (0 when the row is empty).
+    pub p50: u64,
+    /// 95th percentile upper estimate.
+    pub p95: u64,
+    /// 99th percentile upper estimate.
+    pub p99: u64,
+    /// Largest recorded span.
+    pub max: u64,
+}
+
+impl StageRow {
+    fn from_hist(label: &'static str, key: &'static str, h: &Histogram) -> StageRow {
+        StageRow {
+            label,
+            key,
+            count: h.count(),
+            sum: h.sum(),
+            mean: h.mean(),
+            p50: h.p50().unwrap_or(0),
+            p95: h.p95().unwrap_or(0),
+            p99: h.p99().unwrap_or(0),
+            max: h.max(),
+        }
+    }
+
+    fn empty(label: &'static str, key: &'static str) -> StageRow {
+        StageRow::from_hist(label, key, &Histogram::new())
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("stage", self.label)
+            .with("key", self.key)
+            .with("count", self.count)
+            .with("sum", self.sum)
+            .with("mean", self.mean)
+            .with("p50", self.p50)
+            .with("p95", self.p95)
+            .with("p99", self.p99)
+            .with("max", self.max)
+    }
+}
+
+/// A per-stage latency breakdown extracted from a traced run's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnBreakdown {
+    /// One row per [`Stage`], in presentation order (empty stages kept,
+    /// so crossbar runs still show a `directory` row at zero).
+    pub rows: Vec<StageRow>,
+    /// The end-to-end `sim.txn.total` row.
+    pub total: StageRow,
+}
+
+impl TxnBreakdown {
+    /// Extracts the breakdown from a registry, or `None` when the run
+    /// was not traced (no `sim.txn.total` histogram present).
+    pub fn from_registry(registry: &Registry) -> Option<TxnBreakdown> {
+        let total = registry.histogram(TOTAL_KEY)?;
+        let rows = Stage::ALL
+            .iter()
+            .map(|&s| match registry.histogram(s.key()) {
+                Some(h) => StageRow::from_hist(s.label(), s.key(), h),
+                None => StageRow::empty(s.label(), s.key()),
+            })
+            .collect();
+        Some(TxnBreakdown {
+            rows,
+            total: StageRow::from_hist("total", TOTAL_KEY, total),
+        })
+    }
+
+    /// Sum of every stage row's span sum, in cycles.
+    pub fn stage_sum(&self) -> u64 {
+        self.rows.iter().map(|r| r.sum).sum()
+    }
+
+    /// Whether per-stage attribution accounts for every cycle of the
+    /// end-to-end total. The tracer guarantees this by construction for
+    /// completed transactions; `false` means the trace is corrupt.
+    pub fn consistent(&self) -> bool {
+        self.stage_sum() == self.total.sum
+    }
+
+    /// Renders the breakdown as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>7} {:>7} {:>7} {:>9} {:>12} {:>7}\n",
+            "stage", "count", "p50", "p95", "p99", "mean", "cycles", "share"
+        ));
+        let total_sum = self.total.sum;
+        for row in self.rows.iter().chain(std::iter::once(&self.total)) {
+            let share = if total_sum == 0 {
+                0.0
+            } else {
+                100.0 * row.sum as f64 / total_sum as f64
+            };
+            out.push_str(&format!(
+                "{:<14} {:>9} {:>7} {:>7} {:>7} {:>9.1} {:>12} {:>6.1}%\n",
+                row.label, row.count, row.p50, row.p95, row.p99, row.mean, row.sum, share
+            ));
+        }
+        let verdict = if self.consistent() {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        };
+        out.push_str(&format!(
+            "stage sums vs sim.txn.total: {} vs {} cycles ({verdict})\n",
+            self.stage_sum(),
+            total_sum
+        ));
+        out
+    }
+
+    /// JSON form: `{stages: [row...], total: row, consistent: bool}` —
+    /// the `txn` section of bench reports.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with(
+                "stages",
+                Json::Arr(self.rows.iter().map(StageRow::to_json).collect()),
+            )
+            .with("total", self.total.to_json())
+            .with("consistent", self.consistent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::TxnStats;
+
+    fn traced_registry() -> Registry {
+        let mut stats = TxnStats::new();
+        // Two transactions with contiguous spans.
+        stats.record(Stage::NocInject, 1);
+        stats.record(Stage::NocRoute, 5);
+        stats.record(Stage::NocEject, 2);
+        stats.record(Stage::BankQueue, 3);
+        stats.record(Stage::BankService, 4);
+        stats.record_total(15);
+        stats.record(Stage::NocInject, 2);
+        stats.record(Stage::NocRoute, 6);
+        stats.record(Stage::NocEject, 2);
+        stats.record(Stage::BankService, 4);
+        stats.record(Stage::MemQueue, 10);
+        stats.record(Stage::MemService, 30);
+        stats.record_total(54);
+        let mut reg = Registry::new();
+        stats.export(&mut reg);
+        reg
+    }
+
+    #[test]
+    fn breakdown_requires_a_traced_run() {
+        assert!(TxnBreakdown::from_registry(&Registry::new()).is_none());
+        assert!(TxnBreakdown::from_registry(&traced_registry()).is_some());
+    }
+
+    #[test]
+    fn stage_sums_match_the_total_histogram() {
+        let b = TxnBreakdown::from_registry(&traced_registry()).expect("traced");
+        assert_eq!(b.total.count, 2);
+        assert_eq!(b.total.sum, 69);
+        assert_eq!(b.stage_sum(), 69);
+        assert!(b.consistent());
+    }
+
+    #[test]
+    fn render_lists_every_stage_and_the_verdict() {
+        let b = TxnBreakdown::from_registry(&traced_registry()).expect("traced");
+        let table = b.render();
+        for stage in Stage::ALL {
+            assert!(table.contains(stage.label()), "{table}");
+        }
+        assert!(table.contains("total"), "{table}");
+        assert!(table.contains("(consistent)"), "{table}");
+    }
+
+    #[test]
+    fn inconsistency_is_flagged() {
+        let mut reg = traced_registry();
+        // Tamper: extra span that no completed transaction accounts for.
+        reg.histogram_record(Stage::Directory.key(), 100)
+            .expect("histogram key");
+        let b = TxnBreakdown::from_registry(&reg).expect("traced");
+        assert!(!b.consistent());
+        assert!(b.render().contains("INCONSISTENT"));
+    }
+
+    #[test]
+    fn json_form_is_wellformed() {
+        let b = TxnBreakdown::from_registry(&traced_registry()).expect("traced");
+        let j = b.to_json();
+        assert_eq!(j.get("consistent"), Some(&Json::Bool(true)));
+        crate::json::parse(&j.to_compact_string()).expect("valid JSON");
+    }
+}

@@ -1,0 +1,335 @@
+//! Structural comparison of two `sop-report/v1` documents.
+//!
+//! `sop diff a.json b.json` answers "did anything move, and by how
+//! much" for two run reports: it walks both JSON trees in lockstep,
+//! compares numeric leaves under a relative tolerance (exact by
+//! default), and reports every missing key, extra key, kind mismatch,
+//! and out-of-tolerance value with its full dotted path. Per-path
+//! tolerance overrides (`--tol-path sections.bench=5`) let a CI gate
+//! hold timing-ish subtrees loosely while pinning deterministic
+//! `metrics.sim.*` keys exactly — which is how the repro-determinism
+//! job replaces a raw byte `cmp` without losing strictness.
+//!
+//! Wall-clock subtrees (`spans`, the `exec` section, `exec.*` metrics)
+//! are ignored by default: they differ between any two runs and are
+//! exactly what [`crate::report::stabilized`] strips.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// Comparison policy: a default relative tolerance plus per-path
+/// overrides and ignored subtrees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffConfig {
+    /// Default relative tolerance as a fraction (`0.0` = exact,
+    /// `0.05` = ±5% of the larger magnitude).
+    pub tol: f64,
+    /// Path-prefix tolerance overrides; the longest matching prefix
+    /// wins over `tol`.
+    pub rules: Vec<(String, f64)>,
+    /// Path prefixes skipped entirely (no comparison, no missing-key
+    /// reports).
+    pub ignore: Vec<String>,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            tol: 0.0,
+            rules: Vec::new(),
+            ignore: vec![
+                "spans".to_owned(),
+                "sections.exec".to_owned(),
+                "metrics.exec.".to_owned(),
+            ],
+        }
+    }
+}
+
+impl DiffConfig {
+    /// Exact comparison everywhere (minus the default ignores).
+    pub fn exact() -> Self {
+        DiffConfig::default()
+    }
+
+    /// Uniform relative tolerance as a fraction.
+    pub fn with_tol(tol: f64) -> Self {
+        DiffConfig {
+            tol,
+            ..DiffConfig::default()
+        }
+    }
+
+    fn ignored(&self, path: &str) -> bool {
+        self.ignore.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    fn tol_for(&self, path: &str) -> f64 {
+        self.rules
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map_or(self.tol, |(_, t)| *t)
+    }
+}
+
+/// One divergence between the two documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Dotted path of the diverging value (`metrics.sim.cycles`,
+    /// `sections.bench.points[3].cycles_per_sec`).
+    pub path: String,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.detail)
+    }
+}
+
+/// Outcome of a report comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffResult {
+    /// Number of leaf values compared (ignored subtrees excluded).
+    pub compared: usize,
+    /// Every divergence found, in document order.
+    pub violations: Vec<DiffEntry>,
+}
+
+impl DiffResult {
+    /// Whether the reports match under the configured tolerances.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn violation(&mut self, path: &str, detail: String) {
+        self.violations.push(DiffEntry {
+            path: path.to_owned(),
+            detail,
+        });
+    }
+}
+
+/// Compares two parsed report documents under `cfg`.
+pub fn diff_reports(a: &Json, b: &Json, cfg: &DiffConfig) -> DiffResult {
+    let mut result = DiffResult::default();
+    walk(a, b, "", cfg, &mut result);
+    result
+}
+
+fn kind(j: &Json) -> &'static str {
+    match j {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::UInt(_) | Json::Int(_) | Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_owned()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn within(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= tol * a.abs().max(b.abs())
+}
+
+fn walk(a: &Json, b: &Json, path: &str, cfg: &DiffConfig, out: &mut DiffResult) {
+    if cfg.ignored(path) {
+        return;
+    }
+    match (a, b) {
+        (Json::Obj(ma), Json::Obj(mb)) => {
+            for (key, va) in ma {
+                match b.get(key) {
+                    Some(vb) => walk(va, vb, &join(path, key), cfg, out),
+                    None => {
+                        let p = join(path, key);
+                        if !cfg.ignored(&p) {
+                            out.violation(&p, "missing in second report".to_owned());
+                        }
+                    }
+                }
+            }
+            for (key, _) in mb {
+                if a.get(key).is_none() {
+                    let p = join(path, key);
+                    if !cfg.ignored(&p) {
+                        out.violation(&p, "missing in first report".to_owned());
+                    }
+                }
+            }
+        }
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            if xs.len() != ys.len() {
+                out.violation(path, format!("array length {} vs {}", xs.len(), ys.len()));
+            }
+            for (i, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+                walk(x, y, &format!("{path}[{i}]"), cfg, out);
+            }
+        }
+        _ => {
+            if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+                out.compared += 1;
+                let tol = cfg.tol_for(path);
+                if !within(x, y, tol) {
+                    out.violation(
+                        path,
+                        format!("{x} vs {y} exceeds tolerance {:.3}%", tol * 100.0),
+                    );
+                }
+            } else if kind(a) != kind(b) {
+                out.compared += 1;
+                out.violation(path, format!("{} vs {}", kind(a), kind(b)));
+            } else {
+                out.compared += 1;
+                if a != b {
+                    out.violation(
+                        path,
+                        format!("{} vs {}", a.to_compact_string(), b.to_compact_string()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, ipc: f64) -> Json {
+        Json::object()
+            .with("schema", "sop-report/v1")
+            .with("tool", "repro")
+            .with(
+                "metrics",
+                Json::object()
+                    .with("sim.cycles", cycles)
+                    .with("sim.ipc", ipc),
+            )
+            .with(
+                "spans",
+                Json::Arr(vec![Json::object().with("duration_us", 12345u64)]),
+            )
+    }
+
+    #[test]
+    fn identical_reports_match_exactly() {
+        let a = report(1000, 1.5);
+        let d = diff_reports(&a, &a.clone(), &DiffConfig::exact());
+        assert!(d.ok(), "{:?}", d.violations);
+        assert!(d.compared >= 4);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_is_a_violation() {
+        let a = report(1000, 1.5);
+        let b = report(1100, 1.5); // +10%
+        let d = diff_reports(&a, &b, &DiffConfig::with_tol(0.05));
+        assert!(!d.ok());
+        assert_eq!(d.violations.len(), 1);
+        assert_eq!(d.violations[0].path, "metrics.sim.cycles");
+        assert!(d.violations[0].to_string().contains("1000 vs 1100"));
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes() {
+        let a = report(1000, 1.5);
+        let b = report(1030, 1.5); // +3%
+        assert!(diff_reports(&a, &b, &DiffConfig::with_tol(0.05)).ok());
+        // ...but fails an exact comparison.
+        assert!(!diff_reports(&a, &b, &DiffConfig::exact()).ok());
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_reported_in_both_directions() {
+        let a = report(1000, 1.5);
+        let mut b = report(1000, 1.5);
+        // Remove sim.ipc from b and add an extra key.
+        let Json::Obj(members) = &mut b else {
+            panic!("object")
+        };
+        for (k, v) in members.iter_mut() {
+            if k == "metrics" {
+                let Json::Obj(metrics) = v else {
+                    panic!("object")
+                };
+                metrics.retain(|(k, _)| k != "sim.ipc");
+                metrics.push(("sim.extra".to_owned(), Json::UInt(1)));
+            }
+        }
+        let d = diff_reports(&a, &b, &DiffConfig::exact());
+        let paths: Vec<&str> = d.violations.iter().map(|v| v.path.as_str()).collect();
+        assert!(paths.contains(&"metrics.sim.ipc"), "{paths:?}");
+        assert!(paths.contains(&"metrics.sim.extra"), "{paths:?}");
+        let details: Vec<&str> = d.violations.iter().map(|v| v.detail.as_str()).collect();
+        assert!(details.contains(&"missing in second report"), "{details:?}");
+        assert!(details.contains(&"missing in first report"), "{details:?}");
+    }
+
+    #[test]
+    fn spans_and_exec_are_ignored_by_default() {
+        let a = report(1000, 1.5);
+        let mut b = report(1000, 1.5);
+        let Json::Obj(members) = &mut b else {
+            panic!("object")
+        };
+        for (k, v) in members.iter_mut() {
+            if k == "spans" {
+                *v = Json::Arr(vec![]);
+            }
+        }
+        assert!(diff_reports(&a, &b, &DiffConfig::exact()).ok());
+    }
+
+    #[test]
+    fn per_path_rules_override_the_default_and_longest_prefix_wins() {
+        let a = report(1000, 1.5);
+        let b = report(1100, 1.5);
+        let mut cfg = DiffConfig::exact();
+        cfg.rules.push(("metrics".to_owned(), 0.01));
+        cfg.rules.push(("metrics.sim.cycles".to_owned(), 0.25));
+        assert!(diff_reports(&a, &b, &cfg).ok(), "longest prefix is loose");
+        cfg.rules.pop();
+        assert!(!diff_reports(&a, &b, &cfg).ok(), "1% rule rejects +10%");
+    }
+
+    #[test]
+    fn kind_mismatch_and_string_drift_are_violations() {
+        let a = Json::object().with("tool", "repro").with("n", 1u64);
+        let b = Json::object().with("tool", "bench").with("n", "one");
+        let d = diff_reports(&a, &b, &DiffConfig::exact());
+        assert_eq!(d.violations.len(), 2);
+        assert!(d.violations[0].detail.contains("\"repro\" vs \"bench\""));
+        assert!(d.violations[1].detail.contains("number vs string"));
+    }
+
+    #[test]
+    fn array_length_mismatch_is_reported() {
+        let a = Json::object().with("xs", Json::Arr(vec![Json::UInt(1), Json::UInt(2)]));
+        let b = Json::object().with("xs", Json::Arr(vec![Json::UInt(1)]));
+        let d = diff_reports(&a, &b, &DiffConfig::exact());
+        assert_eq!(d.violations.len(), 1);
+        assert!(d.violations[0].detail.contains("array length 2 vs 1"));
+    }
+
+    #[test]
+    fn zero_tolerance_on_zero_values_matches() {
+        let a = Json::object().with("z", 0u64);
+        let b = Json::object().with("z", 0.0f64);
+        assert!(diff_reports(&a, &b, &DiffConfig::exact()).ok());
+    }
+}

@@ -62,6 +62,11 @@ impl Histogram {
         self.max
     }
 
+    /// Sum of all recorded samples (saturating, see [`record`](Self::record)).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Upper bound of the bucket containing the `q`-quantile
     /// (`0.0 < q <= 1.0`), i.e. an upper estimate of the quantile.
     /// Returns `None` if `q` is out of range or the histogram is empty.
@@ -193,6 +198,7 @@ mod tests {
         assert_eq!(h.count(), 4);
         assert_eq!(h.mean(), 2.5);
         assert_eq!(h.max(), 4);
+        assert_eq!(h.sum(), 10);
     }
 
     #[test]

@@ -21,16 +21,30 @@
 //! (`misses`, `snoops`) — e.g. `sim.llc.bank3.misses`, `noc.class.
 //! response.packets`, `mem.chan0.lines`.
 
+//! * [`txn`] — the transaction-tracing model: the causal hop-stage
+//!   taxonomy ([`Stage`](txn::Stage)) and the per-stage histogram bundle
+//!   ([`TxnStats`](txn::TxnStats)) the simulator exports as `sim.txn.*`;
+//! * [`analyze`] — per-stage percentile latency-breakdown tables over a
+//!   traced run's registry (`sop trace --analyze`);
+//! * [`diff`] — structural comparison of two `sop-report/v1` documents
+//!   with per-metric tolerances (`sop diff`).
+
+pub mod analyze;
+pub mod diff;
 pub mod event;
 pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod txn;
 
+pub use analyze::TxnBreakdown;
+pub use diff::{diff_reports, DiffConfig, DiffEntry, DiffResult};
 pub use event::{Event, EventLog};
 pub use hist::Histogram;
 pub use json::{write_atomic, Json};
-pub use registry::{Metric, Registry, RenameError};
+pub use registry::{Metric, MetricKindError, Registry, RenameError};
 pub use report::{stabilized, Report, SCHEMA_VERSION};
 pub use span::{SpanLog, SpanRecord};
+pub use txn::{Stage, TxnStats};

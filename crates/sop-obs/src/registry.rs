@@ -57,6 +57,32 @@ impl fmt::Display for RenameError {
 
 impl std::error::Error for RenameError {}
 
+/// A metric operation that found the key bound to a different kind —
+/// e.g. recording a histogram sample into a key that already holds a
+/// counter. Returned instead of panicking so one bad key cannot abort a
+/// long campaign; callers decide whether to skip, log, or escalate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricKindError {
+    /// The colliding key.
+    pub key: String,
+    /// The kind the operation required (e.g. `"histogram"`).
+    pub expected: &'static str,
+    /// The kind the key actually holds.
+    pub found: &'static str,
+}
+
+impl fmt::Display for MetricKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "metric {:?} is a {}, not a {}",
+            self.key, self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for MetricKindError {}
+
 /// A flat map of hierarchical metric names to values.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
@@ -101,35 +127,46 @@ impl Registry {
         }
     }
 
-    /// Records one sample into the histogram at `key`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `key` already holds a non-histogram metric.
-    pub fn histogram_record(&mut self, key: &str, sample: u64) {
+    /// Records one sample into the histogram at `key`, creating it if
+    /// absent. A key already bound to a non-histogram metric yields a
+    /// [`MetricKindError`] and leaves the registry untouched, so a bad
+    /// key cannot abort a long campaign.
+    pub fn histogram_record(&mut self, key: &str, sample: u64) -> Result<(), MetricKindError> {
         match self
             .metrics
             .entry(key.to_owned())
             .or_insert_with(|| Metric::Histogram(Box::default()))
         {
-            Metric::Histogram(h) => h.record(sample),
-            other => panic!("metric {key:?} is a {}, not a histogram", other.kind()),
+            Metric::Histogram(h) => {
+                h.record(sample);
+                Ok(())
+            }
+            other => Err(MetricKindError {
+                key: key.to_owned(),
+                expected: "histogram",
+                found: other.kind(),
+            }),
         }
     }
 
     /// Merges a whole histogram into the one at `key` (creating it).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `key` already holds a non-histogram metric.
-    pub fn histogram_merge(&mut self, key: &str, hist: &Histogram) {
+    /// Kind collisions error instead of panicking, like
+    /// [`histogram_record`](Self::histogram_record).
+    pub fn histogram_merge(&mut self, key: &str, hist: &Histogram) -> Result<(), MetricKindError> {
         match self
             .metrics
             .entry(key.to_owned())
             .or_insert_with(|| Metric::Histogram(Box::default()))
         {
-            Metric::Histogram(h) => h.merge(hist),
-            other => panic!("metric {key:?} is a {}, not a histogram", other.kind()),
+            Metric::Histogram(h) => {
+                h.merge(hist);
+                Ok(())
+            }
+            other => Err(MetricKindError {
+                key: key.to_owned(),
+                expected: "histogram",
+                found: other.kind(),
+            }),
         }
     }
 
@@ -289,11 +326,11 @@ mod tests {
         let mut a = Registry::new();
         a.counter_add("c", 1);
         a.gauge_set("g", 1.0);
-        a.histogram_record("h", 10);
+        a.histogram_record("h", 10).expect("fresh key");
         let mut b = Registry::new();
         b.counter_add("c", 2);
         b.gauge_set("g", 9.0);
-        b.histogram_record("h", 20);
+        b.histogram_record("h", 20).expect("fresh key");
         b.counter_add("only_b", 7);
         a.merge(&b);
         assert_eq!(a.counter("c"), 3);
@@ -318,6 +355,28 @@ mod tests {
         let mut r = Registry::new();
         r.gauge_set("k", 1.0);
         r.counter_add("k", 1);
+    }
+
+    #[test]
+    fn histogram_ops_error_on_kind_collision_without_mutating() {
+        let mut r = Registry::new();
+        r.counter_add("k", 5);
+        let err = r.histogram_record("k", 1).expect_err("counter under key");
+        assert_eq!(err.key, "k");
+        assert_eq!(err.expected, "histogram");
+        assert_eq!(err.found, "counter");
+        assert!(err.to_string().contains("not a histogram"), "{err}");
+        let mut h = Histogram::new();
+        h.record(3);
+        r.gauge_set("g", 1.0);
+        let err = r.histogram_merge("g", &h).expect_err("gauge under key");
+        assert_eq!(err.found, "gauge");
+        // The collisions left both original metrics untouched.
+        assert_eq!(r.counter("k"), 5);
+        assert_eq!(r.gauge("g"), Some(1.0));
+        // And the happy path still records.
+        r.histogram_merge("h", &h).expect("fresh key");
+        assert_eq!(r.histogram("h").map(Histogram::count), Some(1));
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Transaction-tracing model: the causal hop-stage taxonomy and the
+//! per-stage histogram bundle a traced simulation exports.
+//!
+//! A *transaction* is one L1 miss's round trip through the machine:
+//! request injection into the NOC, routing, ejection at the LLC tile,
+//! bank queueing and service, optional directory indirection (snoop
+//! fan-out and ack collection), optional memory-channel queueing and
+//! service, and the response's trip back through the NOC. The tracer
+//! timestamps each causal hand-off and records the *span since the
+//! previous hand-off* into that stage's histogram, so by construction
+//! the per-stage spans of one transaction sum exactly to its end-to-end
+//! latency — the invariant `sop trace --analyze` checks when it prints
+//! a breakdown table against `sim.txn.total`.
+//!
+//! Stage keys live under `sim.txn.` in the [`Registry`], split into
+//! `queue`/`service` pairs where the stage has both phases (bank,
+//! memory) and named hops where it does not (NOC inject/route/eject,
+//! directory).
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use crate::registry::Registry;
+
+/// One causal hop stage in a transaction's life. The discriminant is
+/// the stage's index into [`TxnStats`]'s histogram array and fixes the
+/// presentation order of breakdown tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Request or response flits waiting at the source for link access.
+    NocInject = 0,
+    /// Head-flit departure until the tail flit reaches the destination.
+    NocRoute = 1,
+    /// Tail arrival at the destination until the packet is delivered.
+    NocEject = 2,
+    /// Request delivered at the LLC tile, waiting for a free bank port.
+    BankQueue = 3,
+    /// Bank tag/data array access.
+    BankService = 4,
+    /// Directory indirection: snoop fan-out until the last ack returns.
+    Directory = 5,
+    /// LLC miss waiting for its memory channel to go idle.
+    MemQueue = 6,
+    /// Memory-channel line transfer plus DRAM latency.
+    MemService = 7,
+}
+
+/// Number of distinct stages.
+pub const STAGES: usize = 8;
+
+/// The registry key for the end-to-end latency histogram.
+pub const TOTAL_KEY: &str = "sim.txn.total";
+
+impl Stage {
+    /// Every stage, in presentation order.
+    pub const ALL: [Stage; STAGES] = [
+        Stage::NocInject,
+        Stage::NocRoute,
+        Stage::NocEject,
+        Stage::BankQueue,
+        Stage::BankService,
+        Stage::Directory,
+        Stage::MemQueue,
+        Stage::MemService,
+    ];
+
+    /// The registry key this stage's histogram is published under.
+    pub fn key(self) -> &'static str {
+        match self {
+            Stage::NocInject => "sim.txn.noc.inject",
+            Stage::NocRoute => "sim.txn.noc.route",
+            Stage::NocEject => "sim.txn.noc.eject",
+            Stage::BankQueue => "sim.txn.bank.queue",
+            Stage::BankService => "sim.txn.bank.service",
+            Stage::Directory => "sim.txn.directory",
+            Stage::MemQueue => "sim.txn.mem.queue",
+            Stage::MemService => "sim.txn.mem.service",
+        }
+    }
+
+    /// Short human-readable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::NocInject => "noc inject",
+            Stage::NocRoute => "noc route",
+            Stage::NocEject => "noc eject",
+            Stage::BankQueue => "bank queue",
+            Stage::BankService => "bank service",
+            Stage::Directory => "directory",
+            Stage::MemQueue => "mem queue",
+            Stage::MemService => "mem service",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-stage span histograms plus the end-to-end total, recorded by the
+/// simulator while transaction tracing is armed and exported into the
+/// window registry as `sim.txn.*`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    stages: [Histogram; STAGES],
+    total: Histogram,
+}
+
+impl TxnStats {
+    /// An empty bundle.
+    pub fn new() -> Self {
+        TxnStats::default()
+    }
+
+    /// Records one hop span for `stage`.
+    pub fn record(&mut self, stage: Stage, span: u64) {
+        self.stages[stage.index()].record(span);
+    }
+
+    /// Records one completed transaction's end-to-end latency.
+    pub fn record_total(&mut self, latency: u64) {
+        self.total.record(latency);
+    }
+
+    /// The histogram for one stage.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+
+    /// The end-to-end latency histogram.
+    pub fn total(&self) -> &Histogram {
+        &self.total
+    }
+
+    /// Number of sampled transactions that completed.
+    pub fn completed(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// Sum of all per-stage span sums. Because every span is the time
+    /// since the previous causal hand-off, this equals
+    /// `self.total().sum()` exactly for any set of *completed*
+    /// transactions — the consistency invariant the analyzer verifies.
+    pub fn stage_sum(&self) -> u64 {
+        self.stages.iter().map(Histogram::sum).sum()
+    }
+
+    /// Publishes every stage histogram plus the total under `sim.txn.*`.
+    pub fn export(&self, registry: &mut Registry) {
+        for stage in Stage::ALL {
+            let merged = registry.histogram_merge(stage.key(), &self.stages[stage.index()]);
+            debug_assert!(merged.is_ok(), "{merged:?}");
+        }
+        let merged = registry.histogram_merge(TOTAL_KEY, &self.total);
+        debug_assert!(merged.is_ok(), "{merged:?}");
+    }
+
+    /// Clears all histograms (used at the measurement-window boundary).
+    pub fn reset(&mut self) {
+        *self = TxnStats::new();
+    }
+
+    /// Summary as a JSON object keyed by stage.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        for stage in Stage::ALL {
+            j.insert(stage.key(), self.stages[stage.index()].to_json());
+        }
+        j.insert(TOTAL_KEY, self.total.to_json());
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_keys_are_distinct_and_under_sim_txn() {
+        let keys: Vec<&str> = Stage::ALL.iter().map(|s| s.key()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert!(k.starts_with("sim.txn."), "{k}");
+            assert!(!keys[i + 1..].contains(k), "duplicate key {k}");
+        }
+        assert!(!keys.contains(&TOTAL_KEY));
+    }
+
+    #[test]
+    fn contiguous_spans_sum_to_the_total() {
+        let mut stats = TxnStats::new();
+        // One transaction: hand-offs at 3, 7, 10, 14 from issue at 0.
+        stats.record(Stage::NocInject, 3);
+        stats.record(Stage::NocRoute, 4);
+        stats.record(Stage::NocEject, 3);
+        stats.record(Stage::BankService, 4);
+        stats.record_total(14);
+        assert_eq!(stats.stage_sum(), stats.total().sum());
+        assert_eq!(stats.completed(), 1);
+    }
+
+    #[test]
+    fn export_publishes_every_stage_and_the_total() {
+        let mut stats = TxnStats::new();
+        stats.record(Stage::MemQueue, 9);
+        stats.record_total(9);
+        let mut reg = Registry::new();
+        stats.export(&mut reg);
+        for stage in Stage::ALL {
+            assert!(reg.histogram(stage.key()).is_some(), "{}", stage.key());
+        }
+        assert_eq!(reg.histogram(TOTAL_KEY).map(Histogram::count), Some(1));
+        assert_eq!(
+            reg.histogram(Stage::MemQueue.key()).map(Histogram::sum),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut stats = TxnStats::new();
+        stats.record(Stage::BankQueue, 5);
+        stats.record_total(5);
+        stats.reset();
+        assert_eq!(stats.completed(), 0);
+        assert_eq!(stats.stage_sum(), 0);
+    }
+
+    #[test]
+    fn json_form_is_wellformed() {
+        let mut stats = TxnStats::new();
+        stats.record(Stage::Directory, 2);
+        stats.record_total(2);
+        crate::json::parse(&stats.to_json().to_compact_string()).expect("valid JSON");
+    }
+}

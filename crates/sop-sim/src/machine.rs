@@ -17,6 +17,7 @@ use crate::stats::Histogram;
 use sop_fault::{ComponentKind, Fault, FaultMode, FaultPlan};
 use sop_noc::slab::{Key, SideTable, Slab};
 use sop_noc::{MessageClass, Network, NocConfig, TopologyKind};
+use sop_obs::txn::{Stage, TxnStats, STAGES};
 use sop_obs::{EventLog, Registry};
 use sop_tech::{CacheGeometry, CoreKind, TechnologyNode};
 use sop_workloads::trace::LineAddr;
@@ -328,6 +329,88 @@ enum PacketRole {
     },
 }
 
+/// Per-transaction causal-tracing state, boxed behind an `Option` like
+/// [`FaultState`]: `None` (the default) keeps every hot path on its
+/// untraced branch and exports no `sim.txn.*` keys, so an untraced run
+/// is byte-identical to one built before tracing existed.
+///
+/// Transaction ids come from a monotonic issue counter — issue order is
+/// already part of the engine's semantics (it decides packet ids), so
+/// ids and the `id % sample_every == 0` sampling decision are
+/// bit-deterministic and identical between the event-driven and
+/// reference engines.
+#[derive(Debug, Clone)]
+struct TxnTraceState {
+    /// Trace every `sample_every`-th transaction (1 = all).
+    sample_every: u64,
+    /// Transactions issued so far; the next transaction's id.
+    issued: u64,
+    /// Sampled transactions in flight, keyed by open-request key.
+    live: SideTable<TxnLive>,
+    /// Sampled transactions whose response is in the NOC, keyed by the
+    /// response packet id ([`PacketRole::Data`] carries no request key).
+    resp: SideTable<TxnLive>,
+    /// Per-stage span histograms for the current window.
+    stats: TxnStats,
+}
+
+/// One sampled transaction's accumulated hop spans. Spans are staged
+/// here and recorded into [`TxnStats`] only at completion, so the
+/// exported histograms contain whole transactions exclusively — which
+/// makes per-stage sums equal `sim.txn.total`'s sum *exactly*, even for
+/// transactions straddling a measurement-window boundary.
+#[derive(Debug, Clone, Copy)]
+struct TxnLive {
+    id: u64,
+    /// Cycle of the previous causal hand-off; every hop records
+    /// `now - last` and advances it, so spans tile the transaction's
+    /// lifetime with no gaps or overlaps.
+    last: u64,
+    /// Span cycles per stage (NOC stages accumulate across the request
+    /// and response packets).
+    spans: [u64; STAGES],
+    /// Bitmask of stages this transaction actually visited.
+    visited: u8,
+}
+
+impl TxnLive {
+    fn new(id: u64, issued_at: u64) -> Self {
+        TxnLive {
+            id,
+            last: issued_at,
+            spans: [0; STAGES],
+            visited: 0,
+        }
+    }
+
+    fn add(&mut self, stage: Stage, span: u64) {
+        self.spans[stage as usize] += span;
+        self.visited |= 1 << (stage as usize);
+    }
+}
+
+/// Emits one hop span into the lifecycle event log (when tracing is on)
+/// on the owning component's track, tagged with the transaction id.
+fn hop_event(
+    events: &mut Option<EventLog>,
+    stage: Stage,
+    id: u64,
+    start: u64,
+    dur: u64,
+    track: u64,
+) {
+    if let Some(log) = events {
+        log.record(sop_obs::Event {
+            ts: start,
+            dur: Some(dur),
+            name: stage.key(),
+            cat: "txn.hop",
+            track,
+            args: vec![("txn", id)],
+        });
+    }
+}
+
 /// A transaction completion event. Ties break on the transaction key:
 /// transaction keys are allocated in request-issue order, which is also
 /// the order request packet ids used to supply here — so heap pop order
@@ -521,6 +604,9 @@ pub struct Machine {
     /// Optional transaction-lifecycle trace (off by default: recording
     /// is allocation-free but still costs a branch per protocol step).
     events: Option<EventLog>,
+    /// Per-transaction causal tracing; `None` (the default) keeps every
+    /// hot path on its untraced branch and exports no `sim.txn.*` keys.
+    txn_trace: Option<Box<TxnTraceState>>,
 }
 
 impl Machine {
@@ -623,6 +709,7 @@ impl Machine {
             faults: None,
             registry: Registry::new(),
             events: None,
+            txn_trace: None,
         }
     }
 
@@ -695,6 +782,37 @@ impl Machine {
     /// The event log, if tracing was enabled.
     pub fn event_log(&self) -> Option<&EventLog> {
         self.events.as_ref()
+    }
+
+    /// Arms per-transaction causal tracing: every `sample_every`-th L1
+    /// miss (deterministically, by issue order) has each hop of its life
+    /// timed — NOC inject/route/eject, bank queue/service, directory
+    /// indirection, memory channel queue/service — and aggregated into
+    /// `sim.txn.*` histograms in [`metrics`](Self::metrics). With
+    /// lifecycle tracing also on ([`enable_tracing`](Self::enable_tracing)),
+    /// each hop additionally lands in the event log on its component's
+    /// track. Tracing observes the simulation without perturbing it:
+    /// every other metric is bit-identical to an untraced run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every` is zero.
+    pub fn enable_txn_tracing(&mut self, sample_every: u64) {
+        assert!(sample_every > 0, "sample period must be at least 1");
+        self.net.enable_packet_tracing();
+        self.txn_trace = Some(Box::new(TxnTraceState {
+            sample_every,
+            issued: 0,
+            live: SideTable::new(),
+            resp: SideTable::new(),
+            stats: TxnStats::new(),
+        }));
+    }
+
+    /// Per-stage transaction span histograms for the current window, if
+    /// tracing is armed.
+    pub fn txn_stats(&self) -> Option<&TxnStats> {
+        self.txn_trace.as_ref().map(|t| &t.stats)
     }
 
     /// Named metrics accumulated over every window run so far.
@@ -778,6 +896,14 @@ impl Machine {
             pending_acks: 0,
         });
         self.roles.insert(packet, PacketRole::Request(txn));
+        if let Some(ts) = &mut self.txn_trace {
+            let id = ts.issued;
+            ts.issued += 1;
+            if id % ts.sample_every == 0 {
+                ts.live.insert(txn, TxnLive::new(id, now));
+                self.net.trace_packet(packet);
+            }
+        }
     }
 
     fn respond(&mut self, txn: Key, now: u64) {
@@ -799,6 +925,16 @@ impl Machine {
                 issued_at: open.issued_at,
             },
         );
+        if let Some(ts) = &mut self.txn_trace {
+            // Re-key a sampled transaction's state from the (now
+            // retired) request key to its response packet, and time the
+            // response's trip through the NOC too.
+            if let Some(l) = ts.live.remove(txn) {
+                debug_assert_eq!(l.last, now, "causal hand-offs must be contiguous");
+                self.net.trace_packet(resp);
+                ts.resp.insert(resp, l);
+            }
+        }
     }
 
     /// Runs `warmup` cycles, resets statistics, then runs `measure`
@@ -836,6 +972,9 @@ impl Machine {
         }
         self.memory_lines = 0;
         self.request_latency = Histogram::new();
+        if let Some(ts) = &mut self.txn_trace {
+            ts.stats.reset();
+        }
         let before_packets = self.net.counters();
         self.advance(measure);
         let noc = self.net.counters().delta_since(&before_packets);
@@ -857,11 +996,19 @@ impl Machine {
         }
         window.counter_add("mem.lines", self.memory_lines);
         noc.export_metrics(&mut window, "noc.");
-        window.histogram_merge("sim.request_latency", &self.request_latency);
+        let merged = window.histogram_merge("sim.request_latency", &self.request_latency);
+        debug_assert!(merged.is_ok(), "{merged:?}");
         // Degradation bookkeeping appears only when a plan is armed, so
         // empty-plan reports stay byte-identical to fault-free ones.
         if let Some(f) = &self.faults {
             f.export(&mut window);
+        }
+        // Likewise, sim.txn.* appears only while transaction tracing is
+        // armed: untraced reports are byte-identical to pre-tracing ones.
+        if let Some(ts) = &self.txn_trace {
+            ts.stats.export(&mut window);
+            window.counter_add("sim.txn.sampled", ts.stats.completed());
+            window.gauge_set("sim.txn.sample_every", ts.sample_every as f64);
         }
         self.registry.merge(&window);
 
@@ -1280,7 +1427,8 @@ impl Machine {
                 PacketRole::Request(txn) => {
                     // Arrived at the home bank: start the array access
                     // when the bank pipeline has a slot.
-                    let bank = self.txns.get(txn).expect("open request").bank;
+                    let open = *self.txns.get(txn).expect("open request");
+                    let bank = open.bank;
                     let start = now.max(self.bank_free_at[bank]);
                     // Initiation interval of 2 cycles per bank.
                     self.bank_free_at[bank] = start + 2;
@@ -1292,6 +1440,58 @@ impl Machine {
                         due: start + latency,
                         txn,
                     });
+                    if let Some(ts) = &mut self.txn_trace {
+                        if let Some(l) = ts.live.get_mut(txn) {
+                            let s = self
+                                .net
+                                .take_packet_trace(&d)
+                                .expect("sampled request packet is traced");
+                            let core = u64::from(open.core);
+                            let t0 = l.last;
+                            l.add(Stage::NocInject, s.inject);
+                            l.add(Stage::NocRoute, s.route);
+                            l.add(Stage::NocEject, s.eject);
+                            hop_event(&mut self.events, Stage::NocInject, l.id, t0, s.inject, core);
+                            hop_event(
+                                &mut self.events,
+                                Stage::NocRoute,
+                                l.id,
+                                t0 + s.inject,
+                                s.route,
+                                core,
+                            );
+                            hop_event(
+                                &mut self.events,
+                                Stage::NocEject,
+                                l.id,
+                                t0 + s.inject + s.route,
+                                s.eject,
+                                core,
+                            );
+                            debug_assert_eq!(t0 + s.inject + s.route + s.eject, now);
+                            // Bank queueing and service are fully
+                            // determined at arrival; account them now.
+                            l.add(Stage::BankQueue, start - now);
+                            l.add(Stage::BankService, latency);
+                            hop_event(
+                                &mut self.events,
+                                Stage::BankQueue,
+                                l.id,
+                                now,
+                                start - now,
+                                bank as u64,
+                            );
+                            hop_event(
+                                &mut self.events,
+                                Stage::BankService,
+                                l.id,
+                                start,
+                                latency,
+                                bank as u64,
+                            );
+                            l.last = start + latency;
+                        }
+                    }
                 }
                 PacketRole::Snoop(txn) => {
                     // Arrived at a core: invalidate the line in its L1
@@ -1315,6 +1515,27 @@ impl Machine {
                     let open = self.txns.get_mut(txn).expect("parent open");
                     open.pending_acks -= 1;
                     if open.pending_acks == 0 {
+                        let bank = open.bank;
+                        if let Some(ts) = &mut self.txn_trace {
+                            // The directory span covers the whole snoop
+                            // round trip: bank done → last ack back.
+                            // (Snoop packets themselves are not
+                            // NOC-traced — their time lives here, so
+                            // nothing is double-counted.)
+                            if let Some(l) = ts.live.get_mut(txn) {
+                                let span = now - l.last;
+                                l.add(Stage::Directory, span);
+                                hop_event(
+                                    &mut self.events,
+                                    Stage::Directory,
+                                    l.id,
+                                    l.last,
+                                    span,
+                                    bank as u64,
+                                );
+                                l.last = now;
+                            }
+                        }
                         self.respond(txn, now);
                     }
                 }
@@ -1324,6 +1545,54 @@ impl Machine {
                     issued_at,
                 } => {
                     self.request_latency.record(now - issued_at);
+                    if let Some(ts) = &mut self.txn_trace {
+                        if let Some(mut l) = ts.resp.remove(d.packet) {
+                            let s = self
+                                .net
+                                .take_packet_trace(&d)
+                                .expect("sampled response packet is traced");
+                            let track = u64::from(core);
+                            let t0 = l.last;
+                            l.add(Stage::NocInject, s.inject);
+                            l.add(Stage::NocRoute, s.route);
+                            l.add(Stage::NocEject, s.eject);
+                            hop_event(
+                                &mut self.events,
+                                Stage::NocInject,
+                                l.id,
+                                t0,
+                                s.inject,
+                                track,
+                            );
+                            hop_event(
+                                &mut self.events,
+                                Stage::NocRoute,
+                                l.id,
+                                t0 + s.inject,
+                                s.route,
+                                track,
+                            );
+                            hop_event(
+                                &mut self.events,
+                                Stage::NocEject,
+                                l.id,
+                                t0 + s.inject + s.route,
+                                s.eject,
+                                track,
+                            );
+                            // The transaction is whole: its spans tile
+                            // [issued_at, now] exactly, so committing
+                            // them with the total keeps per-stage sums
+                            // equal to sim.txn.total's sum.
+                            debug_assert_eq!(l.spans.iter().sum::<u64>(), now - issued_at);
+                            for stage in Stage::ALL {
+                                if l.visited & (1 << (stage as usize)) != 0 {
+                                    ts.stats.record(stage, l.spans[stage as usize]);
+                                }
+                            }
+                            ts.stats.record_total(now - issued_at);
+                        }
+                    }
                     if let Some(log) = &mut self.events {
                         // One Chrome-trace slice per completed
                         // transaction, spanning issue to retire on
@@ -1450,12 +1719,39 @@ impl Machine {
                     self.mcs[ch].request(now);
                     self.memory_lines += 1;
                 }
+                // Read after any write-back: queueing behind one's own
+                // victim write-back is channel-queue time.
+                let busy_before = self.mcs[ch].busy_until();
                 let ready = self.mcs[ch].request(now);
                 self.memory_lines += 1;
                 if let Some(log) = &mut self.events {
                     // The memory access occupies the channel from now until
                     // its data returns.
                     log.complete(now, ready - now, "mem_fetch", "mem", ch as u64);
+                }
+                if let Some(ts) = &mut self.txn_trace {
+                    if let Some(l) = ts.live.get_mut(txn) {
+                        let mstart = now.max(busy_before);
+                        l.add(Stage::MemQueue, mstart - l.last);
+                        l.add(Stage::MemService, ready - mstart);
+                        hop_event(
+                            &mut self.events,
+                            Stage::MemQueue,
+                            l.id,
+                            l.last,
+                            mstart - l.last,
+                            ch as u64,
+                        );
+                        hop_event(
+                            &mut self.events,
+                            Stage::MemService,
+                            l.id,
+                            mstart,
+                            ready - mstart,
+                            ch as u64,
+                        );
+                        l.last = ready;
+                    }
                 }
                 self.mem_events.push(Scheduled { due: ready, txn });
             }
@@ -1612,6 +1908,111 @@ mod tests {
         // And the whole log exports as valid Chrome-trace JSON.
         let trace = log.to_chrome_trace("validation-8");
         sop_obs::json::parse(&trace.to_compact_string()).expect("valid JSON");
+    }
+
+    #[test]
+    fn txn_tracing_attributes_every_cycle_of_every_sampled_transaction() {
+        // Mesh + WebFrontend exercises all stages: NOC hops, bank
+        // queue/service, directory snoop round trips, and memory.
+        let cfg = SimConfig::validation(Workload::WebFrontend, 16, TopologyKind::Mesh);
+        let mut m = Machine::new(cfg);
+        m.enable_txn_tracing(1);
+        let r = m.run_window(1_000, 4_000);
+        let stats = m.txn_stats().expect("tracing armed");
+        assert!(stats.completed() > 100, "completed {}", stats.completed());
+        // The exactness invariant: per-stage span sums tile the totals.
+        assert_eq!(stats.stage_sum(), stats.total().sum());
+        // Sampling every transaction makes sim.txn.total the same
+        // distribution as the always-on request-latency histogram.
+        assert_eq!(
+            r.metrics.histogram("sim.txn.total"),
+            r.metrics.histogram("sim.request_latency")
+        );
+        // Every stage the protocol can visit is populated on this config.
+        for stage in Stage::ALL {
+            assert!(
+                r.metrics.histogram(stage.key()).expect("exported").count() > 0,
+                "no samples for {}",
+                stage.key()
+            );
+        }
+        assert_eq!(r.metrics.counter("sim.txn.sampled"), stats.completed());
+        assert_eq!(r.metrics.gauge("sim.txn.sample_every"), Some(1.0));
+    }
+
+    #[test]
+    fn txn_tracing_does_not_perturb_the_simulation() {
+        let cfg = SimConfig::validation(Workload::WebSearch, 8, TopologyKind::Mesh);
+        let plain = Machine::new(cfg).run(1_000, 3_000);
+        let mut m = Machine::new(cfg);
+        m.enable_txn_tracing(1);
+        let traced = m.run_window(1_000, 3_000);
+        // Everything but the additional sim.txn.* keys is bit-identical.
+        assert_eq!(plain.instructions, traced.instructions);
+        assert_eq!(plain.request_latency, traced.request_latency);
+        assert_eq!(plain.noc_flit_hops, traced.noc_flit_hops);
+        let untraced_keys: Vec<_> = plain.metrics.iter().collect();
+        let traced_minus_txn: Vec<_> = traced
+            .metrics
+            .iter()
+            .filter(|(k, _)| !k.starts_with("sim.txn."))
+            .collect();
+        assert_eq!(untraced_keys, traced_minus_txn);
+        assert!(plain.metrics.histogram("sim.txn.total").is_none());
+    }
+
+    #[test]
+    fn txn_tracing_is_deterministic_and_engine_independent() {
+        let run = |reference: bool, sample_every: u64| {
+            let cfg = SimConfig::validation(Workload::WebFrontend, 16, TopologyKind::Mesh);
+            let mut m = Machine::new(cfg);
+            m.set_reference_mode(reference);
+            m.enable_txn_tracing(sample_every);
+            m.run_window(1_000, 3_000)
+        };
+        let a = run(false, 4);
+        let b = run(false, 4);
+        assert_eq!(a, b, "same config, same bits");
+        let reference = run(true, 4);
+        assert_eq!(a, reference, "event-driven vs per-cycle reference");
+        // 1-in-4 sampling records roughly a quarter of the transactions.
+        let full = run(false, 1);
+        let full_n = full.metrics.counter("sim.txn.sampled");
+        let quarter_n = a.metrics.counter("sim.txn.sampled");
+        assert!(
+            quarter_n > 0 && quarter_n < full_n,
+            "{quarter_n} vs {full_n}"
+        );
+    }
+
+    #[test]
+    fn txn_hops_land_in_the_event_log_on_component_tracks() {
+        let cfg = SimConfig::validation(Workload::WebFrontend, 16, TopologyKind::Mesh);
+        let mut m = Machine::new(cfg);
+        m.enable_tracing(1 << 16);
+        m.enable_txn_tracing(1);
+        m.run_window(500, 3_000);
+        let log = m.event_log().expect("tracing enabled");
+        let hop_names: std::collections::HashSet<&str> = log
+            .events()
+            .filter(|e| e.cat == "txn.hop")
+            .map(|e| e.name)
+            .collect();
+        for stage in Stage::ALL {
+            assert!(hop_names.contains(stage.key()), "missing {}", stage.key());
+        }
+        // Hop events carry their transaction id for cross-lane tracking.
+        let hop = log.events().find(|e| e.cat == "txn.hop").expect("has hops");
+        assert!(hop.args.iter().any(|(k, _)| *k == "txn"));
+        let trace = log.to_chrome_trace("traced");
+        sop_obs::json::parse(&trace.to_compact_string()).expect("valid JSON");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_sample_period_panics() {
+        let cfg = SimConfig::validation(Workload::WebSearch, 2, TopologyKind::Mesh);
+        Machine::new(cfg).enable_txn_tracing(0);
     }
 
     #[test]

@@ -62,6 +62,14 @@ impl MemoryController {
         self.served
     }
 
+    /// The cycle until which the channel data bus is occupied. A request
+    /// issued at `now` starts at `now.max(busy_until())` — the tracer
+    /// reads this before [`request`](Self::request) to split a fetch
+    /// into channel-queue and service spans.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
     /// Publishes this channel's counters under `prefix` (e.g.
     /// `"mem.chan0."`): `<p>lines`.
     pub fn export_metrics(&self, reg: &mut sop_obs::Registry, prefix: &str) {
@@ -114,6 +122,16 @@ mod tests {
         d4.request(0);
         // Two queued 64B transfers: 2x14 vs 2x7 cycles of bus time.
         assert_eq!(d3.request(0) - d4.request(0), 14);
+    }
+
+    #[test]
+    fn busy_until_exposes_the_queue_boundary() {
+        let mut mc = MemoryController::ddr3_at_2ghz();
+        assert_eq!(mc.busy_until(), 0);
+        mc.request(100);
+        assert_eq!(mc.busy_until(), 114);
+        // A second request at 100 queues behind the first transfer.
+        assert_eq!(mc.request(100), 114 + 14 + 90);
     }
 
     #[test]

@@ -6,7 +6,13 @@
 //! sop dc     <design> [--mem GB]              size a 20MW datacenter
 //! sop stack  <ooo|io> <dies> [--fixed-distance]   evaluate a 3D pod
 //! sop trace  <workload> [--topo mesh|fbfly|nocout] [--out FILE] [--quick]
-//!                                             capture a Chrome trace of a pod run
+//!            [--analyze] [--sample N] [--cores N]
+//!                                             capture a Chrome trace of a pod run;
+//!                                             --analyze prints the per-stage latency
+//!                                             breakdown (NOC, bank, directory, memory)
+//! sop diff   <a.json> <b.json> [--tol PCT] [--tol-path PREFIX=PCT]
+//!                                             structurally compare two sop-report/v1
+//!                                             documents; exit 1 on any divergence
 //! sop sweep  <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] [--resume]
 //!            [--json FILE] [--quick] [--stable]
 //!                                             run a named experiment campaign
@@ -23,7 +29,10 @@ use scale_out_processors::core::pod::{optimal_pod, preferred_pod, PodSearchSpace
 use scale_out_processors::exec::audit_dir;
 use scale_out_processors::exec::{Exec, ExecConfig};
 use scale_out_processors::noc::TopologyKind;
-use scale_out_processors::obs::{stabilized, write_atomic, Json, Registry, Report, SpanLog};
+use scale_out_processors::obs::{
+    diff_reports, stabilized, write_atomic, DiffConfig, Json, Registry, Report, SpanLog,
+    TxnBreakdown,
+};
 use scale_out_processors::sim::{Machine, SimConfig};
 use scale_out_processors::tco::{Datacenter, TcoParams};
 use scale_out_processors::tech::{CoreKind, TechnologyNode};
@@ -41,6 +50,7 @@ fn main() {
         "dc" => dc(&args),
         "stack" => stack(&args),
         "trace" => trace(&args),
+        "diff" => diff(&args),
         "sweep" => sweep(&args),
         "bench" => bench(&args),
         "cache" => cache(&args),
@@ -54,7 +64,11 @@ fn usage() {
     eprintln!("       sop chip <design> [--node 40|20]");
     eprintln!("       sop dc <design> [--mem GB]");
     eprintln!("       sop stack <ooo|io> <dies> [--fixed-distance]");
-    eprintln!("       sop trace <workload> [--topo mesh|fbfly|nocout] [--out FILE] [--quick]");
+    eprintln!(
+        "       sop trace <workload> [--topo mesh|fbfly|nocout] [--out FILE] [--quick] \
+         [--analyze] [--sample N] [--cores N]"
+    );
+    eprintln!("       sop diff <a.json> <b.json> [--tol PCT] [--tol-path PREFIX=PCT]");
     eprintln!(
         "       sop sweep <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] \
          [--resume] [--json FILE] [--quick] [--stable]"
@@ -373,7 +387,10 @@ fn dc(args: &[String]) {
 
 /// Runs a 64-core pod with transaction tracing on and writes the event
 /// log in Chrome trace format (load it at `chrome://tracing` or in
-/// Perfetto). One simulated cycle maps to one microsecond.
+/// Perfetto). One simulated cycle maps to one microsecond. Sampled
+/// transactions appear as per-component `txn.hop` lanes; `--analyze`
+/// additionally prints the per-stage latency breakdown table. `--cores N`
+/// runs the chapter-3 validation point instead of the full 64-core pod.
 fn trace(args: &[String]) {
     let name = args.get(1).map(String::as_str).unwrap_or("websearch");
     let workload = Workload::ALL
@@ -417,12 +434,35 @@ fn trace(args: &[String]) {
     } else {
         (4_000, 8_000)
     };
+    let sample: u64 = args
+        .iter()
+        .position(|a| a == "--sample")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    if sample == 0 {
+        eprintln!("--sample must be at least 1");
+        std::process::exit(2);
+    }
+    let cores: Option<u32> = args
+        .iter()
+        .position(|a| a == "--cores")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let (cfg, point) = match cores {
+        Some(n) => (
+            SimConfig::validation(workload, n, topo),
+            format!("validation_{n}"),
+        ),
+        None => (SimConfig::pod_64(workload, topo), "pod_64".to_owned()),
+    };
 
-    let mut machine = Machine::new(SimConfig::pod_64(workload, topo));
+    let mut machine = Machine::new(cfg);
     machine.enable_tracing(1 << 16);
+    machine.enable_txn_tracing(sample);
     let result = machine.run_window(warm, measure);
     let log = machine.event_log().expect("tracing was enabled");
-    let process = format!("pod_64 {workload:?} {topo:?}");
+    let process = format!("{point} {workload:?} {topo:?}");
     let trace = log.to_chrome_trace(&process);
     if let Err(e) = write_atomic(&out, &(trace.to_compact_string() + "\n")) {
         eprintln!("cannot write {out}: {e}");
@@ -435,6 +475,85 @@ fn trace(args: &[String]) {
         result.aggregate_ipc()
     );
     println!("wrote {out}");
+    if args.iter().any(|a| a == "--analyze") {
+        let breakdown = TxnBreakdown::from_registry(&result.metrics)
+            .expect("transaction tracing was armed, sim.txn.total is exported");
+        println!();
+        print!("{}", breakdown.render());
+        if !breakdown.consistent() {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Structurally compares two `sop-report/v1` documents. Numeric leaves
+/// are held to `--tol` percent (default exact); `--tol-path PREFIX=PCT`
+/// loosens individual subtrees (longest prefix wins). Wall-clock
+/// subtrees (`spans`, exec timings) are ignored. Exits 1 when any value
+/// moved beyond tolerance or a key appeared/vanished, 2 on usage or IO
+/// errors.
+fn diff(args: &[String]) {
+    let (Some(path_a), Some(path_b)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: sop diff <a.json> <b.json> [--tol PCT] [--tol-path PREFIX=PCT]");
+        std::process::exit(2);
+    };
+    let tol: f64 = args
+        .iter()
+        .position(|a| a == "--tol")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let mut cfg = DiffConfig::with_tol(tol / 100.0);
+    let mut i = 3;
+    while i < args.len() {
+        if args[i] == "--tol-path" {
+            let Some(rule) = args.get(i + 1) else {
+                eprintln!("--tol-path needs PREFIX=PCT");
+                std::process::exit(2);
+            };
+            let Some((prefix, pct)) = rule.split_once('=') else {
+                eprintln!("--tol-path needs PREFIX=PCT, got {rule:?}");
+                std::process::exit(2);
+            };
+            let Ok(pct) = pct.parse::<f64>() else {
+                eprintln!("--tol-path {rule:?}: {pct:?} is not a number");
+                std::process::exit(2);
+            };
+            cfg.rules.push((prefix.to_owned(), pct / 100.0));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        scale_out_processors::obs::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path} is not valid JSON: {e:?}");
+            std::process::exit(2);
+        })
+    };
+    let a = load(path_a);
+    let b = load(path_b);
+    let result = diff_reports(&a, &b, &cfg);
+    if result.ok() {
+        println!(
+            "{path_a} and {path_b} match ({} values compared, tol {tol}%)",
+            result.compared
+        );
+    } else {
+        for v in &result.violations {
+            eprintln!("DIFF {v}");
+        }
+        eprintln!(
+            "{path_a} and {path_b} diverge: {} violation(s) across {} compared values",
+            result.violations.len(),
+            result.compared
+        );
+        std::process::exit(1);
+    }
 }
 
 fn stack(args: &[String]) {

@@ -360,6 +360,42 @@ proptest! {
         prop_assert!(h.quantile_upper(1.0) >= max);
     }
 
+    /// Merging split histograms is lossless: recording a sample stream
+    /// into k shards and merging them yields exactly the histogram of
+    /// recording the whole stream into one — same counts, same sum, same
+    /// quantiles at every q. (Merge is a bucket-wise add, so this is an
+    /// identity, not an approximation; it is what makes per-window
+    /// `sim.txn.*` exports safe to aggregate across reports.)
+    #[test]
+    fn histogram_merge_matches_single_recording(
+        samples in prop::collection::vec(0u64..1_000_000, 1..300),
+        shards in 1usize..6,
+    ) {
+        use scale_out_processors::obs::Histogram;
+        let mut single = Histogram::new();
+        for &s in &samples {
+            single.record(s);
+        }
+        let mut parts = vec![Histogram::new(); shards];
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % shards].record(s);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.sum(), single.sum());
+        prop_assert_eq!(merged.max(), single.max());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(
+                merged.try_quantile_upper(q),
+                single.try_quantile_upper(q),
+                "q={}", q
+            );
+        }
+    }
+
     /// Pareto frontier properties: nothing on the frontier is dominated,
     /// and everything off it is dominated by something on it.
     #[test]

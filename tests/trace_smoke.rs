@@ -1,0 +1,77 @@
+//! Transaction-tracing smoke tests: the Chrome trace a traced run emits
+//! is valid JSON, carries every causal hop stage on per-component
+//! lanes, and the exported per-stage histograms tile the end-to-end
+//! latency exactly. This is the in-repo version of the CI trace-smoke
+//! job, kept here so a plain `cargo test` exercises the same surface.
+
+use std::collections::HashSet;
+
+use scale_out_processors::noc::TopologyKind;
+use scale_out_processors::obs::txn::Stage;
+use scale_out_processors::obs::{json, Json, TxnBreakdown};
+use scale_out_processors::sim::{Machine, SimConfig};
+use scale_out_processors::workloads::Workload;
+
+/// One traced chapter-3 validation window with every transaction
+/// sampled, event log armed.
+fn traced_machine() -> Machine {
+    let cfg = SimConfig::validation(Workload::WebFrontend, 16, TopologyKind::Mesh);
+    let mut m = Machine::new(cfg);
+    m.enable_tracing(1 << 16);
+    m.enable_txn_tracing(1);
+    m.run_window(1_000, 3_000);
+    m
+}
+
+#[test]
+fn chrome_trace_parses_and_contains_every_hop_stage() {
+    let m = traced_machine();
+    let log = m.event_log().expect("tracing enabled");
+    let text = log.to_chrome_trace("smoke").to_compact_string();
+    let doc = json::parse(&text).expect("chrome trace is valid JSON");
+
+    // Chrome trace format: top-level object with a traceEvents array.
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Every causal hop stage appears as an event name, under the
+    // txn.hop category.
+    let hop_names: HashSet<&str> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Json::as_str) == Some("txn.hop"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for stage in Stage::ALL {
+        assert!(hop_names.contains(stage.key()), "missing {}", stage.key());
+    }
+}
+
+#[test]
+fn traced_breakdown_is_exactly_consistent_with_the_total() {
+    let m = traced_machine();
+    let r = m.txn_stats().expect("tracing armed");
+    assert!(r.completed() > 0);
+    assert_eq!(r.stage_sum(), r.total().sum(), "spans must tile the total");
+}
+
+#[test]
+fn breakdown_renders_every_stage_row() {
+    let cfg = SimConfig::validation(Workload::WebFrontend, 16, TopologyKind::Mesh);
+    let mut m = Machine::new(cfg);
+    m.enable_txn_tracing(1);
+    let result = m.run_window(1_000, 3_000);
+    let b = TxnBreakdown::from_registry(&result.metrics).expect("sim.txn.total exported");
+    assert!(b.consistent());
+    let table = b.render();
+    for stage in Stage::ALL {
+        assert!(
+            table.contains(stage.label()),
+            "missing row {}",
+            stage.label()
+        );
+    }
+    assert!(table.contains("consistent"));
+}
