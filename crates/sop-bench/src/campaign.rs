@@ -22,6 +22,10 @@ pub const CAMPAIGNS: [&str; 7] = ["ch2", "ch3", "ch4", "ch5", "ch6", "degradatio
 /// one member per figure, rows in figure order. `None` for an unknown
 /// name.
 pub fn run_campaign(name: &str, quick: bool, exec: &Exec) -> Option<Json> {
+    // Let the engine's heartbeat stamp job_finish events with the
+    // process-wide simulated-cycle counter (sop-exec cannot depend on
+    // sop-sim, so the hook is installed from here).
+    sop_exec::heartbeat::set_cycle_source(sop_sim::cycles_simulated);
     match name {
         "ch2" => Some(ch2_data(exec)),
         "ch3" => Some(ch3_data(quick, exec)),

@@ -231,6 +231,11 @@ pub fn audit_dir(dir: impl AsRef<Path>) -> std::io::Result<CacheAudit> {
         let key = name
             .strip_suffix(".json")
             .and_then(crate::hash::parse_hash_hex);
+        // The campaign heartbeat streams progress beside the cache
+        // entries; it is expected telemetry, not cache state or debris.
+        if name == crate::heartbeat::PROGRESS_FILE {
+            continue;
+        }
         match key {
             Some(hash) if probe.read_disk(&path, hash).is_some() => audit.valid += 1,
             Some(_) => audit.invalid.push(name),
@@ -354,6 +359,8 @@ mod tests {
         std::fs::write(&victim, &full[..full.len() / 3]).expect("truncate");
         std::fs::write(dir.join("deadbeef.json.tmp.123"), "partial").expect("tmp");
         std::fs::write(dir.join("README"), "not an entry").expect("other");
+        // The heartbeat stream lives beside the entries and is expected.
+        std::fs::write(dir.join(crate::heartbeat::PROGRESS_FILE), "{}\n").expect("hb");
 
         let audit = audit_dir(&dir).expect("audit");
         assert_eq!(audit.valid, 2);

@@ -25,6 +25,7 @@ use sop_obs::{Json, Registry};
 
 use crate::cache::ResultCache;
 use crate::hash::{hash_hex, parse_hash_hex, spec_hash};
+use crate::heartbeat::Heartbeat;
 use crate::pool;
 
 /// One unit of work: a serializable spec plus the pure function that
@@ -227,6 +228,10 @@ pub struct ExecConfig {
     pub retries: u32,
     /// Base backoff before the first retry; doubles per attempt.
     pub backoff_ms: u64,
+    /// Append live progress events to `<cache-dir>/progress.ndjson`
+    /// (see [`crate::heartbeat`]). On by default; a no-op without a
+    /// disk cache directory. `--no-heartbeat` disables it.
+    pub heartbeat: bool,
 }
 
 impl Default for ExecConfig {
@@ -239,13 +244,15 @@ impl Default for ExecConfig {
             timeout_secs: None,
             retries: 2,
             backoff_ms: 25,
+            heartbeat: true,
         }
     }
 }
 
 impl ExecConfig {
     /// Parses the engine's standard flags from argv: `--jobs N`,
-    /// `--no-cache`, `--resume`, `--timeout-secs N`, `--retries N`.
+    /// `--no-cache`, `--resume`, `--timeout-secs N`, `--retries N`,
+    /// `--no-heartbeat`.
     /// Unknown arguments are ignored (they belong to the host binary).
     pub fn from_args(args: &[String]) -> Self {
         fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
@@ -261,6 +268,7 @@ impl ExecConfig {
             resume: args.iter().any(|a| a == "--resume"),
             timeout_secs: flag_value(args, "--timeout-secs"),
             retries: flag_value(args, "--retries").unwrap_or(defaults.retries),
+            heartbeat: !args.iter().any(|a| a == "--no-heartbeat"),
             ..defaults
         }
     }
@@ -279,6 +287,7 @@ pub struct Exec {
     backoff_ms: u64,
     metrics: Mutex<Registry>,
     failures: Mutex<Vec<JobFailure>>,
+    heartbeat: Option<Arc<Heartbeat>>,
 }
 
 impl Exec {
@@ -328,6 +337,17 @@ impl Exec {
             })
         };
         metrics.gauge_set("exec.workers", workers as f64);
+        // The heartbeat lives next to the disk cache; in-memory engines
+        // (tests, library callers) have nowhere durable to stream to.
+        let heartbeat = if cfg.heartbeat {
+            cache
+                .as_ref()
+                .and_then(ResultCache::dir)
+                .and_then(|dir| Heartbeat::open(dir).ok())
+                .map(Arc::new)
+        } else {
+            None
+        };
         Exec {
             workers,
             cache,
@@ -337,6 +357,7 @@ impl Exec {
             backoff_ms: cfg.backoff_ms,
             metrics: Mutex::new(metrics),
             failures: Mutex::new(Vec::new()),
+            heartbeat,
         }
     }
 
@@ -361,6 +382,12 @@ impl Exec {
     /// The result cache, if caching is enabled.
     pub fn cache(&self) -> Option<&ResultCache> {
         self.cache.as_ref()
+    }
+
+    /// The live progress stream, if one is attached (disk cache present
+    /// and the heartbeat not disabled).
+    pub fn heartbeat(&self) -> Option<&Heartbeat> {
+        self.heartbeat.as_deref()
     }
 
     /// Parallel map with deterministic output order and no caching: the
@@ -419,6 +446,9 @@ impl Exec {
         let jobs = Arc::new(jobs);
         let hashes: Vec<u64> = jobs.iter().map(|j| spec_hash(&j.spec)).collect();
         let mut manifest = Manifest::open(self.manifest_path(name), self.resume);
+        if let Some(hb) = &self.heartbeat {
+            hb.campaign_start(name, n as u64, self.workers as u64);
+        }
 
         let mut results: Vec<Option<Json>> = (0..n).map(|_| None).collect();
         let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
@@ -450,6 +480,8 @@ impl Exec {
                         &mut outcomes,
                         &mut failures,
                         &mut manifest,
+                        self.heartbeat.as_deref(),
+                        name,
                     );
                     continue;
                 }
@@ -458,18 +490,22 @@ impl Exec {
                 let cached = self.cache.as_ref().and_then(|c| c.get(hash));
                 match cached {
                     Some(result) => {
+                        let source = if from_manifest {
+                            JobSource::Resumed
+                        } else {
+                            JobSource::Cached
+                        };
                         outcomes[i] = Some(JobOutcome {
                             name: jobs[i].name.clone(),
                             hash: hash_hex(hash),
                             duration_us: 0,
-                            source: if from_manifest {
-                                JobSource::Resumed
-                            } else {
-                                JobSource::Cached
-                            },
+                            source,
                         });
                         results[i] = Some(result);
                         manifest.record(hash, &jobs[i].name);
+                        if let Some(hb) = &self.heartbeat {
+                            hb.cache_hit(name, &jobs[i].name, source.name());
+                        }
                     }
                     None => to_compute.push(i),
                 }
@@ -500,24 +536,35 @@ impl Exec {
                 let jobs = Arc::clone(&jobs);
                 let retries = self.retries;
                 let backoff_ms = self.backoff_ms;
+                let heartbeat = self.heartbeat.clone();
+                let campaign = name.to_owned();
                 let (done, stats) = pool::run_ordered_resilient(
                     self.workers,
                     unique.clone(),
                     self.timeout,
-                    move |_, i| {
+                    move |worker, i| {
                         let job = &jobs[i];
                         let budget = if job.retryable { retries } else { 0 };
+                        if let Some(hb) = &heartbeat {
+                            hb.job_start(&campaign, &job.name, worker as u64);
+                        }
                         let started = Instant::now();
                         let mut attempt = 0u32;
                         loop {
                             match catch_unwind(AssertUnwindSafe(|| (job.run)(&job.spec))) {
                                 Ok(result) => {
                                     let us = started.elapsed().as_micros() as u64;
+                                    if let Some(hb) = &heartbeat {
+                                        hb.job_finish(&campaign, &job.name, worker as u64, us);
+                                    }
                                     return Ok((result, us, attempt));
                                 }
                                 Err(payload) => {
                                     if attempt >= budget {
                                         return Err((pool::panic_message(payload), attempt));
+                                    }
+                                    if let Some(hb) = &heartbeat {
+                                        hb.job_retry(&campaign, &job.name, u64::from(attempt) + 1);
                                     }
                                     std::thread::sleep(Duration::from_millis(
                                         backoff_ms << attempt,
@@ -574,6 +621,8 @@ impl Exec {
                     &mut outcomes,
                     &mut failures,
                     &mut manifest,
+                    self.heartbeat.as_deref(),
+                    name,
                 );
             }
             for (i, pos) in dup_of {
@@ -587,6 +636,9 @@ impl Exec {
                             duration_us: 0,
                             source: JobSource::Cached,
                         });
+                        if let Some(hb) = &self.heartbeat {
+                            hb.cache_hit(name, &jobs[i].name, JobSource::Cached.name());
+                        }
                     }
                     // The job that evaluated this spec failed; its
                     // duplicates fail with it.
@@ -604,6 +656,8 @@ impl Exec {
                             &mut outcomes,
                             &mut failures,
                             &mut manifest,
+                            self.heartbeat.as_deref(),
+                            name,
                         );
                     }
                 }
@@ -633,6 +687,14 @@ impl Exec {
             .lock()
             .expect("failures lock")
             .extend(run.failures.iter().cloned());
+        if let Some(hb) = &self.heartbeat {
+            hb.campaign_end(
+                name,
+                run.count(JobSource::Computed) as u64,
+                (run.count(JobSource::Cached) + run.count(JobSource::Resumed)) as u64,
+                run.failures.len() as u64,
+            );
+        }
         run
     }
 
@@ -663,6 +725,7 @@ impl Exec {
 /// Records one job's failure everywhere it must be visible: the outcome
 /// slot (so dependents see it), the failures list (so reports carry it),
 /// and the manifest (as a comment line, so a resumed run retries it).
+#[allow(clippy::too_many_arguments)]
 fn mark_failed(
     i: usize,
     error: String,
@@ -671,6 +734,8 @@ fn mark_failed(
     outcomes: &mut [Option<JobOutcome>],
     failures: &mut Vec<JobFailure>,
     manifest: &mut Manifest,
+    heartbeat: Option<&Heartbeat>,
+    campaign: &str,
 ) {
     outcomes[i] = Some(JobOutcome {
         name: jobs[i].name.clone(),
@@ -679,6 +744,9 @@ fn mark_failed(
         source: JobSource::Failed,
     });
     manifest.note_failure(hashes[i], &jobs[i].name, &error);
+    if let Some(hb) = heartbeat {
+        hb.job_fail(campaign, &jobs[i].name, &error);
+    }
     failures.push(JobFailure {
         index: i,
         name: jobs[i].name.clone(),

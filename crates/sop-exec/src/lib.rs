@@ -17,6 +17,9 @@
 //! * [`campaign`] — [`Job`]s, DAG wavefront scheduling, manifest-based
 //!   checkpoint/resume, and the [`Exec`] handle binaries thread through
 //!   their figure code.
+//! * [`heartbeat`] — the live campaign telemetry stream: workers append
+//!   NDJSON progress events to `<cache-dir>/progress.ndjson`, which
+//!   `sop top` tails and aggregates into a [`TopSnapshot`].
 //!
 //! The engine never makes anything *less* deterministic: a campaign run
 //! with one worker, eight workers, a cold cache, or a warm cache yields
@@ -27,11 +30,13 @@
 pub mod cache;
 pub mod campaign;
 pub mod hash;
+pub mod heartbeat;
 pub mod pool;
 
 pub use cache::{audit_dir, default_cache_dir, CacheAudit, ResultCache};
 pub use campaign::{CampaignRun, Exec, ExecConfig, Job, JobFailure, JobOutcome, JobSource};
 pub use hash::{canonicalize, hash_hex, parse_hash_hex, spec_hash};
+pub use heartbeat::{Heartbeat, TopSnapshot, WorkerActivity};
 pub use pool::{
     default_workers, detect_workers, run_ordered, run_ordered_resilient, JobError, WorkerStats,
 };

@@ -27,13 +27,21 @@
 //! * [`analyze`] — per-stage percentile latency-breakdown tables over a
 //!   traced run's registry (`sop trace --analyze`);
 //! * [`diff`] — structural comparison of two `sop-report/v1` documents
-//!   with per-metric tolerances (`sop diff`).
+//!   with per-metric tolerances (`sop diff`);
+//! * [`prof`] — host-side self-profiling of the engine hot path: scoped
+//!   [`RegionTimer`](prof::RegionTimer)s accumulate per-component wall
+//!   time into `prof.*` counters, and [`ProfBreakdown`] renders the
+//!   host self-time table (`sop prof --analyze`);
+//! * [`prom`] — Prometheus text exposition of a registry or a report's
+//!   metrics object (`sop metrics --text`).
 
 pub mod analyze;
 pub mod diff;
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod prof;
+pub mod prom;
 pub mod registry;
 pub mod report;
 pub mod span;
@@ -44,6 +52,7 @@ pub use diff::{diff_reports, DiffConfig, DiffEntry, DiffResult};
 pub use event::{Event, EventLog};
 pub use hist::Histogram;
 pub use json::{write_atomic, Json};
+pub use prof::{PhaseMark, Prof, ProfBreakdown, RegionTimer};
 pub use registry::{Metric, MetricKindError, Registry, RenameError};
 pub use report::{stabilized, Report, SCHEMA_VERSION};
 pub use span::{SpanLog, SpanRecord};

@@ -1,0 +1,174 @@
+//! Prometheus text exposition for the metrics registry.
+//!
+//! Renders a [`Registry`] (or the flat `metrics` object of a serialized
+//! `sop-report/v1` document) in the Prometheus text exposition format
+//! version 0.0.4 — the `sop metrics --text` output, and the format a
+//! future `sop serve` daemon will ship verbatim. Dotted registry keys
+//! become underscore-separated metric names under a `sop_` namespace
+//! (`exec.job.us` → `sop_exec_job_us`); histograms expose cumulative
+//! `_bucket{le="..."}` series derived from the registry's power-of-two
+//! buckets, plus `_sum` and `_count`.
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use crate::registry::{Metric, Registry};
+
+/// Maps a dotted registry key onto a legal Prometheus metric name:
+/// `sop_` namespace, `[a-zA-Z0-9_:]` alphabet, everything else `_`.
+pub fn metric_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len() + 4);
+    out.push_str("sop_");
+    for ch in key.chars() {
+        if ch.is_ascii_alphanumeric() || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_histogram(out: &mut String, name: &str, buckets: &[(u64, u64)], sum: u64, count: u64) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for &(lo, n) in buckets {
+        cumulative += n;
+        // Power-of-two bucket with lower bound `lo` covers values up to
+        // and including `2*lo - 1` (bucket zero holds only the value 0).
+        let le = if lo == 0 { 0 } else { 2 * lo - 1 };
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+    out.push_str(&format!("{name}_sum {sum}\n"));
+    out.push_str(&format!("{name}_count {count}\n"));
+}
+
+fn hist_lines(out: &mut String, name: &str, h: &Histogram) {
+    let buckets: Vec<(u64, u64)> = h.buckets().collect();
+    push_histogram(out, name, &buckets, h.sum(), h.count());
+}
+
+/// Renders a live registry as Prometheus exposition text. Counters and
+/// gauges are one sample each; histograms expand into bucket series.
+pub fn exposition(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (key, metric) in reg.iter() {
+        let name = metric_name(key);
+        match metric {
+            Metric::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            Metric::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            Metric::Histogram(h) => hist_lines(&mut out, &name, h),
+        }
+    }
+    out
+}
+
+/// Renders the flat `metrics` object of a serialized report. Numbers
+/// come out as untyped samples (the JSON form does not distinguish
+/// counters from gauges); histogram objects are re-expanded into
+/// `_bucket`/`_sum`/`_count` series (`_sum` is reconstructed from
+/// `mean * count`, which round-trips exactly for the integer sums the
+/// registry records).
+pub fn exposition_from_json(metrics: &Json) -> String {
+    let mut out = String::new();
+    let Json::Obj(members) = metrics else {
+        return out;
+    };
+    for (key, value) in members {
+        let name = metric_name(key);
+        match value {
+            Json::UInt(_) | Json::Int(_) | Json::Num(_) | Json::Bool(_) => {
+                out.push_str(&format!("# TYPE {name} untyped\n"));
+                out.push_str(&format!("{name} {}\n", value.to_compact_string()));
+            }
+            Json::Obj(_) => {
+                let count = value.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+                let mean = value.get("mean").and_then(Json::as_f64).unwrap_or(0.0);
+                let buckets: Vec<(u64, u64)> = value
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .map(|rows| {
+                        rows.iter()
+                            .filter_map(|pair| {
+                                let pair = pair.as_arr()?;
+                                let lo = pair.first()?.as_f64()? as u64;
+                                let n = pair.get(1)?.as_f64()? as u64;
+                                Some((lo, n))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let sum = (mean * count).round() as u64;
+                push_histogram(&mut out, &name, &buckets, sum, count as u64);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized_into_the_sop_namespace() {
+        assert_eq!(metric_name("exec.job.us"), "sop_exec_job_us");
+        assert_eq!(metric_name("sim.llc.bank0.hits"), "sop_sim_llc_bank0_hits");
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_expose() {
+        let mut reg = Registry::new();
+        reg.counter_add("exec.jobs.completed", 7);
+        reg.gauge_set("sim.fault.links_down", 2.0);
+        for v in [1, 3, 900] {
+            reg.histogram_record("exec.job.us", v).expect("fresh key");
+        }
+        let text = exposition(&reg);
+        assert!(text.contains("# TYPE sop_exec_jobs_completed counter"));
+        assert!(text.contains("sop_exec_jobs_completed 7"));
+        assert!(text.contains("# TYPE sop_sim_fault_links_down gauge"));
+        assert!(text.contains("# TYPE sop_exec_job_us histogram"));
+        assert!(text.contains("sop_exec_job_us_count 3"));
+        assert!(text.contains("sop_exec_job_us_sum 904"));
+        assert!(text.contains("_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn bucket_counts_are_cumulative() {
+        let mut reg = Registry::new();
+        for v in [1, 2, 1000] {
+            reg.histogram_record("h", v).expect("fresh key");
+        }
+        let text = exposition(&reg);
+        let counts: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("sop_h_bucket"))
+            .collect();
+        let last_finite = counts[counts.len() - 2];
+        assert!(last_finite.ends_with(" 3"), "{text}");
+    }
+
+    #[test]
+    fn json_form_round_trips_scalars_and_histograms() {
+        let mut reg = Registry::new();
+        reg.counter_add("exec.cache.hits", 5);
+        for v in [10, 20] {
+            reg.histogram_record("exec.job.us", v).expect("fresh key");
+        }
+        let text = exposition_from_json(&reg.to_json());
+        assert!(text.contains("sop_exec_cache_hits 5"));
+        assert!(text.contains("sop_exec_job_us_count 2"));
+        assert!(text.contains("sop_exec_job_us_sum 30"));
+    }
+
+    #[test]
+    fn non_object_input_renders_empty() {
+        assert_eq!(exposition_from_json(&Json::Null), "");
+    }
+}

@@ -17,6 +17,7 @@ use crate::stats::Histogram;
 use sop_fault::{ComponentKind, Fault, FaultMode, FaultPlan};
 use sop_noc::slab::{Key, SideTable, Slab};
 use sop_noc::{MessageClass, Network, NocConfig, TopologyKind};
+use sop_obs::prof::{Component as HostComponent, PhaseMark, Prof, RegionTimer};
 use sop_obs::txn::{Stage, TxnStats, STAGES};
 use sop_obs::{EventLog, Registry};
 use sop_tech::{CacheGeometry, CoreKind, TechnologyNode};
@@ -607,6 +608,10 @@ pub struct Machine {
     /// Per-transaction causal tracing; `None` (the default) keeps every
     /// hot path on its untraced branch and exports no `sim.txn.*` keys.
     txn_trace: Option<Box<TxnTraceState>>,
+    /// Host-side self-profiling; `None` (the default) keeps every hot
+    /// path on its unprofiled branch — no clock reads — and exports no
+    /// `prof.*` keys.
+    prof: Option<Box<Prof>>,
 }
 
 impl Machine {
@@ -710,6 +715,7 @@ impl Machine {
             registry: Registry::new(),
             events: None,
             txn_trace: None,
+            prof: None,
         }
     }
 
@@ -813,6 +819,25 @@ impl Machine {
     /// tracing is armed.
     pub fn txn_stats(&self) -> Option<&TxnStats> {
         self.txn_trace.as_ref().map(|t| &t.stats)
+    }
+
+    /// Arms host-side self-profiling of the engine hot path. Scoped
+    /// timers attribute `Machine::advance` wall time to the disjoint
+    /// tick phases — NOC step, delivery/directory handling, LLC bank
+    /// service, memory returns, core issue — plus the event scheduler's
+    /// next-event computation, exported as `prof.*` counters in
+    /// [`metrics`](Self::metrics) (see [`sop_obs::prof`]). Profiling
+    /// reads clocks and nothing else: simulated results stay
+    /// bit-identical to an unprofiled run, and a machine that never
+    /// arms it pays only a dead `Option` branch per region.
+    pub fn enable_profiling(&mut self) {
+        self.prof = Some(Box::new(Prof::new()));
+    }
+
+    /// The live host-time profile accumulated since the last window
+    /// export, if profiling is armed.
+    pub fn host_prof(&self) -> Option<&Prof> {
+        self.prof.as_deref()
     }
 
     /// Named metrics accumulated over every window run so far.
@@ -1010,6 +1035,13 @@ impl Machine {
             window.counter_add("sim.txn.sampled", ts.stats.completed());
             window.gauge_set("sim.txn.sample_every", ts.sample_every as f64);
         }
+        // Host self-profiling too: prof.* keys exist only when armed.
+        // Export-and-reset keeps the additive counters window-scoped, so
+        // the cumulative registry never double-counts.
+        if let Some(p) = &mut self.prof {
+            p.export(&mut window);
+            p.reset();
+        }
         self.registry.merge(&window);
 
         SimResult {
@@ -1130,6 +1162,16 @@ impl Machine {
     /// nothing, so results are bit-identical to stepping every cycle
     /// (and the equivalence tests hold both engines to that).
     fn advance(&mut self, cycles: u64) {
+        // When profiling is armed, the whole call is timed: this is the
+        // denominator the per-component self-times are shares of.
+        let t0 = self.prof.as_ref().map(|_| std::time::Instant::now());
+        self.advance_inner(cycles);
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.record_advance(t0.expect("armed").elapsed(), cycles);
+        }
+    }
+
+    fn advance_inner(&mut self, cycles: u64) {
         let end = self.cycle + cycles;
         if self.faults.is_none() {
             return self.advance_plain(end);
@@ -1169,6 +1211,7 @@ impl Machine {
         while self.cycle < end {
             let now = self.cycle;
             self.tick(now, false);
+            let t = RegionTimer::start(self.prof.is_some());
             let mut next = end;
             if let Some(c) = self.net.next_event_cycle() {
                 next = next.min(c);
@@ -1182,6 +1225,7 @@ impl Machine {
             for &c in &self.core_next_poll {
                 next = next.min(c);
             }
+            t.stop(&mut self.prof, HostComponent::NextEvent);
             self.cycle = next.clamp(now + 1, end);
         }
     }
@@ -1416,12 +1460,23 @@ impl Machine {
     /// (the reference semantics); otherwise only active routers and
     /// cores whose poll is due run.
     fn tick(&mut self, now: u64, full: bool) {
-        // 1. Network deliveries.
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.tick();
+        }
+        // 1. Network deliveries. The switch-allocation sweep (route,
+        // eject, credit returns) is charged to the NOC; handling what it
+        // delivered — protocol dispatch at the directory, bank
+        // scheduling, snoop fan-out — is charged to the directory. The
+        // four phases are sequential, so one chained mark per boundary
+        // both halves the clock reads and leaves no unattributed gap
+        // between phases.
+        let mut mark = PhaseMark::start(self.prof.is_some());
         let delivered = if full {
             self.net.step_full(now)
         } else {
             self.net.step(now)
         };
+        mark.lap(&mut self.prof, HostComponent::Noc);
         for d in delivered {
             match self.roles.remove(d.packet).expect("packet has a role") {
                 PacketRole::Request(txn) => {
@@ -1615,6 +1670,7 @@ impl Machine {
                 }
             }
         }
+        mark.lap(&mut self.prof, HostComponent::Directory);
         // 2. Bank accesses completing.
         while self
             .bank_events
@@ -1625,6 +1681,7 @@ impl Machine {
             let ev = self.bank_events.pop().expect("peeked");
             self.finish_bank_access(ev.txn, now);
         }
+        mark.lap(&mut self.prof, HostComponent::LlcBank);
         // 3. Memory returns.
         while self
             .mem_events
@@ -1635,6 +1692,7 @@ impl Machine {
             let ev = self.mem_events.pop().expect("peeked");
             self.respond(ev.txn, now);
         }
+        mark.lap(&mut self.prof, HostComponent::Mem);
         // 4. Cores issue, in ascending thread order (injection order
         // decides packet ids, so the order is part of the semantics).
         // Skipped cores are exactly those whose poll would return None
@@ -1657,6 +1715,7 @@ impl Machine {
             }
             self.core_next_poll[t] = self.cores[t].next_poll_cycle(now).unwrap_or(u64::MAX);
         }
+        mark.lap(&mut self.prof, HostComponent::Core);
     }
 
     fn finish_bank_access(&mut self, txn: Key, now: u64) {
@@ -1959,6 +2018,45 @@ mod tests {
             .collect();
         assert_eq!(untraced_keys, traced_minus_txn);
         assert!(plain.metrics.histogram("sim.txn.total").is_none());
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_simulation() {
+        let cfg = SimConfig::validation(Workload::WebSearch, 8, TopologyKind::Mesh);
+        let plain = Machine::new(cfg).run(1_000, 3_000);
+        let mut m = Machine::new(cfg);
+        m.enable_profiling();
+        let profiled = m.run_window(1_000, 3_000);
+        // Everything but the additional prof.* keys is bit-identical.
+        assert_eq!(plain.instructions, profiled.instructions);
+        assert_eq!(plain.request_latency, profiled.request_latency);
+        assert_eq!(plain.noc_flit_hops, profiled.noc_flit_hops);
+        let plain_keys: Vec<_> = plain.metrics.iter().collect();
+        let profiled_minus_prof: Vec<_> = profiled
+            .metrics
+            .iter()
+            .filter(|(k, _)| !k.starts_with("prof."))
+            .collect();
+        assert_eq!(plain_keys, profiled_minus_prof);
+        assert_eq!(plain.metrics.counter("prof.advance.calls"), 0);
+    }
+
+    #[test]
+    fn profiled_self_times_are_bounded_by_advance_wall() {
+        let cfg = SimConfig::validation(Workload::DataServing, 8, TopologyKind::Mesh);
+        let mut m = Machine::new(cfg);
+        m.enable_profiling();
+        let r = m.run_window(1_000, 3_000);
+        let b = sop_obs::ProfBreakdown::from_registry(&r.metrics).expect("profiled run");
+        // Disjoint regions can never out-spend the advance total.
+        assert!(b.consistent(), "{}", b.render());
+        assert!(b.advance_ns > 0 && b.ticks > 0, "{}", b.render());
+        assert_eq!(b.cycles, 4_000);
+        for row in &b.rows {
+            assert!(row.calls > 0, "{} never sampled:\n{}", row.key, b.render());
+        }
+        // Windows export-and-reset: the live profile is empty again.
+        assert_eq!(m.host_prof().expect("armed").advance_calls, 0);
     }
 
     #[test]

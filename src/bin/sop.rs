@@ -14,24 +14,43 @@
 //!                                             structurally compare two sop-report/v1
 //!                                             documents; exit 1 on any divergence
 //! sop sweep  <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] [--resume]
-//!            [--json FILE] [--quick] [--stable]
+//!            [--json FILE] [--quick] [--stable] [--no-heartbeat]
 //!                                             run a named experiment campaign
 //! sop bench  [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE]
-//!            [--baseline FILE] [--tol PCT]    time the simulator hot paths
+//!            [--baseline FILE] [--tol PCT]    time the simulator hot paths and
+//!                                             append the run to the bench history
+//! sop prof   [<workload>] [--topo T] [--quick] [--cores N] [--json FILE]
+//!                                             run a self-profiled pod window and
+//!                                             print the host-side component
+//!                                             self-time table
+//! sop prof   --analyze <a.json> [b.json] [--tol PCT] [--tol-path PREFIX=PCT]
+//!                                             re-render the table from a report's
+//!                                             prof metrics; with two files, diff
+//!                                             the prof sections under tolerance
+//! sop top    [--file PATH] [--once] [--interval-ms N]
+//!                                             live terminal monitor over a
+//!                                             campaign's progress.ndjson heartbeat
+//! sop metrics <report.json> [--text]          dump a report's metrics object;
+//!                                             --text emits Prometheus exposition
 //! sop cache  [--dir DIR]                      audit the result cache for debris
 //! sop list                                    list design names
 //! ```
 
-use scale_out_processors::bench::bench::{check_regression, run_suite, BENCH_CAMPAIGNS};
+use scale_out_processors::bench::bench::{
+    append_history, check_regression, commit_hash, history_entry, run_suite_with_metrics,
+    today_utc, BENCH_CAMPAIGNS,
+};
 use scale_out_processors::bench::campaign::{run_campaign, CAMPAIGNS};
 use scale_out_processors::core::designs::{reference_chip, DesignKind};
 use scale_out_processors::core::pod::{optimal_pod, preferred_pod, PodSearchSpace};
 use scale_out_processors::exec::audit_dir;
+use scale_out_processors::exec::heartbeat::{read_events, snapshot, PROGRESS_FILE};
 use scale_out_processors::exec::{Exec, ExecConfig};
 use scale_out_processors::noc::TopologyKind;
+use scale_out_processors::obs::prom::exposition_from_json;
 use scale_out_processors::obs::{
-    diff_reports, stabilized, write_atomic, DiffConfig, Json, Registry, Report, SpanLog,
-    TxnBreakdown,
+    diff_reports, stabilized, write_atomic, DiffConfig, Json, ProfBreakdown, Registry, Report,
+    SpanLog, TxnBreakdown,
 };
 use scale_out_processors::sim::{Machine, SimConfig};
 use scale_out_processors::tco::{Datacenter, TcoParams};
@@ -53,6 +72,9 @@ fn main() {
         "diff" => diff(&args),
         "sweep" => sweep(&args),
         "bench" => bench(&args),
+        "prof" => prof(&args),
+        "top" => top(&args),
+        "metrics" => metrics_cmd(&args),
         "cache" => cache(&args),
         "list" => list(),
         _ => usage(),
@@ -71,12 +93,19 @@ fn usage() {
     eprintln!("       sop diff <a.json> <b.json> [--tol PCT] [--tol-path PREFIX=PCT]");
     eprintln!(
         "       sop sweep <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] \
-         [--resume] [--json FILE] [--quick] [--stable]"
+         [--resume] [--json FILE] [--quick] [--stable] [--no-heartbeat]"
     );
     eprintln!(
         "       sop bench [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE] \
          [--baseline FILE] [--tol PCT]"
     );
+    eprintln!(
+        "       sop prof [<workload>] [--topo mesh|fbfly|nocout] [--quick] [--cores N] \
+         [--json FILE]"
+    );
+    eprintln!("       sop prof --analyze <a.json> [b.json] [--tol PCT] [--tol-path PREFIX=PCT]");
+    eprintln!("       sop top [--file PATH] [--once] [--interval-ms N]");
+    eprintln!("       sop metrics <report.json> [--text]");
     eprintln!("       sop cache [--dir DIR]");
     eprintln!("       sop list");
     std::process::exit(2);
@@ -170,9 +199,12 @@ fn cache(args: &[String]) {
 
 /// Times the simulator micro-benchmarks and cold chapter campaigns and
 /// writes the numbers as a `bench` section in a `sop-report/v1`
-/// document. With `--baseline FILE` the run becomes a regression gate:
+/// document. The run is appended to the `history` array carried forward
+/// from the previous document at the output path (commit, date, per-tier
+/// Mcycles/s), and the engine registry populates the report's top-level
+/// `metrics`. With `--baseline FILE` the run becomes a regression gate:
 /// any campaign more than `--tol` percent (default 25) slower than the
-/// baseline document fails the command.
+/// baseline document's latest history entry fails the command.
 fn bench(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
     let jobs: usize = args
@@ -217,10 +249,19 @@ fn bench(args: &[String]) {
         .unwrap_or(25.0);
 
     let mut spans = SpanLog::new();
-    let data = spans.time("bench", |_| run_suite(quick, jobs, only.as_deref()));
+    let (mut data, metrics) = spans.time("bench", |_| {
+        run_suite_with_metrics(quick, jobs, only.as_deref())
+    });
+    // Carry the bench trajectory forward from the previous document at
+    // the output path, then append this run.
+    let previous = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| scale_out_processors::obs::json::parse(&text).ok());
+    let entry = history_entry(&data, &commit_hash(), &today_utc());
+    append_history(&mut data, previous.as_ref(), entry);
     let mut report = Report::new("bench", "Scale-Out Processors: simulator benchmarks");
     report.set("bench", data.clone());
-    let doc = report.to_json(&spans, &Registry::new());
+    let doc = report.to_json(&spans, &metrics);
     if let Err(e) = write_atomic(&out, &(doc.to_pretty_string() + "\n")) {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
@@ -393,36 +434,8 @@ fn dc(args: &[String]) {
 /// runs the chapter-3 validation point instead of the full 64-core pod.
 fn trace(args: &[String]) {
     let name = args.get(1).map(String::as_str).unwrap_or("websearch");
-    let workload = Workload::ALL
-        .iter()
-        .copied()
-        .find(|w| {
-            let debug = format!("{w:?}").to_lowercase();
-            let label = w.label().to_lowercase().replace([' ', '-'], "");
-            let wanted = name.to_lowercase().replace([' ', '-'], "");
-            debug == wanted || label == wanted
-        })
-        .unwrap_or_else(|| {
-            eprintln!("unknown workload {name:?}; one of:");
-            for w in Workload::ALL {
-                eprintln!("  {:?}", w);
-            }
-            std::process::exit(2);
-        });
-    let topo = match args
-        .iter()
-        .position(|a| a == "--topo")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-    {
-        Some("mesh") => TopologyKind::Mesh,
-        Some("fbfly") => TopologyKind::FlattenedButterfly,
-        None | Some("nocout") => TopologyKind::NocOut,
-        Some(other) => {
-            eprintln!("unknown topology {other:?}: mesh | fbfly | nocout");
-            std::process::exit(2);
-        }
-    };
+    let workload = workload_by_name(name);
+    let topo = topology_arg(args);
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -483,6 +496,288 @@ fn trace(args: &[String]) {
         if !breakdown.consistent() {
             std::process::exit(1);
         }
+    }
+}
+
+/// Resolves a workload by its debug name or label (case- and
+/// punctuation-insensitive), exiting with usage help when unknown.
+fn workload_by_name(name: &str) -> Workload {
+    Workload::ALL
+        .iter()
+        .copied()
+        .find(|w| {
+            let debug = format!("{w:?}").to_lowercase();
+            let label = w.label().to_lowercase().replace([' ', '-'], "");
+            let wanted = name.to_lowercase().replace([' ', '-'], "");
+            debug == wanted || label == wanted
+        })
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {name:?}; one of:");
+            for w in Workload::ALL {
+                eprintln!("  {:?}", w);
+            }
+            std::process::exit(2);
+        })
+}
+
+/// Parses `--topo mesh|fbfly|nocout` (default NOC-Out).
+fn topology_arg(args: &[String]) -> TopologyKind {
+    match args
+        .iter()
+        .position(|a| a == "--topo")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("mesh") => TopologyKind::Mesh,
+        Some("fbfly") => TopologyKind::FlattenedButterfly,
+        None | Some("nocout") => TopologyKind::NocOut,
+        Some(other) => {
+            eprintln!("unknown topology {other:?}: mesh | fbfly | nocout");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Runs a self-profiled pod window and prints the host-side component
+/// self-time table: where the simulator's own wall clock goes (NOC
+/// routing, directory, LLC banks, memory channels, core stepping,
+/// next-event calculation) per simulated cycle. The full report —
+/// `prof` section plus raw `prof.*` counters in `metrics` — is written
+/// as a `sop-report/v1` document. Exits 1 if the attributed self-times
+/// exceed the measured advance wall (a profiler bug, not a model bug).
+///
+/// With `--analyze FILE [FILE2]` no simulation runs: the table is
+/// re-rendered from the report's metrics, and a second file is diffed
+/// against the first under `sop diff` tolerance rules.
+fn prof(args: &[String]) {
+    if args.iter().any(|a| a == "--analyze") {
+        prof_analyze(args);
+        return;
+    }
+    let name = args
+        .get(1)
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or("websearch");
+    let workload = workload_by_name(name);
+    let topo = topology_arg(args);
+    let (warm, measure) = if args.iter().any(|a| a == "--quick") {
+        (1_000, 2_000)
+    } else {
+        (4_000, 8_000)
+    };
+    let cores: Option<u32> = args
+        .iter()
+        .position(|a| a == "--cores")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let out = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "prof.json".to_owned());
+    let (cfg, point) = match cores {
+        Some(n) => (
+            SimConfig::validation(workload, n, topo),
+            format!("validation_{n}"),
+        ),
+        None => (SimConfig::pod_64(workload, topo), "pod_64".to_owned()),
+    };
+
+    let mut machine = Machine::new(cfg);
+    machine.enable_profiling();
+    let mut spans = SpanLog::new();
+    let result = spans.time("prof", |_| machine.run_window(warm, measure));
+    let breakdown = ProfBreakdown::from_registry(&result.metrics)
+        .expect("profiling was armed, prof.advance is exported");
+    let mut report = Report::new("prof", "Scale-Out Processors: host self-profile");
+    report.set(
+        "point",
+        Json::object()
+            .with("point", point.as_str())
+            .with("workload", workload.label())
+            .with("topology", format!("{topo:?}").as_str())
+            .with("warm", warm)
+            .with("measure", measure),
+    );
+    report.set("prof", breakdown.to_json());
+    let doc = report.to_json(&spans, &result.metrics);
+    if let Err(e) = write_atomic(&out, &(doc.to_pretty_string() + "\n")) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{}", breakdown.render());
+    println!("wrote {out}");
+    if !breakdown.consistent() {
+        std::process::exit(1);
+    }
+}
+
+/// The `--analyze` arm of [`prof`]: re-renders the component table from
+/// one or two report documents' `prof.*` metrics; with two, diffs the
+/// `prof` sections under `--tol`/`--tol-path` (default 25% — host
+/// timings are noisy).
+fn prof_analyze(args: &[String]) {
+    let at = args
+        .iter()
+        .position(|a| a == "--analyze")
+        .expect("checked by caller");
+    let files: Vec<&String> = args[at + 1..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .collect();
+    if files.is_empty() || files.len() > 2 {
+        eprintln!("usage: sop prof --analyze <a.json> [b.json] [--tol PCT] [--tol-path P=PCT]");
+        std::process::exit(2);
+    }
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        scale_out_processors::obs::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path} is not valid JSON: {e:?}");
+            std::process::exit(2);
+        })
+    };
+    let breakdown_of = |doc: &Json, path: &str| -> ProfBreakdown {
+        doc.get("metrics")
+            .and_then(ProfBreakdown::from_metrics_json)
+            .unwrap_or_else(|| {
+                eprintln!("{path}: no prof.* metrics (was the run profiled?)");
+                std::process::exit(1);
+            })
+    };
+    let doc_a = load(files[0]);
+    let a = breakdown_of(&doc_a, files[0]);
+    println!("{}:", files[0]);
+    print!("{}", a.render());
+    let mut failed = !a.consistent();
+    if let Some(path_b) = files.get(1) {
+        let doc_b = load(path_b);
+        let b = breakdown_of(&doc_b, path_b);
+        println!();
+        println!("{path_b}:");
+        print!("{}", b.render());
+        let tol: f64 = args
+            .iter()
+            .position(|x| x == "--tol")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25.0);
+        let mut cfg = DiffConfig::with_tol(tol / 100.0);
+        let mut i = at + 1;
+        while i < args.len() {
+            if args[i] == "--tol-path" {
+                let Some((prefix, pct)) = args.get(i + 1).and_then(|r| r.split_once('=')) else {
+                    eprintln!("--tol-path needs PREFIX=PCT");
+                    std::process::exit(2);
+                };
+                let Ok(pct) = pct.parse::<f64>() else {
+                    eprintln!("--tol-path: {pct:?} is not a number");
+                    std::process::exit(2);
+                };
+                cfg.rules.push((prefix.to_owned(), pct / 100.0));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        failed |= !b.consistent();
+        let result = diff_reports(&a.to_json(), &b.to_json(), &cfg);
+        println!();
+        if result.ok() {
+            println!(
+                "prof sections match ({} values compared, tol {tol}%)",
+                result.compared
+            );
+        } else {
+            for v in &result.violations {
+                eprintln!("DIFF {v}");
+            }
+            eprintln!(
+                "prof sections diverge: {} violation(s) across {} compared values",
+                result.violations.len(),
+                result.compared
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Live terminal monitor over a campaign's heartbeat stream
+/// (`progress.ndjson` in the result cache, or `--file PATH`). Redraws
+/// every `--interval-ms` (default 500) until the campaign ends;
+/// `--once` renders a single snapshot and exits (1 when the stream
+/// holds no campaign yet).
+fn top(args: &[String]) {
+    let file = args
+        .iter()
+        .position(|a| a == "--file")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| scale_out_processors::exec::default_cache_dir().join(PROGRESS_FILE));
+    let once = args.iter().any(|a| a == "--once");
+    let interval: u64 = args
+        .iter()
+        .position(|a| a == "--interval-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    loop {
+        let snap = snapshot(&read_events(&file));
+        if once {
+            match snap {
+                Some(s) => print!("{}", s.render()),
+                None => {
+                    eprintln!("no campaign activity in {}", file.display());
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+        // Clear the screen and repaint the panel in place.
+        print!("\x1b[2J\x1b[H");
+        match snap {
+            Some(s) => {
+                print!("{}", s.render());
+                if s.done {
+                    return;
+                }
+            }
+            None => println!("sop top: waiting for events in {}", file.display()),
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval));
+    }
+}
+
+/// Dumps a report's top-level `metrics` object — pretty JSON by
+/// default, Prometheus text exposition with `--text` (counters, gauges,
+/// and histograms re-expanded into cumulative `_bucket` samples).
+fn metrics_cmd(args: &[String]) {
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: sop metrics <report.json> [--text]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = scale_out_processors::obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    });
+    let metrics = doc.get("metrics").cloned().unwrap_or(Json::Null);
+    if args.iter().any(|a| a == "--text") {
+        print!("{}", exposition_from_json(&metrics));
+    } else {
+        println!("{}", metrics.to_pretty_string());
     }
 }
 

@@ -1,0 +1,94 @@
+//! The heartbeat's job-event set is worker-count invariant.
+//!
+//! Timing fields (`t_us`, `wall_us`, `worker`, `queue`, `eta_us`) vary
+//! run to run, but the identity of what happened — which events fired
+//! for which jobs from which source — must be the same multiset whether
+//! a campaign ran on one worker or several. That is what makes the
+//! progress stream trustworthy as a record and diffable across runs.
+
+use scale_out_processors::exec::heartbeat::PROGRESS_FILE;
+use scale_out_processors::exec::{Exec, ExecConfig, Job};
+use scale_out_processors::obs::Json;
+
+/// Runs a small deterministic campaign on `workers` threads against a
+/// cold cache in `dir` and returns the sorted (ev, job, source) event
+/// identities from the heartbeat stream.
+fn event_identities(workers: usize, dir: &std::path::Path) -> Vec<(String, String, String)> {
+    let exec = Exec::new(ExecConfig {
+        jobs: workers,
+        cache_dir: Some(dir.to_path_buf()),
+        ..ExecConfig::default()
+    });
+    let jobs: Vec<Job<'static>> = (0..6u64)
+        .map(|i| {
+            Job::new(
+                format!("point/{i}"),
+                Json::object().with("i", i).with("suite", "hb-determinism"),
+                |spec| {
+                    let i = spec.get("i").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                    Json::object().with("square", i * i)
+                },
+            )
+        })
+        .collect();
+    let run = exec.run_campaign("hb-determinism", jobs);
+    assert!(run.failures.is_empty(), "{:?}", run.failures);
+    let events = scale_out_processors::exec::heartbeat::read_events(&dir.join(PROGRESS_FILE));
+    let mut ids: Vec<(String, String, String)> = events
+        .iter()
+        .map(|e| {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned()
+            };
+            (field("ev"), field("job"), field("source"))
+        })
+        .collect();
+    ids.sort();
+    ids
+}
+
+/// A scratch directory that cleans up after itself.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("sop-hb-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn job_event_set_is_identical_across_worker_counts() {
+    let one = Scratch::new("w1");
+    let two = Scratch::new("w2");
+    let serial = event_identities(1, &one.0);
+    let parallel = event_identities(2, &two.0);
+    assert_eq!(
+        serial, parallel,
+        "heartbeat event identities must not depend on worker count"
+    );
+    // The stream carries exactly the expected shape: one start and one
+    // end, and a start/finish pair per job, all computed on a cold cache.
+    let count = |ev: &str| serial.iter().filter(|(e, _, _)| e == ev).count();
+    assert_eq!(count("campaign_start"), 1);
+    assert_eq!(count("campaign_end"), 1);
+    assert_eq!(count("job_start"), 6);
+    assert_eq!(count("job_finish"), 6);
+    assert!(
+        serial
+            .iter()
+            .filter(|(e, _, _)| e == "job_finish")
+            .all(|(_, _, s)| s == "computed"),
+        "cold-cache runs compute every job"
+    );
+}

@@ -1,0 +1,71 @@
+//! Zero-overhead-when-disabled guard for host self-profiling.
+//!
+//! The profiler is compiled into every build; this suite pins the
+//! contract that leaving it disarmed changes nothing: a machine that
+//! never calls `enable_profiling` produces bit-identical results under
+//! both engines and exports no `prof.*` keys, and a stable report built
+//! from such a run is byte-for-byte reproducible. Arming the profiler
+//! adds the `prof.*` keys and nothing else — host-side timing must
+//! never perturb the simulated machine.
+
+use scale_out_processors::noc::TopologyKind;
+use scale_out_processors::obs::{
+    diff_reports, stabilized, DiffConfig, ProfBreakdown, Registry, Report, SpanLog,
+};
+use scale_out_processors::sim::{Machine, SimConfig, SimResult};
+use scale_out_processors::workloads::Workload;
+
+fn run(armed: bool, reference: bool) -> SimResult {
+    let cfg = SimConfig::validation(Workload::WebSearch, 8, TopologyKind::Mesh);
+    let mut m = Machine::new(cfg);
+    m.set_reference_mode(reference);
+    if armed {
+        m.enable_profiling();
+    }
+    m.run_window(1_000, 3_000)
+}
+
+/// Serializes a run the way `repro --json --stable` does, minus the
+/// wall-clock dependent parts `stabilized` strips anyway.
+fn stable_report(r: &SimResult) -> String {
+    let mut metrics = Registry::new();
+    metrics.merge(&r.metrics);
+    let report = Report::new("prof-zero-cost", "profiling guard");
+    let doc = report.to_json(&SpanLog::new(), &metrics);
+    stabilized(&doc).to_pretty_string()
+}
+
+#[test]
+fn disarmed_runs_are_byte_identical_and_prof_free() {
+    let a = run(false, false);
+    let b = run(false, false);
+    assert_eq!(a, b, "disarmed event-driven runs are bit-deterministic");
+    assert_eq!(stable_report(&a), stable_report(&b));
+    let reference = run(false, true);
+    assert_eq!(a, reference, "engines agree with the profiler compiled in");
+    assert!(
+        !a.metrics.iter().any(|(k, _)| k.starts_with("prof.")),
+        "disarmed run must not export prof.* keys"
+    );
+}
+
+#[test]
+fn arming_the_profiler_only_adds_prof_keys() {
+    let off = run(false, false);
+    let on = run(true, false);
+    // Identical except for the additional prof.* metrics.
+    let mut cfg = DiffConfig::exact();
+    cfg.ignore.push("metrics.prof.".to_owned());
+    let off_doc = scale_out_processors::obs::json::parse(&stable_report(&off)).expect("json");
+    let on_doc = scale_out_processors::obs::json::parse(&stable_report(&on)).expect("json");
+    let d = diff_reports(&off_doc, &on_doc, &cfg);
+    assert!(
+        d.ok(),
+        "profiling perturbed the simulation: {:?}",
+        d.violations
+    );
+    let breakdown = ProfBreakdown::from_registry(&on.metrics)
+        .expect("armed run exports prof.advance for the breakdown");
+    assert!(breakdown.consistent(), "self-times exceed the advance wall");
+    assert!(breakdown.advance_ns > 0);
+}
