@@ -13,19 +13,38 @@ use sop_obs::Json;
 use sop_workloads::Workload;
 
 /// The campaigns `sop sweep` accepts. `all` merges the chapters only:
-/// `degradation` injects faults, and the canonical fault-free
-/// reproduction must stay byte-identical whether or not the sweep ever
-/// ran.
-pub const CAMPAIGNS: [&str; 7] = ["ch2", "ch3", "ch4", "ch5", "ch6", "degradation", "all"];
+/// `degradation` injects faults, `fleet` simulates dynamic traffic, and
+/// the canonical fault-free reproduction must stay byte-identical
+/// whether or not those sweeps ever ran.
+pub const CAMPAIGNS: [&str; 8] = [
+    "ch2",
+    "ch3",
+    "ch4",
+    "ch5",
+    "ch6",
+    "degradation",
+    "fleet",
+    "all",
+];
+
+/// The process-wide simulated-work counter the heartbeat stamps into
+/// `job_finish` events: engine cycles plus fleet ticks. At most one of
+/// the two advances for any given job (a job is either a machine
+/// simulation or a fleet run), so per-campaign deltas stay meaningful
+/// — cycles/sec for chapter campaigns, simulated seconds/sec for fleet
+/// campaigns.
+pub fn simulated_work_counter() -> u64 {
+    sop_sim::cycles_simulated() + sop_fleet::ticks_simulated()
+}
 
 /// Runs the named campaign and returns its data as a JSON section:
 /// one member per figure, rows in figure order. `None` for an unknown
 /// name.
 pub fn run_campaign(name: &str, quick: bool, exec: &Exec) -> Option<Json> {
     // Let the engine's heartbeat stamp job_finish events with the
-    // process-wide simulated-cycle counter (sop-exec cannot depend on
-    // sop-sim, so the hook is installed from here).
-    sop_exec::heartbeat::set_cycle_source(sop_sim::cycles_simulated);
+    // process-wide simulated-work counter (sop-exec cannot depend on
+    // sop-sim or sop-fleet, so the hook is installed from here).
+    sop_exec::heartbeat::set_cycle_source(simulated_work_counter);
     match name {
         "ch2" => Some(ch2_data(exec)),
         "ch3" => Some(ch3_data(quick, exec)),
@@ -33,6 +52,7 @@ pub fn run_campaign(name: &str, quick: bool, exec: &Exec) -> Option<Json> {
         "ch5" => Some(ch5_data(exec)),
         "ch6" => Some(ch6_data(exec)),
         "degradation" => Some(degradation_data(quick, exec)),
+        "fleet" => Some(fleet_data(quick, exec)),
         "all" => Some(
             Json::object()
                 .with("ch2", ch2_data(exec))
@@ -156,6 +176,17 @@ fn ch4_data(quick: bool, exec: &Exec) -> Json {
         .with("fig4.9", fig4_9)
 }
 
+/// The fleet campaign: every chip organization × both repair policies,
+/// 64 servers quick / 256 full, at the fixed campaign seed 42.
+fn fleet_data(quick: bool, exec: &Exec) -> Json {
+    let servers = if quick { 64 } else { 256 };
+    let specs = sop_fleet::grid(servers, 42, quick, None, None);
+    Json::object().with(
+        "fleet",
+        Json::Arr(sop_fleet::fleet_points(exec, "fleet", &specs)),
+    )
+}
+
 fn degradation_data(quick: bool, exec: &Exec) -> Json {
     Json::object().with(
         "degradation",
@@ -229,6 +260,19 @@ mod tests {
     #[test]
     fn unknown_campaign_is_none() {
         assert!(run_campaign("ch99", true, &Exec::sequential()).is_none());
+    }
+
+    #[test]
+    fn fleet_campaign_covers_every_org_and_policy() {
+        let rows_per_grid = sop_fleet::ORGS.len() * sop_fleet::Policy::ALL.len();
+        let fleet = run_campaign("fleet", true, &Exec::sequential()).expect("fleet");
+        let rows = fleet.get("fleet").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows.len(), rows_per_grid);
+        for row in rows {
+            assert!(row.get("failed").is_none(), "{row:?}");
+            assert!(row.get("cost_per_sustained_kqps_usd").is_some());
+            assert!(row.get("curve").and_then(Json::as_arr).is_some());
+        }
     }
 
     #[test]

@@ -272,8 +272,15 @@ pub struct TopSnapshot {
     /// Resolved jobs per second of stream time.
     pub jobs_per_sec: f64,
     /// Simulated megacycles per second across the observed window
-    /// (`None` when no cycle source was installed in the producer).
+    /// (`None` when no cycle source was installed in the producer, or
+    /// when the campaign reports fleet time instead).
     pub mcycles_per_sec: Option<f64>,
+    /// Simulated fleet hours per second across the observed window.
+    /// Fleet campaigns (name starting with `fleet`) advance the
+    /// installed work counter in simulated seconds rather than core
+    /// cycles, so the same `cycles` deltas are re-interpreted here and
+    /// `mcycles_per_sec` stays `None` for them.
+    pub sim_hours_per_sec: Option<f64>,
     /// Latest ETA estimate in µs, if any job has completed.
     pub eta_us: Option<u64>,
     /// Whether the campaign has ended.
@@ -312,9 +319,10 @@ impl TopSnapshot {
             100.0 * self.hit_rate(),
             self.failed
         ));
-        let mcyc = match self.mcycles_per_sec {
-            Some(m) => format!(" · {m:.1} Mcycles/s"),
-            None => String::new(),
+        let mcyc = match (self.mcycles_per_sec, self.sim_hours_per_sec) {
+            (Some(m), _) => format!(" · {m:.1} Mcycles/s"),
+            (None, Some(h)) => format!(" · {h:.2} sim-hours/s"),
+            (None, None) => String::new(),
         };
         let eta = match (self.done, self.eta_us) {
             (false, Some(us)) => format!(" · eta {:.1}s", us as f64 / 1e6),
@@ -398,10 +406,16 @@ pub fn snapshot(events: &[Json]) -> Option<TopSnapshot> {
     activity.sort_by_key(|a| a.worker);
     let finished = computed + cache_hits + failed;
     let span_s = (t_last - t_first).max(1.0) / 1e6;
-    let mcycles_per_sec = match cycles {
-        Some((first, last)) if last > first => Some((last - first) / 1e6 / span_s),
+    // Fleet campaigns advance the work counter in simulated seconds,
+    // chapter campaigns in core cycles; the campaign name prefix picks
+    // which unit the delta is rendered in.
+    let is_fleet = campaign.starts_with("fleet");
+    let delta = match cycles {
+        Some((first, last)) if last > first => Some(last - first),
         _ => None,
     };
+    let mcycles_per_sec = delta.filter(|_| !is_fleet).map(|d| d / 1e6 / span_s);
+    let sim_hours_per_sec = delta.filter(|_| is_fleet).map(|d| d / 3600.0 / span_s);
     Some(TopSnapshot {
         campaign,
         total,
@@ -413,6 +427,7 @@ pub fn snapshot(events: &[Json]) -> Option<TopSnapshot> {
         per_worker: activity,
         jobs_per_sec: finished as f64 / span_s,
         mcycles_per_sec,
+        sim_hours_per_sec,
         eta_us,
         done,
     })
@@ -488,6 +503,30 @@ mod tests {
     #[test]
     fn snapshot_of_an_empty_stream_is_none() {
         assert!(snapshot(&[]).is_none());
+    }
+
+    #[test]
+    fn fleet_campaigns_report_sim_hours_instead_of_mcycles() {
+        // Hand-built events: the cycle counter advances in simulated
+        // seconds for fleet jobs (7200 ticks = 2 sim-hours here) over
+        // a 4-second stream span.
+        let lines = [
+            r#"{"ev":"campaign_start","t_us":0,"campaign":"fleet","jobs":2,"workers":1}"#,
+            r#"{"ev":"job_finish","t_us":2000000,"campaign":"fleet","job":"a","source":"computed","worker":0,"wall_us":2000000,"queue":1,"cycles":7200}"#,
+            r#"{"ev":"job_finish","t_us":4000000,"campaign":"fleet","job":"b","source":"computed","worker":0,"wall_us":2000000,"queue":0,"cycles":14400}"#,
+        ];
+        let events: Vec<Json> = lines
+            .iter()
+            .map(|l| sop_obs::json::parse(l).expect("event"))
+            .collect();
+        let s = snapshot(&events).expect("campaign present");
+        assert_eq!(s.mcycles_per_sec, None, "fleet deltas are not cycles");
+        let hours = s.sim_hours_per_sec.expect("sim-hours rate");
+        // 7200 simulated seconds over 4 wall seconds = 0.5 sim-hours/s.
+        assert!((hours - 0.5).abs() < 1e-9, "{hours}");
+        let panel = s.render();
+        assert!(panel.contains("0.50 sim-hours/s"), "{panel}");
+        assert!(!panel.contains("Mcycles"), "{panel}");
     }
 
     #[test]

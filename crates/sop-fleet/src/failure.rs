@@ -1,0 +1,182 @@
+//! Seeded per-server failure processes, in the `sop-fault` plan idiom.
+//!
+//! Like `sop_fault::FaultPlan`, a [`FleetFaultPlan`] is a plain sorted
+//! value computed up front from an explicit seed — not randomness
+//! sprinkled through the simulation loop. Each server draws fault
+//! arrivals from its own derived RNG stream (uniform renewal gaps of
+//! 0.5–1.5× MTBF), a damage severity (the fraction of the chip's
+//! resources lost, matching the `sop-tco` degradation curve's domain),
+//! and a repair time (0.5–1.5× MTTR). A server cannot fail again while
+//! down: the next gap starts after the repair completes.
+//!
+//! The plan is canonical JSON-serializable for inspection, but cache
+//! identity lives in the simulation spec (seed + parameters), which
+//! fully determines the plan.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sop_obs::Json;
+
+use crate::stream_seed;
+
+/// Severities a fault can strike with: the fraction of chip resources
+/// lost, aligned with the degradation-curve domain used for derating.
+pub const SEVERITIES: [f64; 4] = [0.0625, 0.125, 0.25, 0.5];
+
+const STREAM_FAULT_BASE: u64 = 0x10_0000;
+
+/// One scheduled fault: `server` loses `failed_fraction` of its chip
+/// resources at `tick` and is repaired `repair_ticks` later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFault {
+    /// Index of the struck server.
+    pub server: u32,
+    /// Tick the fault strikes.
+    pub tick: u64,
+    /// Fraction of chip resources lost (one of [`SEVERITIES`]).
+    pub failed_fraction: f64,
+    /// Ticks until the server returns to full health.
+    pub repair_ticks: u64,
+}
+
+impl FleetFault {
+    /// Canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("server", u64::from(self.server))
+            .with("tick", self.tick)
+            .with("failed_fraction", self.failed_fraction)
+            .with("repair_ticks", self.repair_ticks)
+    }
+}
+
+/// A complete, sorted fault schedule for one fleet run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetFaultPlan {
+    faults: Vec<FleetFault>,
+}
+
+impl FleetFaultPlan {
+    /// Draws the schedule for `servers` servers over `duration` ticks.
+    /// Each server uses stream `STREAM_FAULT_BASE + server`, so plans
+    /// for different fleet sizes share the faults of common servers.
+    pub fn seeded(seed: u64, servers: u32, duration: u64, mtbf: u64, mttr: u64) -> FleetFaultPlan {
+        assert!(mtbf >= 2, "MTBF of {mtbf} ticks leaves no gap to draw");
+        assert!(mttr >= 2, "MTTR of {mttr} ticks leaves no repair to draw");
+        let mut faults = Vec::new();
+        for server in 0..servers {
+            let mut rng =
+                SmallRng::seed_from_u64(stream_seed(seed, STREAM_FAULT_BASE + u64::from(server)));
+            let mut t = 0u64;
+            loop {
+                t += rng.gen_range(mtbf / 2..mtbf + mtbf / 2);
+                if t >= duration {
+                    break;
+                }
+                let severity = SEVERITIES[rng.gen_range(0usize..SEVERITIES.len())];
+                let repair = rng.gen_range(mttr / 2..mttr + mttr / 2);
+                faults.push(FleetFault {
+                    server,
+                    tick: t,
+                    failed_fraction: severity,
+                    repair_ticks: repair,
+                });
+                // No re-fail while down.
+                t += repair;
+            }
+        }
+        faults.sort_by_key(|f| (f.tick, f.server));
+        FleetFaultPlan { faults }
+    }
+
+    /// The schedule, sorted by (tick, server).
+    pub fn faults(&self) -> &[FleetFault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the run is fault-free.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Canonical JSON form (sorted, so byte-stable for a given seed).
+    pub fn to_json(&self) -> Json {
+        Json::object().with(
+            "faults",
+            Json::Arr(self.faults.iter().map(FleetFault::to_json).collect()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let a = FleetFaultPlan::seeded(7, 32, 7200, 3600, 600);
+        let b = FleetFaultPlan::seeded(7, 32, 7200, 3600, 600);
+        let c = FleetFaultPlan::seeded(8, 32, 7200, 3600, 600);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty(), "2h × 32 servers at 1h MTBF must fault");
+    }
+
+    #[test]
+    fn plan_is_sorted_and_in_range() {
+        let plan = FleetFaultPlan::seeded(42, 16, 7200, 2400, 600);
+        let faults = plan.faults();
+        for w in faults.windows(2) {
+            assert!((w[0].tick, w[0].server) < (w[1].tick, w[1].server));
+        }
+        for f in faults {
+            assert!(f.tick < 7200);
+            assert!(f.server < 16);
+            assert!(SEVERITIES.contains(&f.failed_fraction));
+            assert!((300..1200).contains(&f.repair_ticks), "{}", f.repair_ticks);
+        }
+    }
+
+    #[test]
+    fn per_server_gaps_respect_repair_exclusion() {
+        let plan = FleetFaultPlan::seeded(3, 8, 86_400, 3600, 900);
+        for server in 0..8u32 {
+            let mine: Vec<&FleetFault> = plan
+                .faults()
+                .iter()
+                .filter(|f| f.server == server)
+                .collect();
+            for w in mine.windows(2) {
+                assert!(
+                    w[1].tick >= w[0].tick + w[0].repair_ticks + 3600 / 2,
+                    "server {server} refailed during repair"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_preserves_common_servers() {
+        let small = FleetFaultPlan::seeded(9, 8, 7200, 2400, 600);
+        let large = FleetFaultPlan::seeded(9, 64, 7200, 2400, 600);
+        let small_of_large: Vec<FleetFault> = large
+            .faults()
+            .iter()
+            .copied()
+            .filter(|f| f.server < 8)
+            .collect();
+        assert_eq!(small.faults(), small_of_large.as_slice());
+    }
+
+    #[test]
+    fn json_form_round_trips_through_the_parser() {
+        let plan = FleetFaultPlan::seeded(1, 4, 7200, 2400, 600);
+        let text = plan.to_json().to_compact_string();
+        sop_obs::json::parse(&text).expect("valid JSON");
+    }
+}

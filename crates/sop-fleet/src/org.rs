@@ -1,0 +1,183 @@
+//! Chip organizations and the server specs they induce.
+//!
+//! A [`ChipOrg`] names a pod recipe (core kind, cores per pod, LLC per
+//! pod); [`ServerSpec::for_org`] composes it into a chip at the
+//! chapter-5 node with `sop-core::compose_pods`, prices the die with
+//! the thesis' cost model, fills a 1U server's power budget with
+//! sockets via `sop-tco::Datacenter`, and converts aggregate IPC into
+//! a request-serving capacity. The fleet simulator treats a server as
+//! a fluid queue with that capacity; the org is what makes fleets of
+//! different chip organizations (pod-count heterogeneity) comparable
+//! on cost per sustained QPS.
+
+use sop_core::chip::{compose_pods, ChipSpec, Composition};
+use sop_core::pd::PodConfig;
+use sop_model::Interconnect;
+use sop_tco::price::THESIS_VOLUME;
+use sop_tco::{estimated_price_usd, Datacenter, TcoParams, CHAPTER5_NODE};
+use sop_tech::{ChipBudget, CoreKind};
+
+/// How many requests per second one unit of aggregate IPC sustains.
+///
+/// A stand-in calibration constant: the thesis measures chips in
+/// aggregate IPC over scale-out workloads, not queries; this maps one
+/// IPC unit to 250 QPS of a memcached-class reference service so fleet
+/// capacities land in a realistic range (roughly 10^4..10^5 QPS per
+/// server). Every organization shares the constant, so cost-per-QPS
+/// *ratios* between organizations — the quantity of interest — do not
+/// depend on its exact value.
+pub const QPS_PER_IPC: f64 = 250.0;
+
+/// DRAM per 1U server, matching the chapter-5 TCO study default.
+pub const SERVER_MEMORY_GB: u32 = 64;
+
+/// A named pod recipe to build a fleet from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipOrg {
+    /// Stable name used in specs, reports, and the CLI (`--org`).
+    pub name: &'static str,
+    /// Core microarchitecture of the pod.
+    pub core: CoreKind,
+    /// Cores per pod.
+    pub pod_cores: u32,
+    /// LLC capacity per pod in MB.
+    pub pod_llc_mb: f64,
+}
+
+/// The organizations the fleet campaign compares: the thesis' preferred
+/// pods for both core kinds (§3.4.2/§3.4.3), plus smaller- and
+/// larger-than-preferred OoO pods to expose pod-count heterogeneity.
+pub const ORGS: [ChipOrg; 4] = [
+    ChipOrg {
+        name: "scaleout-ooo",
+        core: CoreKind::OutOfOrder,
+        pod_cores: 16,
+        pod_llc_mb: 4.0,
+    },
+    ChipOrg {
+        name: "scaleout-io",
+        core: CoreKind::InOrder,
+        pod_cores: 32,
+        pod_llc_mb: 2.0,
+    },
+    ChipOrg {
+        name: "smallpod-ooo",
+        core: CoreKind::OutOfOrder,
+        pod_cores: 8,
+        pod_llc_mb: 2.0,
+    },
+    ChipOrg {
+        name: "bigpod-ooo",
+        core: CoreKind::OutOfOrder,
+        pod_cores: 32,
+        pod_llc_mb: 8.0,
+    },
+];
+
+/// Looks up an organization by its stable name.
+pub fn org_by_name(name: &str) -> Option<&'static ChipOrg> {
+    ORGS.iter().find(|o| o.name == name)
+}
+
+/// A fully costed server built from one organization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpec {
+    /// The organization this server was built from.
+    pub org: &'static str,
+    /// The composed chip.
+    pub chip: ChipSpec,
+    /// Pods per socket the budgets admitted.
+    pub pods_per_chip: u32,
+    /// Sockets filling the 1U server's processor power budget.
+    pub sockets: u32,
+    /// Requests per second (= per tick) one healthy server sustains.
+    pub capacity_qps: u64,
+    /// Estimated unit price of one die.
+    pub chip_price_usd: f64,
+    /// Monthly TCO amortized over one server.
+    pub monthly_cost_usd: f64,
+}
+
+impl ServerSpec {
+    /// Composes, prices, and capacities a server for `org` at the
+    /// chapter-5 node under the thesis' TCO parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pod recipe cannot compose even one pod within the
+    /// server chip budgets (a misconfigured [`ChipOrg`]).
+    pub fn for_org(org: &'static ChipOrg) -> ServerSpec {
+        let node = CHAPTER5_NODE;
+        let pod = PodConfig::new(
+            org.core,
+            org.pod_cores,
+            org.pod_llc_mb,
+            Interconnect::Crossbar,
+        )
+        .at_node(node)
+        .metrics();
+        let chip = compose_pods(org.name, &pod, node, &ChipBudget::server_2d(node));
+        let pods_per_chip = match chip.composition {
+            Composition::Pods { count, .. } => count,
+            Composition::Monolithic(_) => unreachable!("compose_pods yields pods"),
+        };
+        let price = estimated_price_usd(chip.die_mm2, THESIS_VOLUME);
+        let dc = Datacenter::for_chip(chip.clone(), price, &TcoParams::thesis(), SERVER_MEMORY_GB);
+        let capacity = f64::from(dc.sockets_per_server) * chip.aggregate_ipc * QPS_PER_IPC;
+        ServerSpec {
+            org: org.name,
+            pods_per_chip,
+            sockets: dc.sockets_per_server,
+            capacity_qps: capacity.round() as u64,
+            chip_price_usd: price,
+            monthly_cost_usd: dc.monthly_cost_per_server_usd(),
+            chip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_org_composes_into_a_feasible_server() {
+        for org in &ORGS {
+            let s = ServerSpec::for_org(org);
+            assert!(s.pods_per_chip >= 1, "{}: no pods", org.name);
+            assert!(s.sockets >= 1, "{}: no sockets", org.name);
+            assert!(s.capacity_qps > 0, "{}: no capacity", org.name);
+            assert!(s.monthly_cost_usd > 0.0, "{}: free server", org.name);
+            assert!(s.chip_price_usd > 0.0, "{}: free die", org.name);
+        }
+    }
+
+    #[test]
+    fn orgs_differ_in_pod_count() {
+        // Pod-count heterogeneity: the small-pod org must pack more pods
+        // per die than the big-pod org.
+        let small = ServerSpec::for_org(org_by_name("smallpod-ooo").expect("known"));
+        let big = ServerSpec::for_org(org_by_name("bigpod-ooo").expect("known"));
+        assert!(
+            small.pods_per_chip > big.pods_per_chip,
+            "small {} vs big {}",
+            small.pods_per_chip,
+            big.pods_per_chip
+        );
+    }
+
+    #[test]
+    fn names_resolve_and_unknown_names_do_not() {
+        for org in &ORGS {
+            assert_eq!(org_by_name(org.name).map(|o| o.name), Some(org.name));
+        }
+        assert!(org_by_name("xeon-phi").is_none());
+    }
+
+    #[test]
+    fn server_spec_is_deterministic() {
+        let a = ServerSpec::for_org(&ORGS[0]);
+        let b = ServerSpec::for_org(&ORGS[0]);
+        assert_eq!(a, b);
+    }
+}

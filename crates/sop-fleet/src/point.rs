@@ -1,0 +1,359 @@
+//! Cacheable fleet points: one fleet run as a pure `sop-exec` job.
+//!
+//! Follows the `sop-bench` `SimPointSpec` idiom: a [`FleetPointSpec`]
+//! names one run completely — organization, policy, fleet size, seed,
+//! and every resolved simulation parameter — so its canonical JSON
+//! form is a sound content-address for the result. Evaluation is a
+//! pure function of the spec ([`crate::simulate`] is deterministic),
+//! so the engine may cache, parallelize, and resume fleet campaigns
+//! freely without changing a single byte of the report.
+//!
+//! The result row carries what the fleet report consumes: the costed
+//! server ([`ServerSpec`]), run totals, overall p50/p95/p99, cost per
+//! sustained QPS, and the tail-latency-vs-utilization curve (windows
+//! bucketed by utilization decile with merged histograms).
+
+use sop_exec::{Exec, Job};
+use sop_obs::{Histogram, Json};
+
+use crate::org::{org_by_name, ServerSpec, ORGS};
+use crate::sim::{simulate, FleetOutcome, Policy, SimParams};
+
+/// One fully-specified fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPointSpec {
+    /// Organization name (must resolve via [`org_by_name`]).
+    pub org: String,
+    /// Damaged-server posture.
+    pub policy: Policy,
+    /// Fleet size.
+    pub servers: u32,
+    /// Run seed.
+    pub seed: u64,
+    /// Compressed two-hour day instead of a full one.
+    pub quick: bool,
+}
+
+impl FleetPointSpec {
+    /// Builds the spec for one org × policy cell.
+    pub fn new(org: &str, policy: Policy, servers: u32, seed: u64, quick: bool) -> FleetPointSpec {
+        FleetPointSpec {
+            org: org.to_owned(),
+            policy,
+            servers,
+            seed,
+            quick,
+        }
+    }
+
+    /// Resolves the costed server this spec's fleet is built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown organization name; the CLI and campaign
+    /// validate names before building specs.
+    pub fn server(&self) -> ServerSpec {
+        let org = org_by_name(&self.org)
+            .unwrap_or_else(|| panic!("unknown chip organization {:?}", self.org));
+        ServerSpec::for_org(org)
+    }
+
+    /// The resolved simulation parameters.
+    pub fn params(&self) -> SimParams {
+        let per_server_qps = self.server().capacity_qps;
+        if self.quick {
+            SimParams::quick(self.servers, per_server_qps, self.policy, self.seed)
+        } else {
+            SimParams::standard(self.servers, per_server_qps, self.policy, self.seed)
+        }
+    }
+
+    /// Unique human-readable job name.
+    pub fn name(&self) -> String {
+        format!(
+            "fleet/{}/{}/{}s/s{}{}",
+            self.org,
+            self.policy.label(),
+            self.servers,
+            self.seed,
+            if self.quick { "/quick" } else { "" }
+        )
+    }
+
+    /// The spec's cache identity: every resolved parameter that
+    /// influences the simulation, so a change to the quick/standard
+    /// presets or to an organization's composed capacity re-keys the
+    /// entry instead of serving a stale result.
+    pub fn to_json(&self) -> Json {
+        let p = self.params();
+        Json::object()
+            .with("kind", "fleet.point")
+            .with("org", self.org.as_str())
+            .with("policy", self.policy.label())
+            .with("servers", self.servers)
+            .with("seed", self.seed)
+            .with("per_server_qps", p.per_server_qps)
+            .with("duration_ticks", p.duration_ticks)
+            .with("window_ticks", p.window_ticks)
+            .with("peak_util", p.peak_util)
+            .with("mtbf_ticks", p.mtbf_ticks)
+            .with("mttr_ticks", p.mttr_ticks)
+            .with("deadline_ms", p.deadline_ms)
+            .with("service_ms", p.service_ms)
+    }
+
+    /// Runs the fleet and reduces it to a report row.
+    pub fn evaluate(&self) -> Json {
+        let server = self.server();
+        let params = self.params();
+        let outcome = simulate(&params);
+        row(self, &server, &outcome)
+    }
+}
+
+fn quantiles(hist: &Histogram) -> [(&'static str, Option<u64>); 3] {
+    [
+        ("p50_ms", hist.p50()),
+        ("p95_ms", hist.p95()),
+        ("p99_ms", hist.p99()),
+    ]
+}
+
+fn with_quantiles(mut doc: Json, hist: &Histogram) -> Json {
+    for (key, q) in quantiles(hist) {
+        doc.insert(key, q.map_or(Json::Null, Json::UInt));
+    }
+    doc
+}
+
+/// Windows bucketed by offered-utilization decile (`util_pct` is the
+/// decile floor in percent; everything at or past 110% pools in the
+/// last bin), with merged latency histograms per bin.
+fn curve(outcome: &FleetOutcome) -> Json {
+    let nominal = outcome.params.nominal_capacity();
+    const BINS: usize = 12;
+    let mut hists: Vec<Histogram> = vec![Histogram::new(); BINS];
+    let mut windows = [0u64; BINS];
+    let mut offered = [0u64; BINS];
+    let mut dropped = [0u64; BINS];
+    for w in &outcome.windows {
+        let bin = ((w.utilization(nominal) * 10.0) as usize).min(BINS - 1);
+        hists[bin].merge(&w.hist);
+        windows[bin] += 1;
+        offered[bin] += w.offered;
+        dropped[bin] += w.dropped;
+    }
+    Json::Arr(
+        (0..BINS)
+            .filter(|&b| windows[b] > 0)
+            .map(|b| {
+                let doc = Json::object()
+                    .with("util_pct", (b as u64) * 10)
+                    .with("windows", windows[b])
+                    .with(
+                        "drop_pct",
+                        if offered[b] == 0 {
+                            0.0
+                        } else {
+                            100.0 * dropped[b] as f64 / offered[b] as f64
+                        },
+                    );
+                with_quantiles(doc, &hists[b])
+            })
+            .collect(),
+    )
+}
+
+fn row(spec: &FleetPointSpec, server: &ServerSpec, outcome: &FleetOutcome) -> Json {
+    let fleet_monthly = server.monthly_cost_usd * f64::from(spec.servers);
+    let sustained = outcome.sustained_qps();
+    let offered_total = outcome.offered();
+    let doc = Json::object()
+        .with("org", spec.org.as_str())
+        .with("policy", spec.policy.label())
+        .with("servers", spec.servers)
+        .with("seed", spec.seed)
+        .with("pods_per_chip", server.pods_per_chip)
+        .with("sockets", server.sockets)
+        .with("per_server_qps", server.capacity_qps)
+        .with("capacity_qps", outcome.params.nominal_capacity())
+        .with("chip_price_usd", server.chip_price_usd)
+        .with("server_monthly_usd", server.monthly_cost_usd)
+        .with("fleet_monthly_usd", fleet_monthly)
+        .with(
+            "offered_qps",
+            offered_total as f64 / outcome.params.duration_ticks as f64,
+        )
+        .with("sustained_qps", sustained)
+        .with(
+            "drop_pct",
+            if offered_total == 0 {
+                0.0
+            } else {
+                100.0 * outcome.dropped() as f64 / offered_total as f64
+            },
+        )
+        .with(
+            "cost_per_sustained_kqps_usd",
+            if sustained > 0.0 {
+                Json::Num(fleet_monthly / (sustained / 1000.0))
+            } else {
+                Json::Null
+            },
+        );
+    with_quantiles(doc, &outcome.latency)
+        .with(
+            "faults",
+            Json::object()
+                .with("struck", outcome.faults_struck)
+                .with("repaired", outcome.faults_repaired),
+        )
+        .with(
+            "totals",
+            Json::object()
+                .with("offered", offered_total)
+                .with("served", outcome.served())
+                .with("dropped", outcome.dropped())
+                .with("inflight_end", outcome.inflight_end),
+        )
+        .with("curve", curve(outcome))
+}
+
+/// The default campaign grid: every organization × both policies.
+/// `org` / `policy` narrow it to one organization or posture.
+pub fn grid(
+    servers: u32,
+    seed: u64,
+    quick: bool,
+    org: Option<&str>,
+    policy: Option<Policy>,
+) -> Vec<FleetPointSpec> {
+    ORGS.iter()
+        .filter(|o| org.is_none_or(|name| o.name == name))
+        .flat_map(|o| {
+            Policy::ALL
+                .into_iter()
+                .filter(|p| policy.is_none_or(|want| want == *p))
+                .map(|p| FleetPointSpec::new(o.name, p, servers, seed, quick))
+        })
+        .collect()
+}
+
+/// Evaluates `specs` as one campaign on `exec`: duplicates collapse,
+/// cached points come from disk, fresh points run on the worker pool,
+/// and rows come back in spec order. A failed job's row carries a
+/// `failed` marker instead of data so report arrays keep their shape.
+pub fn fleet_points(exec: &Exec, campaign: &str, specs: &[FleetPointSpec]) -> Vec<Json> {
+    let jobs: Vec<Job<'_>> = specs
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone();
+            Job::new(spec.name(), spec.to_json(), move |_| spec.evaluate())
+        })
+        .collect();
+    exec.run_campaign(campaign, jobs)
+        .results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Json::Null => Json::object()
+                .with("org", specs[i].org.as_str())
+                .with("policy", specs[i].policy.label())
+                .with("failed", true),
+            doc => doc.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> FleetPointSpec {
+        FleetPointSpec::new("scaleout-ooo", Policy::Derate, 4, 11, true)
+    }
+
+    #[test]
+    fn identity_covers_the_resolved_parameters() {
+        let spec = tiny_spec();
+        let id = spec.to_json();
+        assert_eq!(id.get("kind").and_then(Json::as_str), Some("fleet.point"));
+        for key in [
+            "org",
+            "policy",
+            "servers",
+            "seed",
+            "per_server_qps",
+            "duration_ticks",
+            "window_ticks",
+            "peak_util",
+            "mtbf_ticks",
+            "mttr_ticks",
+            "deadline_ms",
+            "service_ms",
+        ] {
+            assert!(id.get(key).is_some(), "identity missing {key}");
+        }
+        // Quick and standard presets must not collide in the cache.
+        let slow = FleetPointSpec {
+            quick: false,
+            ..spec.clone()
+        };
+        assert_ne!(
+            id.to_compact_string(),
+            slow.to_json().to_compact_string(),
+            "quick flag must re-key the cache entry"
+        );
+        assert_ne!(spec.name(), slow.name());
+    }
+
+    #[test]
+    fn grid_covers_orgs_times_policies_and_filters_narrow_it() {
+        let all = grid(64, 42, true, None, None);
+        assert_eq!(all.len(), ORGS.len() * Policy::ALL.len());
+        let one_org = grid(64, 42, true, Some("scaleout-io"), None);
+        assert_eq!(one_org.len(), Policy::ALL.len());
+        let one_cell = grid(64, 42, true, Some("scaleout-io"), Some(Policy::Drain));
+        assert_eq!(one_cell.len(), 1);
+        assert!(grid(64, 42, true, Some("nonesuch"), None).is_empty());
+    }
+
+    #[test]
+    fn row_has_the_headline_metrics_and_exact_totals() {
+        let spec = FleetPointSpec {
+            servers: 4,
+            ..tiny_spec()
+        };
+        let row = spec.evaluate();
+        assert!(row.get("cost_per_sustained_kqps_usd").is_some());
+        assert!(row.get("p99_ms").is_some());
+        let totals = row.get("totals").expect("totals");
+        let n = |k: &str| totals.get(k).and_then(Json::as_f64).expect(k) as u64;
+        assert_eq!(
+            n("offered"),
+            n("served") + n("dropped") + n("inflight_end"),
+            "row totals must tile"
+        );
+        let curve = row.get("curve").expect("curve");
+        let Json::Arr(bins) = curve else {
+            panic!("curve is an array")
+        };
+        assert!(bins.len() >= 3, "a full diurnal sweep spans deciles");
+    }
+
+    #[test]
+    fn engine_evaluation_matches_direct_evaluation() {
+        let spec = FleetPointSpec {
+            servers: 2,
+            ..tiny_spec()
+        };
+        let direct = spec.evaluate();
+        let rows = fleet_points(
+            &Exec::with_workers(2),
+            "fleet-points-test",
+            &[spec.clone(), spec],
+        );
+        assert_eq!(rows[0].to_compact_string(), direct.to_compact_string());
+        assert_eq!(rows[0].to_compact_string(), rows[1].to_compact_string());
+    }
+}

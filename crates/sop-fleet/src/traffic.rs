@@ -1,0 +1,173 @@
+//! Seeded open-loop arrival traffic: diurnal swing, bursts, jitter.
+//!
+//! Millions of users present as an open-loop arrival process — demand
+//! does not slow down because the fleet is struggling. The offered rate
+//! at tick `t` is
+//!
+//! ```text
+//! rate(t) = peak_qps · diurnal(t) · burst(t) · jitter(t)
+//! ```
+//!
+//! * `diurnal(t)` sweeps one full sinusoidal day over the run, from a
+//!   trough of [`DIURNAL_TROUGH`] up to 1.0 at the crest, starting at
+//!   the trough — so every run covers the whole utilization range and
+//!   the tail-latency-vs-utilization curve has mass in every decile.
+//! * `burst(t)` is a seeded renewal process of flash crowds: quiet gaps
+//!   of 15–45 simulated minutes, then 1–5 minutes at 1.2–1.8× — which
+//!   is what pushes utilization past 100% and exposes the drop/derate
+//!   behavior of the admission policy.
+//! * `jitter(t)` is ±3% per-tick noise so no two ticks are identical.
+//!
+//! All three draw from the vendored shim RNG on independent derived
+//! streams ([`crate::stream_seed`]); nothing touches `std` randomness.
+//! [`TrafficModel::rate_at`] consumes the jitter stream sequentially
+//! and must be called exactly once per tick, in tick order — the
+//! simulator's main loop is the only caller.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stream_seed;
+
+/// Diurnal trough as a fraction of the crest.
+pub const DIURNAL_TROUGH: f64 = 0.3;
+
+const STREAM_BURST: u64 = 1;
+const STREAM_JITTER: u64 = 2;
+
+/// One flash crowd: `[start, end)` ticks at `amplitude`× demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Burst {
+    start: u64,
+    end: u64,
+    amplitude: f64,
+}
+
+/// The arrival process for one fleet run.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    peak_qps: f64,
+    period: u64,
+    bursts: Vec<Burst>,
+    next_burst: usize,
+    jitter: SmallRng,
+}
+
+impl TrafficModel {
+    /// Builds the process: `peak_qps` is the diurnal-crest offered rate
+    /// (before bursts and jitter), `duration` the run length in ticks
+    /// (also the diurnal period).
+    pub fn new(seed: u64, peak_qps: f64, duration: u64) -> TrafficModel {
+        let mut rng = SmallRng::seed_from_u64(stream_seed(seed, STREAM_BURST));
+        let mut bursts = Vec::new();
+        let mut t = 0u64;
+        loop {
+            t += rng.gen_range(900u64..2700); // 15–45 min quiet gap
+            if t >= duration {
+                break;
+            }
+            let len = rng.gen_range(60u64..300); // 1–5 min flash crowd
+            let amplitude = rng.gen_range(1.2f64..1.8);
+            bursts.push(Burst {
+                start: t,
+                end: (t + len).min(duration),
+                amplitude,
+            });
+            t += len;
+        }
+        TrafficModel {
+            peak_qps,
+            period: duration.max(1),
+            bursts,
+            next_burst: 0,
+            jitter: SmallRng::seed_from_u64(stream_seed(seed, STREAM_JITTER)),
+        }
+    }
+
+    /// Number of seeded flash crowds in the run.
+    pub fn burst_count(&self) -> usize {
+        self.bursts.len()
+    }
+
+    /// Offered arrivals for tick `t`. Consumes one jitter draw; call
+    /// once per tick in tick order.
+    pub fn rate_at(&mut self, t: u64) -> u64 {
+        // Start at the trough: sin(-π/2) = -1 ⇒ diurnal = DIURNAL_TROUGH.
+        let phase = 2.0 * std::f64::consts::PI * t as f64 / self.period as f64
+            - std::f64::consts::FRAC_PI_2;
+        let diurnal = DIURNAL_TROUGH + (1.0 - DIURNAL_TROUGH) * (0.5 + 0.5 * phase.sin());
+        while self.next_burst < self.bursts.len() && self.bursts[self.next_burst].end <= t {
+            self.next_burst += 1;
+        }
+        let burst = match self.bursts.get(self.next_burst) {
+            Some(b) if b.start <= t && t < b.end => b.amplitude,
+            _ => 1.0,
+        };
+        let jitter = self.jitter.gen_range(0.97f64..1.03);
+        (self.peak_qps * diurnal * burst * jitter).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(seed: u64, peak: f64, duration: u64) -> (u64, Vec<u64>) {
+        let mut m = TrafficModel::new(seed, peak, duration);
+        let rates: Vec<u64> = (0..duration).map(|t| m.rate_at(t)).collect();
+        (rates.iter().sum(), rates)
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different() {
+        let (a, ra) = total(7, 1000.0, 2000);
+        let (b, rb) = total(7, 1000.0, 2000);
+        let (c, _) = total(8, 1000.0, 2000);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert_ne!(a, c, "distinct seeds should move total demand");
+    }
+
+    #[test]
+    fn diurnal_shape_troughs_at_start_and_crests_midway() {
+        let (_, rates) = total(3, 10_000.0, 7200);
+        // Average the first and middle 5 minutes to wash out jitter and
+        // bursts; crest demand must clearly dominate trough demand.
+        let avg = |r: &[u64]| r.iter().sum::<u64>() as f64 / r.len() as f64;
+        let trough = avg(&rates[..300]);
+        let crest = avg(&rates[3450..3750]);
+        assert!(
+            crest > 2.0 * trough,
+            "crest {crest:.0} vs trough {trough:.0}"
+        );
+    }
+
+    #[test]
+    fn bursts_exist_and_push_above_the_diurnal_envelope() {
+        let m = TrafficModel::new(11, 10_000.0, 7200);
+        assert!(m.burst_count() >= 1, "2h run should see a flash crowd");
+        let (_, rates) = total(11, 10_000.0, 7200);
+        // Jitter alone caps at 1.03×; anything beyond ~1.1× the envelope
+        // must come from a burst.
+        let over = rates
+            .iter()
+            .enumerate()
+            .filter(|&(t, &r)| {
+                let phase =
+                    2.0 * std::f64::consts::PI * t as f64 / 7200.0 - std::f64::consts::FRAC_PI_2;
+                let envelope = 10_000.0
+                    * (DIURNAL_TROUGH + (1.0 - DIURNAL_TROUGH) * (0.5 + 0.5 * phase.sin()));
+                r as f64 > envelope * 1.1
+            })
+            .count();
+        assert!(over >= 60, "bursty ticks: {over}");
+    }
+
+    #[test]
+    fn rates_are_finite_and_bounded() {
+        let (_, rates) = total(5, 1000.0, 1000);
+        for r in rates {
+            assert!(r <= 2000, "rate {r} above 2x peak");
+        }
+    }
+}

@@ -37,7 +37,13 @@ impl Default for DiffConfig {
     fn default() -> Self {
         DiffConfig {
             tol: 0.0,
-            rules: Vec::new(),
+            // Fleet metrics count discrete requests/faults from seeded
+            // processes and are deterministic by construction, so the
+            // `fleet.*` namespace stays pinned exact even when the CI
+            // gate loosens the global tolerance for timing-ish subtrees.
+            // Being a prefix rule, a longer explicit `--tol-path` still
+            // overrides it.
+            rules: vec![("metrics.fleet.".to_owned(), 0.0)],
             ignore: vec![
                 "spans".to_owned(),
                 "sections.exec".to_owned(),
@@ -324,6 +330,31 @@ mod tests {
         let d = diff_reports(&a, &b, &DiffConfig::exact());
         assert_eq!(d.violations.len(), 1);
         assert!(d.violations[0].detail.contains("array length 2 vs 1"));
+    }
+
+    #[test]
+    fn fleet_metrics_stay_exact_under_a_loose_global_tolerance() {
+        let make = |served: u64| {
+            Json::object()
+                .with(
+                    "metrics",
+                    Json::object()
+                        .with("fleet.requests.served", served)
+                        .with("sim.cycles", served),
+                )
+                .with("tool", "fleet")
+        };
+        let a = make(1000);
+        let b = make(1030); // +3% on both keys
+        let d = diff_reports(&a, &b, &DiffConfig::with_tol(0.05));
+        // sim.cycles passes under the 5% tolerance; the fleet namespace
+        // rule pins fleet.* exact regardless.
+        assert_eq!(d.violations.len(), 1, "{:?}", d.violations);
+        assert_eq!(d.violations[0].path, "metrics.fleet.requests.served");
+        // A longer explicit rule still overrides the namespace default.
+        let mut cfg = DiffConfig::with_tol(0.05);
+        cfg.rules.push(("metrics.fleet.requests.".to_owned(), 0.10));
+        assert!(diff_reports(&a, &b, &cfg).ok());
     }
 
     #[test]

@@ -34,13 +34,37 @@ impl Histogram {
     /// Records one sample. The running sum saturates rather than wrapping
     /// so a long run can never corrupt `mean()` via overflow.
     pub fn record(&mut self, sample: u64) {
+        self.record_n(sample, 1);
+    }
+
+    /// Records `n` occurrences of the same sample in O(1). The fleet
+    /// simulator admits whole batches of requests whose latencies share
+    /// a bucket; recording them one by one would dominate its hot path.
+    pub fn record_n(&mut self, sample: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let bucket = (64 - sample.max(1).leading_zeros())
             .saturating_sub(1)
             .min(31) as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(sample);
+        self.buckets[bucket] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(sample.saturating_mul(n));
         self.max = self.max.max(sample);
+    }
+
+    /// Inclusive upper bound of the bucket that `sample` lands in
+    /// (`u64::MAX` for the open-ended top bucket). Lets batch callers
+    /// find the run of consecutive samples sharing one bucket.
+    pub fn bucket_upper(sample: u64) -> u64 {
+        let bucket = (64 - sample.max(1).leading_zeros())
+            .saturating_sub(1)
+            .min(31);
+        if bucket >= 31 {
+            u64::MAX
+        } else {
+            (1u64 << (bucket + 1)) - 1
+        }
     }
 
     /// Number of samples.
@@ -294,6 +318,39 @@ mod tests {
         let s = h.to_string();
         assert!(s.starts_with("n=4 mean=3.8"), "{s}");
         assert!(s.contains("max=8"), "{s}");
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut batched = Histogram::new();
+        let mut looped = Histogram::new();
+        for (s, n) in [(0u64, 3u64), (7, 5), (1000, 2), (u64::MAX, 2)] {
+            batched.record_n(s, n);
+            for _ in 0..n {
+                looped.record(s);
+            }
+        }
+        batched.record_n(42, 0); // no-op
+        assert_eq!(batched, looped);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_its_own_bucket() {
+        for s in [0u64, 1, 2, 3, 4, 7, 8, 1000, 1 << 30, u64::MAX] {
+            let hi = Histogram::bucket_upper(s);
+            assert!(hi >= s, "upper {hi} below sample {s}");
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            a.record(s);
+            b.record(hi);
+            // Same bucket: identical bucket vectors.
+            assert_eq!(
+                a.buckets().map(|(lo, _)| lo).collect::<Vec<_>>(),
+                b.buckets().map(|(lo, _)| lo).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(Histogram::bucket_upper(0), 1);
+        assert_eq!(Histogram::bucket_upper(u64::MAX), u64::MAX);
     }
 
     #[test]

@@ -107,6 +107,18 @@ impl Datacenter {
             * u64::from(self.params.servers_per_rack)
             * u64::from(self.sockets_per_server)
     }
+
+    /// Total 1U servers in the facility.
+    pub fn servers(&self) -> u64 {
+        u64::from(self.racks) * u64::from(self.params.servers_per_rack)
+    }
+
+    /// Monthly TCO amortized over a single server: the per-unit cost the
+    /// fleet simulator multiplies by fleet size when facility capacity
+    /// differs from the 20MW reference build-out.
+    pub fn monthly_cost_per_server_usd(&self) -> f64 {
+        self.tco.total_usd() / self.servers() as f64
+    }
 }
 
 fn tco_breakdown(

@@ -16,6 +16,12 @@
 //! sop sweep  <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] [--resume]
 //!            [--json FILE] [--quick] [--stable] [--no-heartbeat]
 //!                                             run a named experiment campaign
+//! sop fleet  [--servers N] [--policy drain|derate] [--org NAME] [--seed S] [--quick]
+//!            [--jobs N] [--no-cache] [--resume] [--json FILE] [--stable] [--no-heartbeat]
+//!                                             simulate a fleet of SOP servers behind a
+//!                                             load balancer: cost per sustained QPS and
+//!                                             tail latency vs utilization per chip
+//!                                             organization
 //! sop bench  [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE]
 //!            [--baseline FILE] [--tol PCT]    time the simulator hot paths and
 //!                                             append the run to the bench history
@@ -71,6 +77,7 @@ fn main() {
         "trace" => trace(&args),
         "diff" => diff(&args),
         "sweep" => sweep(&args),
+        "fleet" => fleet(&args),
         "bench" => bench(&args),
         "prof" => prof(&args),
         "top" => top(&args),
@@ -94,6 +101,10 @@ fn usage() {
     eprintln!(
         "       sop sweep <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] \
          [--resume] [--json FILE] [--quick] [--stable] [--no-heartbeat]"
+    );
+    eprintln!(
+        "       sop fleet [--servers N] [--policy drain|derate] [--org NAME] [--seed S] \
+         [--quick] [--jobs N] [--no-cache] [--resume] [--json FILE] [--stable] [--no-heartbeat]"
     );
     eprintln!(
         "       sop bench [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE] \
@@ -156,6 +167,157 @@ fn sweep(args: &[String]) {
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("sweep: job failed: {} ({})", f.name, f.error);
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Simulates a fleet of SOP servers behind a load balancer through the
+/// execution engine and writes the result as a `sop-report/v1` document:
+/// one row per chip organization × repair policy with cost per sustained
+/// QPS and the tail-latency-vs-utilization curve. Every run is a pure,
+/// cacheable engine job; the report is byte-identical across worker
+/// counts.
+fn fleet(args: &[String]) {
+    use scale_out_processors::fleet::{fleet_points, grid, org_by_name, Policy, ORGS};
+    let quick = args.iter().any(|a| a == "--quick");
+    let stable = args.iter().any(|a| a == "--stable");
+    let servers: u32 = args
+        .iter()
+        .position(|a| a == "--servers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 64 } else { 256 });
+    if servers == 0 {
+        eprintln!("--servers must be at least 1");
+        std::process::exit(2);
+    }
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let org = args
+        .iter()
+        .position(|a| a == "--org")
+        .and_then(|i| args.get(i + 1))
+        .map(|name| {
+            if org_by_name(name).is_none() {
+                let known: Vec<&str> = ORGS.iter().map(|o| o.name).collect();
+                eprintln!("unknown organization {name:?}; one of: {}", known.join(" "));
+                std::process::exit(2);
+            }
+            name.as_str()
+        });
+    let policy = args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .map(|label| {
+            Policy::from_label(label).unwrap_or_else(|| {
+                eprintln!("unknown policy {label:?}; one of: drain derate");
+                std::process::exit(2);
+            })
+        });
+    let out = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "fleet.json".to_owned());
+    // Heartbeat job_finish events carry the fleet tick counter so
+    // `sop top` can report simulated-hours per second.
+    scale_out_processors::exec::heartbeat::set_cycle_source(
+        scale_out_processors::bench::campaign::simulated_work_counter,
+    );
+    let exec = Exec::new(ExecConfig::from_args(args));
+
+    let specs = grid(servers, seed, quick, org, policy);
+    let mut spans = SpanLog::new();
+    let rows = spans.time("fleet", |_| fleet_points(&exec, "fleet", &specs));
+
+    // Deterministic fleet aggregates (summed from the rows, so cached
+    // and fresh evaluations export identical values) plus the engine's
+    // own counters.
+    let mut metrics = Registry::new();
+    let total_of = |row: &Json, key: &str| {
+        row.get("totals")
+            .and_then(|t| t.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64
+    };
+    for row in &rows {
+        metrics.counter_add("fleet.requests.offered", total_of(row, "offered"));
+        metrics.counter_add("fleet.requests.served", total_of(row, "served"));
+        metrics.counter_add("fleet.requests.dropped", total_of(row, "dropped"));
+    }
+    metrics.gauge_set("fleet.points", rows.len() as f64);
+    metrics.gauge_set("fleet.servers", f64::from(servers));
+    metrics.merge(&exec.metrics_snapshot());
+
+    let mut report = Report::new("fleet", "Scale-Out Processors: fleet simulation");
+    report.set("campaign", Json::from("fleet"));
+    report.set("quick", Json::from(quick));
+    report.set(
+        "config",
+        Json::object()
+            .with("servers", servers)
+            .with("seed", seed)
+            .with("org", org.map_or(Json::Null, Json::from))
+            .with(
+                "policy",
+                policy.map_or(Json::Null, |p| Json::from(p.label())),
+            ),
+    );
+    report.set("fleet", Json::Arr(rows.clone()));
+    let doc = report.to_json(&spans, &metrics);
+    let doc = if stable { stabilized(&doc) } else { doc };
+    if let Err(e) = write_atomic(&out, &(doc.to_pretty_string() + "\n")) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "{:<14} {:<7} {:>9} {:>7} {:>7} {:>7} {:>12}",
+        "org", "policy", "sust.qps", "p50ms", "p99ms", "drop%", "$/k-qps/mo"
+    );
+    for row in &rows {
+        let s = |k: &str| row.get(k).and_then(Json::as_str).unwrap_or("?").to_owned();
+        if row.get("failed").is_some() {
+            println!("{:<14} {:<7} FAILED", s("org"), s("policy"));
+            continue;
+        }
+        let n = |k: &str| row.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let cost = match row
+            .get("cost_per_sustained_kqps_usd")
+            .and_then(Json::as_f64)
+        {
+            Some(c) => format!("{c:.2}"),
+            None => "-".to_owned(),
+        };
+        println!(
+            "{:<14} {:<7} {:>9.0} {:>7.0} {:>7.0} {:>6.2}% {:>12}",
+            s("org"),
+            s("policy"),
+            n("sustained_qps"),
+            n("p50_ms"),
+            n("p99_ms"),
+            n("drop_pct"),
+            cost
+        );
+    }
+    println!(
+        "fleet: {} point(s), {} server(s), seed {seed} on {} worker(s)",
+        rows.len(),
+        servers,
+        exec.workers()
+    );
+    println!("wrote {out}");
+    let failures = exec.failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("fleet: job failed: {} ({})", f.name, f.error);
         }
         std::process::exit(1);
     }
@@ -269,9 +431,15 @@ fn bench(args: &[String]) {
     for row in data.get("campaigns").and_then(Json::as_arr).unwrap_or(&[]) {
         let name = row.get("campaign").and_then(Json::as_str).unwrap_or("?");
         let wall = row.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
-        match row.get("mcycles_per_sec").and_then(Json::as_f64) {
-            Some(rate) => println!("{name:5} {wall:7.0}ms  {rate:8.3} Mcycles/s"),
-            None => println!("{name:5} {wall:7.0}ms  (analytic)"),
+        match (
+            row.get("mcycles_per_sec").and_then(Json::as_f64),
+            row.get("events_per_sec").and_then(Json::as_f64),
+        ) {
+            (Some(rate), _) => println!("{name:5} {wall:7.0}ms  {rate:8.3} Mcycles/s"),
+            (None, Some(rate)) => {
+                println!("{name:5} {wall:7.0}ms  {:8.3} Mevents/s", rate / 1e6);
+            }
+            (None, None) => println!("{name:5} {wall:7.0}ms  (analytic)"),
         }
     }
     if let Some(x) = data.get("speedup_vs_baseline").and_then(Json::as_f64) {

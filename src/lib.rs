@@ -58,6 +58,7 @@ pub use sop_bench as bench;
 pub use sop_core as core;
 pub use sop_exec as exec;
 pub use sop_fault as fault;
+pub use sop_fleet as fleet;
 pub use sop_model as model;
 pub use sop_noc as noc;
 pub use sop_obs as obs;

@@ -1,0 +1,94 @@
+//! The fleet report is a pure function of its seed.
+//!
+//! A fleet campaign must produce byte-identical stabilized reports no
+//! matter how it was scheduled: one worker or four, cold cache or warm.
+//! Every source of randomness is a seeded shim-RNG stream, time is an
+//! integer tick counter, and the load balancer splits arrivals with
+//! exact integer arithmetic — so the only thing allowed to change the
+//! bytes is the seed itself.
+
+use scale_out_processors::exec::{Exec, ExecConfig};
+use scale_out_processors::fleet::{fleet_points, grid};
+use scale_out_processors::obs::{stabilized, Json, Registry, Report, SpanLog};
+
+/// Builds the stabilized fleet report exactly the way `sop fleet`
+/// does — engine campaign, summed fleet metrics, report document —
+/// and returns its pretty-printed bytes.
+fn fleet_report(workers: usize, dir: &std::path::Path, seed: u64) -> String {
+    let exec = Exec::new(ExecConfig {
+        jobs: workers,
+        cache_dir: Some(dir.to_path_buf()),
+        ..ExecConfig::default()
+    });
+    let specs = grid(8, seed, true, None, None);
+    let mut spans = SpanLog::new();
+    let rows = spans.time("fleet", |_| fleet_points(&exec, "fleet", &specs));
+    assert!(exec.failures().is_empty(), "{:?}", exec.failures());
+    let mut metrics = Registry::new();
+    let total_of = |row: &Json, key: &str| {
+        row.get("totals")
+            .and_then(|t| t.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64
+    };
+    for row in &rows {
+        metrics.counter_add("fleet.requests.offered", total_of(row, "offered"));
+        metrics.counter_add("fleet.requests.served", total_of(row, "served"));
+        metrics.counter_add("fleet.requests.dropped", total_of(row, "dropped"));
+    }
+    metrics.gauge_set("fleet.points", rows.len() as f64);
+    metrics.merge(&exec.metrics_snapshot());
+    let mut report = Report::new("fleet", "Scale-Out Processors: fleet simulation");
+    report.set("campaign", Json::from("fleet"));
+    report.set("quick", Json::from(true));
+    report.set("fleet", Json::Arr(rows));
+    stabilized(&report.to_json(&spans, &metrics)).to_pretty_string()
+}
+
+/// A scratch directory that cleans up after itself.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("sop-fleet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn fleet_report_is_byte_identical_across_worker_counts() {
+    let one = Scratch::new("w1");
+    let four = Scratch::new("w4");
+    let serial = fleet_report(1, &one.0, 42);
+    let parallel = fleet_report(4, &four.0, 42);
+    assert_eq!(
+        serial, parallel,
+        "stabilized fleet reports must not depend on worker count"
+    );
+    // A warm-cache rerun replays every row from disk and must not
+    // change a byte either.
+    let replay = fleet_report(4, &four.0, 42);
+    assert_eq!(parallel, replay, "cache hits must reproduce the report");
+}
+
+#[test]
+fn fleet_report_depends_on_the_seed_and_nothing_else() {
+    let a = Scratch::new("seed-a");
+    let b = Scratch::new("seed-b");
+    let c = Scratch::new("seed-c");
+    let seed42 = fleet_report(2, &a.0, 42);
+    let seed42_again = fleet_report(2, &b.0, 42);
+    let seed43 = fleet_report(2, &c.0, 43);
+    assert_eq!(seed42, seed42_again, "same seed, same bytes");
+    assert_ne!(
+        seed42, seed43,
+        "a different seed draws different traffic and faults"
+    );
+}

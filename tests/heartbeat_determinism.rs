@@ -67,6 +67,36 @@ impl Drop for Scratch {
     }
 }
 
+/// The recorded fleet campaign stream (a real `sop fleet --quick
+/// --servers 16` run) snapshots into simulated-hours per second: fleet
+/// jobs advance the heartbeat's work counter in simulated seconds, and
+/// `sop top` must render that as sim-hours/s, never Mcycles/s.
+#[test]
+fn recorded_fleet_stream_reports_sim_hours_per_sec() {
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/progress_fleet.ndjson");
+    let events = scale_out_processors::exec::heartbeat::read_events(&fixture);
+    assert!(
+        !events.is_empty(),
+        "fixture {} is readable",
+        fixture.display()
+    );
+    let snap =
+        scale_out_processors::exec::heartbeat::snapshot(&events).expect("fixture holds a campaign");
+    assert_eq!(snap.campaign, "fleet");
+    assert!(snap.done, "the recorded campaign ran to completion");
+    assert_eq!((snap.total, snap.computed, snap.failed), (8, 8, 0));
+    assert_eq!(
+        snap.mcycles_per_sec, None,
+        "fleet work deltas are simulated seconds, not cycles"
+    );
+    let hours = snap.sim_hours_per_sec.expect("fleet rate is present");
+    assert!(hours > 0.0, "{hours}");
+    let panel = snap.render();
+    assert!(panel.contains("sim-hours/s"), "{panel}");
+    assert!(!panel.contains("Mcycles"), "{panel}");
+}
+
 #[test]
 fn job_event_set_is_identical_across_worker_counts() {
     let one = Scratch::new("w1");

@@ -443,6 +443,65 @@ proptest! {
         }
     }
 
+    /// Fleet conservation: in every reporting window, served plus
+    /// dropped plus the change in in-flight backlog exactly tiles the
+    /// offered load — the simulator never loses or invents a request,
+    /// whatever the fleet size, policy, seed, or fault pressure.
+    #[test]
+    fn fleet_windows_tile_offered_load(
+        servers in 1u32..6,
+        per_server_qps in 50u64..5_000,
+        policy in prop::sample::select(vec![
+            scale_out_processors::fleet::Policy::Drain,
+            scale_out_processors::fleet::Policy::Derate,
+        ]),
+        seed in 0u64..1_000,
+        duration in 400u64..1_600,
+        window in 50u64..400,
+        peak_util in prop::sample::select(vec![0.5, 0.9, 1.2]),
+        mtbf in 100u64..2_000,
+    ) {
+        use scale_out_processors::fleet::{simulate, SimParams};
+        let params = SimParams {
+            servers,
+            per_server_qps,
+            policy,
+            seed,
+            duration_ticks: duration,
+            window_ticks: window,
+            peak_util,
+            mtbf_ticks: mtbf,
+            mttr_ticks: (mtbf / 4).max(1),
+            deadline_ms: 4_000,
+            service_ms: 20,
+        };
+        let out = simulate(&params);
+        let mut ticks = 0u64;
+        let mut carried_inflight = 0u64;
+        for w in &out.windows {
+            // Written addition-only: backlog can shrink over a window.
+            prop_assert_eq!(
+                w.offered + w.inflight_start,
+                w.dropped + w.served + w.inflight_end,
+                "window at tick {} does not tile", w.start_tick
+            );
+            prop_assert_eq!(w.accepted, w.offered - w.dropped);
+            prop_assert_eq!(
+                w.inflight_start, carried_inflight,
+                "windows must chain their backlog"
+            );
+            carried_inflight = w.inflight_end;
+            ticks += w.ticks;
+        }
+        prop_assert_eq!(ticks, duration, "windows must cover the whole run");
+        prop_assert_eq!(carried_inflight, out.inflight_end);
+        prop_assert_eq!(
+            out.offered(),
+            out.served() + out.dropped() + out.inflight_end,
+            "run totals must tile once the final backlog is counted"
+        );
+    }
+
     /// Node scaling shrinks everything consistently: the same design at
     /// 20nm is smaller and at least as performant per area.
     #[test]
