@@ -21,6 +21,9 @@
 //!   (requires `--json`).
 //! * `--jobs N` — run simulation points on N worker threads (0 or
 //!   omitted = one per core). Output is byte-identical for any N.
+//! * `--threads N` — shard each machine across N worker threads
+//!   (lookahead-bounded domain parallelism). Output is byte-identical
+//!   for any N; machines too small to shard run sequentially.
 //! * `--no-cache` — recompute every simulation point, ignoring
 //!   `target/sop-cache/`.
 //! * `--resume` — replay points recorded in the campaign manifests of a
@@ -67,12 +70,21 @@ fn main() {
             std::process::exit(2);
         }
     };
+    match flag_value(&args, "--threads").map(|v| v.parse::<usize>()) {
+        None => {}
+        Some(Ok(n)) if n >= 1 => sop_sim::set_default_threads(n),
+        Some(_) => {
+            eprintln!("repro: --threads must be a positive integer");
+            std::process::exit(2);
+        }
+    }
     let exec = Exec::new(ExecConfig::from_args(&args));
     let ids = experiment_ids(&args);
     if ids.is_empty() {
         eprintln!(
             "usage: repro <experiment id>... | all [--quick] [--json <path>] [--quiet] \
-             [--jobs N] [--no-cache] [--resume] [--stable] [--fault routers:N@CYCLE]"
+             [--jobs N] [--threads N] [--no-cache] [--resume] [--stable] \
+             [--fault routers:N@CYCLE]"
         );
         eprintln!("see DESIGN.md for the experiment index");
         std::process::exit(2);
@@ -247,7 +259,7 @@ fn experiment_ids(args: &[String]) -> Vec<String> {
             continue;
         }
         match a.as_str() {
-            "--json" | "--jobs" | "--fault" => skip = true,
+            "--json" | "--jobs" | "--threads" | "--fault" => skip = true,
             "--quick" | "--quiet" | "--no-cache" | "--resume" | "--stable" => {}
             _ => ids.push(a.clone()),
         }

@@ -1,0 +1,369 @@
+//! Lookahead-bounded domain decomposition for deterministic intra-run
+//! parallelism.
+//!
+//! A [`DomainPartition`] splits a topology's nodes into contiguous,
+//! balanced ranges — each domain owns the routers (and, at the machine
+//! layer, the cores/L1s/LLC slices) of its range. [`cut_links`] names
+//! the directed channels crossing domain boundaries, and [`lookahead`]
+//! computes the conservative-parallelism bound from them: the minimum
+//! cut-link latency `W`. Any event a domain produces for another domain
+//! at cycle `c` lands at `c + W` or later, so domains may advance
+//! independently for up to `W` cycles between exchanges. The engine's
+//! epochs are single ticks (`W >= 1` always holds — every channel takes
+//! at least one cycle), which keeps the exchange barrier aligned with
+//! the protocol's one-cycle reactivity; see the parallel-step notes in
+//! [`crate::sim`].
+//!
+//! [`DomainPool`] is the persistent fork-join pool domains run on:
+//! `threads - 1` parked workers plus the calling thread, all claiming
+//! domain indices from a shared counter. The pool imposes no ordering —
+//! determinism comes from the caller merging domain outputs in
+//! canonical order afterwards.
+
+use crate::topology::Topology;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A balanced, contiguous split of nodes `0..n` into domains. Every
+/// node belongs to exactly one domain; domain `d`'s nodes form the
+/// half-open range [`DomainPartition::range`]. Contiguity is what lets
+/// the parallel sweep hand each domain a disjoint `&mut` slice of
+/// per-node state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainPartition {
+    /// Range starts, ascending, plus the final end: `starts[d]..starts[d+1]`
+    /// is domain `d`. Length `domains + 1`.
+    starts: Vec<usize>,
+}
+
+impl DomainPartition {
+    /// Splits `nodes` nodes into `domains` contiguous ranges whose sizes
+    /// differ by at most one (the first `nodes % domains` ranges get the
+    /// extra node). `domains` is clamped to `1..=nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize, domains: usize) -> DomainPartition {
+        assert!(nodes > 0, "cannot partition an empty topology");
+        let domains = domains.clamp(1, nodes);
+        let (base, extra) = (nodes / domains, nodes % domains);
+        let mut starts = Vec::with_capacity(domains + 1);
+        let mut at = 0;
+        for d in 0..domains {
+            starts.push(at);
+            at += base + usize::from(d < extra);
+        }
+        starts.push(at);
+        debug_assert_eq!(at, nodes);
+        DomainPartition { starts }
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total nodes covered.
+    pub fn nodes(&self) -> usize {
+        *self.starts.last().expect("non-empty")
+    }
+
+    /// The half-open node range of domain `d`.
+    pub fn range(&self, d: usize) -> Range<usize> {
+        self.starts[d]..self.starts[d + 1]
+    }
+
+    /// The domain owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn domain_of(&self, node: usize) -> usize {
+        assert!(node < self.nodes(), "node out of range");
+        // First start strictly above `node`, minus one.
+        self.starts.partition_point(|&s| s <= node) - 1
+    }
+}
+
+/// Directed channels whose endpoints lie in different domains, as
+/// `(source node, output port)` — the links the lookahead bound is
+/// computed over, and the only paths by which one domain can affect
+/// another within a tick's sweep.
+pub fn cut_links(topo: &Topology, part: &DomainPartition) -> Vec<(usize, usize)> {
+    let mut cut = Vec::new();
+    for (node, channels) in topo.channels.iter().enumerate() {
+        let home = part.domain_of(node);
+        for (port, ch) in channels.iter().enumerate() {
+            if part.domain_of(ch.to) != home {
+                cut.push((node, port));
+            }
+        }
+    }
+    cut
+}
+
+/// The conservative lookahead window `W`: the minimum latency over all
+/// domain-cut channels. A flit forwarded across a cut at cycle `c`
+/// arrives no earlier than `c + W`, so domains advanced independently
+/// for fewer than `W` cycles can never miss a cross-domain event.
+/// `None` when no channel crosses a cut (a single domain, or mutually
+/// unreachable domains): the window is unbounded.
+pub fn lookahead(topo: &Topology, part: &DomainPartition) -> Option<u64> {
+    cut_links(topo, part)
+        .iter()
+        .map(|&(node, port)| u64::from(topo.channels[node][port].latency))
+        .min()
+}
+
+/// The closure a pool run executes, lifetime-erased. The raw pointer is
+/// only dereferenced for successfully claimed task indices, and
+/// [`DomainPool::run`] blocks until every claimed task has finished —
+/// so the pointee outlives every dereference.
+struct JobState {
+    task: *const (dyn Fn(usize) + Sync),
+    tasks: usize,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+}
+
+// Safety: `task` points at a `Sync` closure that `run` keeps alive
+// until `remaining` reaches zero; workers only call it through a shared
+// reference, and only for indices claimed while it is alive.
+unsafe impl Send for JobState {}
+unsafe impl Sync for JobState {}
+
+impl JobState {
+    /// Claims and executes tasks until the counter is exhausted. Safe to
+    /// call from a worker holding a stale job: its counters stay
+    /// exhausted forever, so the closure is never touched again.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::AcqRel);
+            if i >= self.tasks {
+                return;
+            }
+            // Safety: see `JobState` — a claimed index proves liveness.
+            (unsafe { &*self.task })(i);
+            self.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+struct PoolShared {
+    /// Latest published job, replaced wholesale each run. Workers key off
+    /// `seq` so a job is joined at most once per worker; a worker waking
+    /// late simply finds the counters exhausted.
+    slot: Mutex<JobSlot>,
+    go: Condvar,
+}
+
+struct JobSlot {
+    seq: u64,
+    job: Option<Arc<JobState>>,
+    shutdown: bool,
+}
+
+/// A persistent fork-join pool: `threads - 1` parked worker threads
+/// plus the caller. [`DomainPool::run`] publishes one closure, every
+/// participant greedily claims task indices, and the call returns once
+/// all tasks completed — the epoch barrier of the parallel engine.
+/// With `threads <= 1` no workers are spawned and `run` degenerates to
+/// a plain loop.
+pub struct DomainPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DomainPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl DomainPool {
+    /// Spawns a pool of `threads` participants (the caller counts as
+    /// one, so `threads - 1` OS threads are created).
+    pub fn new(threads: usize) -> DomainPool {
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(JobSlot {
+                seq: 0,
+                job: None,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+        });
+        let workers = (1..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared))
+            })
+            .collect();
+        DomainPool { shared, workers }
+    }
+
+    /// Worker threads this pool runs besides the caller.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut slot = shared.slot.lock().expect("pool lock");
+                loop {
+                    if slot.shutdown {
+                        return;
+                    }
+                    if slot.seq != seen {
+                        seen = slot.seq;
+                        break slot.job.clone();
+                    }
+                    slot = shared.go.wait(slot).expect("pool lock");
+                }
+            };
+            if let Some(job) = job {
+                job.work();
+            }
+        }
+    }
+
+    /// Runs `f(0..tasks)` across the pool and returns the nanoseconds
+    /// the *caller* spent stalled at the completion barrier after its
+    /// own task claims ran dry (zero when it finished last — the
+    /// epoch-barrier cost the profiler attributes).
+    pub fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) -> u64 {
+        if self.workers.is_empty() || tasks <= 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return 0;
+        }
+        // Erase the borrow lifetime for storage; the safety argument on
+        // `JobState` bounds every dereference to within this call.
+        let f: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let job = Arc::new(JobState {
+            task: f as *const _,
+            tasks,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(tasks),
+        });
+        {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            slot.seq += 1;
+            slot.job = Some(Arc::clone(&job));
+            self.shared.go.notify_all();
+        }
+        job.work();
+        if job.remaining.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let stalled = Instant::now();
+        while job.remaining.load(Ordering::Acquire) != 0 {
+            // Tasks are balanced and short (one tick's domain sweep);
+            // yielding lets a preempted worker finish on small hosts.
+            std::thread::yield_now();
+        }
+        stalled.elapsed().as_nanos() as u64
+    }
+}
+
+impl Drop for DomainPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            slot.shutdown = true;
+            self.shared.go.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn partition_is_balanced_and_exhaustive() {
+        let p = DomainPartition::new(10, 4);
+        assert_eq!(p.domains(), 4);
+        let sizes: Vec<usize> = (0..4).map(|d| p.range(d).len()).collect();
+        assert_eq!(sizes, [3, 3, 2, 2]);
+        let mut seen = Vec::new();
+        for d in 0..p.domains() {
+            seen.extend(p.range(d));
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        for node in 0..10 {
+            let d = p.domain_of(node);
+            assert!(p.range(d).contains(&node));
+        }
+    }
+
+    #[test]
+    fn partition_clamps_domain_count() {
+        assert_eq!(DomainPartition::new(3, 8).domains(), 3);
+        assert_eq!(DomainPartition::new(3, 0).domains(), 1);
+    }
+
+    #[test]
+    fn mesh_cut_lookahead_is_the_link_latency() {
+        let topo = Topology::mesh(8, 8, 1.0);
+        let part = DomainPartition::new(topo.len(), 4);
+        let cut = cut_links(&topo, &part);
+        assert!(!cut.is_empty(), "a split mesh must have cut links");
+        for &(node, port) in &cut {
+            assert_ne!(
+                part.domain_of(node),
+                part.domain_of(topo.channels[node][port].to)
+            );
+        }
+        // Every mesh link takes one cycle, so the window is exactly 1.
+        assert_eq!(lookahead(&topo, &part), Some(1));
+    }
+
+    #[test]
+    fn single_domain_has_no_cut() {
+        let topo = Topology::mesh(4, 4, 1.0);
+        let part = DomainPartition::new(topo.len(), 1);
+        assert!(cut_links(&topo, &part).is_empty());
+        assert_eq!(lookahead(&topo, &part), None);
+    }
+
+    #[test]
+    fn pool_runs_every_task_exactly_once() {
+        let pool = DomainPool::new(4);
+        assert_eq!(pool.workers(), 3);
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 50);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = DomainPool::new(1);
+        assert_eq!(pool.workers(), 0);
+        let hits = AtomicU64::new(0);
+        let stall = pool.run(8, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        assert_eq!(stall, 0);
+    }
+}

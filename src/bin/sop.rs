@@ -13,19 +13,21 @@
 //! sop diff   <a.json> <b.json> [--tol PCT] [--tol-path PREFIX=PCT]
 //!                                             structurally compare two sop-report/v1
 //!                                             documents; exit 1 on any divergence
-//! sop sweep  <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] [--resume]
-//!            [--json FILE] [--quick] [--stable] [--no-heartbeat]
-//!                                             run a named experiment campaign
+//! sop sweep  <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--threads N] [--no-cache]
+//!            [--resume] [--json FILE] [--quick] [--stable] [--no-heartbeat]
+//!                                             run a named experiment campaign;
+//!                                             --threads shards each machine across
+//!                                             N worker threads (bit-identical)
 //! sop fleet  [--servers N] [--policy drain|derate] [--org NAME] [--seed S] [--quick]
 //!            [--jobs N] [--no-cache] [--resume] [--json FILE] [--stable] [--no-heartbeat]
 //!                                             simulate a fleet of SOP servers behind a
 //!                                             load balancer: cost per sustained QPS and
 //!                                             tail latency vs utilization per chip
 //!                                             organization
-//! sop bench  [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE]
+//! sop bench  [--quick] [--jobs N] [--threads N] [--only ch3[,ch4...]] [--json FILE]
 //!            [--baseline FILE] [--tol PCT]    time the simulator hot paths and
 //!                                             append the run to the bench history
-//! sop prof   [<workload>] [--topo T] [--quick] [--cores N] [--json FILE]
+//! sop prof   [<workload>] [--topo T] [--quick] [--cores N] [--threads N] [--json FILE]
 //!                                             run a self-profiled pod window and
 //!                                             print the host-side component
 //!                                             self-time table
@@ -88,6 +90,24 @@ fn main() {
     }
 }
 
+/// Parses `--threads N` and arms the intra-run parallel engine for
+/// every machine the command builds. Results are bit-identical at any
+/// thread count — the knob is a host resource, not a config axis —
+/// which is also why it is not part of the result-cache identity.
+fn apply_threads(args: &[String]) {
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    if threads == 0 {
+        eprintln!("--threads must be at least 1");
+        std::process::exit(2);
+    }
+    scale_out_processors::sim::set_default_threads(threads);
+}
+
 fn usage() {
     eprintln!("usage: sop pod <ooo|io> [--node 40|20]");
     eprintln!("       sop chip <design> [--node 40|20]");
@@ -99,20 +119,20 @@ fn usage() {
     );
     eprintln!("       sop diff <a.json> <b.json> [--tol PCT] [--tol-path PREFIX=PCT]");
     eprintln!(
-        "       sop sweep <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--no-cache] \
-         [--resume] [--json FILE] [--quick] [--stable] [--no-heartbeat]"
+        "       sop sweep <ch2|ch3|ch4|ch5|ch6|degradation|all> [--jobs N] [--threads N] \
+         [--no-cache] [--resume] [--json FILE] [--quick] [--stable] [--no-heartbeat]"
     );
     eprintln!(
         "       sop fleet [--servers N] [--policy drain|derate] [--org NAME] [--seed S] \
          [--quick] [--jobs N] [--no-cache] [--resume] [--json FILE] [--stable] [--no-heartbeat]"
     );
     eprintln!(
-        "       sop bench [--quick] [--jobs N] [--only ch3[,ch4...]] [--json FILE] \
-         [--baseline FILE] [--tol PCT]"
+        "       sop bench [--quick] [--jobs N] [--threads N] [--only ch3[,ch4...]] \
+         [--json FILE] [--baseline FILE] [--tol PCT]"
     );
     eprintln!(
         "       sop prof [<workload>] [--topo mesh|fbfly|nocout] [--quick] [--cores N] \
-         [--json FILE]"
+         [--threads N] [--json FILE]"
     );
     eprintln!("       sop prof --analyze <a.json> [b.json] [--tol PCT] [--tol-path PREFIX=PCT]");
     eprintln!("       sop top [--file PATH] [--once] [--interval-ms N]");
@@ -130,6 +150,7 @@ fn sweep(args: &[String]) {
         eprintln!("unknown campaign {name:?}; one of: {}", CAMPAIGNS.join(" "));
         std::process::exit(2);
     }
+    apply_threads(args);
     let quick = args.iter().any(|a| a == "--quick");
     let stable = args.iter().any(|a| a == "--stable");
     let out = args
@@ -368,6 +389,7 @@ fn cache(args: &[String]) {
 /// any campaign more than `--tol` percent (default 25) slower than the
 /// baseline document's latest history entry fails the command.
 fn bench(args: &[String]) {
+    apply_threads(args);
     let quick = args.iter().any(|a| a == "--quick");
     let jobs: usize = args
         .iter()
@@ -722,6 +744,7 @@ fn prof(args: &[String]) {
         prof_analyze(args);
         return;
     }
+    apply_threads(args);
     let name = args
         .get(1)
         .map(String::as_str)

@@ -83,3 +83,73 @@ fn consecutive_windows_match_reference() {
         assert_eq!(e, r, "window {window} diverged");
     }
 }
+
+/// The domain-parallel engine at 1, 2, and 4 threads must produce the
+/// same result — every named metric, histogram bucket, and NOC counter
+/// — as the per-cycle reference, for every chapter-quick configuration.
+/// Same discipline as `tests/fleet_determinism.rs`: the thread count is
+/// a host resource knob and must never be observable in the results.
+fn assert_threads_equivalent(cfg: SimConfig, warm: u64, measure: u64, what: &str) {
+    let mut reference = Machine::new(cfg);
+    reference.set_reference_mode(true);
+    let expect = reference.run_window(warm, measure);
+    for threads in [1usize, 2, 4] {
+        let mut machine = Machine::new(cfg);
+        machine.set_threads(threads);
+        assert!(
+            threads > 1 || !machine.par_active(),
+            "--threads 1 must stay on the sequential path: {what}"
+        );
+        let got = machine.run_window(warm, measure);
+        assert_eq!(got, expect, "--threads {threads} diverged: {what}");
+    }
+}
+
+#[test]
+fn parallel_validation_configs_match_reference() {
+    for topology in [TopologyKind::Crossbar, TopologyKind::Mesh] {
+        for cores in [4u32, 16] {
+            let cfg = SimConfig::validation(Workload::WebSearch, cores, topology);
+            assert_threads_equivalent(
+                cfg,
+                500,
+                1_500,
+                &format!("WebSearch x{cores} on {topology:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_pod_64_nocout_matches_reference() {
+    let cfg = SimConfig::pod_64(Workload::WebSearch, TopologyKind::NocOut);
+    assert_threads_equivalent(cfg, 1_500, 3_000, "pod_64 WebSearch on NOC-Out");
+}
+
+#[test]
+fn parallel_pod_64_flattened_butterfly_matches_reference() {
+    let cfg = SimConfig::pod_64(Workload::MapReduceC, TopologyKind::FlattenedButterfly);
+    assert_threads_equivalent(
+        cfg,
+        1_500,
+        3_000,
+        "pod_64 MapReduceC on flattened butterfly",
+    );
+}
+
+/// Carried-over parallel-engine state (domain scratch, poll chunks,
+/// worklists) must stay equivalent across consecutive windows too.
+#[test]
+fn parallel_consecutive_windows_match_reference() {
+    let cfg = SimConfig::pod_64(Workload::DataServing, TopologyKind::Mesh);
+    let mut parallel = Machine::new(cfg);
+    parallel.set_threads(4);
+    assert!(parallel.par_active(), "a 64-core pod must shard");
+    let mut reference = Machine::new(cfg);
+    reference.set_reference_mode(true);
+    for window in 0..2 {
+        let p = parallel.run_window(500, 1_000);
+        let r = reference.run_window(500, 1_000);
+        assert_eq!(p, r, "window {window} diverged");
+    }
+}
